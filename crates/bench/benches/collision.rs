@@ -1,0 +1,74 @@
+//! Geometry primitives: validity checks, ray casts, exact free-volume —
+//! the cost model's unit operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use smp_geom::{envs, Point, Ray};
+use std::hint::black_box;
+
+fn random_points(n: usize) -> Vec<Point<3>> {
+    let mut rng = StdRng::seed_from_u64(13);
+    (0..n)
+        .map(|_| {
+            Point::new([
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+            ])
+        })
+        .collect()
+}
+
+fn bench_validity(c: &mut Criterion) {
+    let pts = random_points(1024);
+    let envs = [envs::med_cube(), envs::mixed(), envs::walls(3, 0.05, 0.2)];
+    let mut group = c.benchmark_group("validity_1024pts");
+    for env in &envs {
+        group.bench_function(env.name(), |b| {
+            b.iter(|| {
+                let mut valid = 0usize;
+                for p in &pts {
+                    if env.is_valid(p, 0.05) {
+                        valid += 1;
+                    }
+                }
+                black_box(valid)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ray_cast(c: &mut Criterion) {
+    let env = envs::mixed();
+    let dirs = random_points(256);
+    c.bench_function("ray_cast_mixed_256", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in &dirs {
+                let ray = Ray::new(Point::splat(0.5), *d - Point::splat(0.5));
+                acc += env.ray_cast(&ray, 1.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_free_volume(c: &mut Criterion) {
+    let env = envs::med_cube();
+    let grid: smp_geom::GridSubdivision<3> =
+        smp_geom::GridSubdivision::with_target_regions(*env.bounds(), 4096, 0.0);
+    c.bench_function("vfree_4096_regions", |b| {
+        b.iter(|| {
+            let total: f64 = grid
+                .region_ids()
+                .map(|r| env.free_volume_in(&grid.core_cell(r)))
+                .sum();
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_validity, bench_ray_cast, bench_free_volume);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Discrete-event simulator throughput: events processed per second for
+//! static schedules and for each work-stealing policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smp_runtime::{simulate, MachineModel, SimConfig, StealConfig, StealPolicyKind};
+use std::hint::black_box;
+
+fn workload(n: usize) -> (Vec<u64>, Vec<Vec<u32>>) {
+    // skewed costs: 1/4 of tasks are 8x heavier, all piled on one PE block
+    let costs: Vec<u64> = (0..n)
+        .map(|i| if i % 4 == 0 { 400_000 } else { 50_000 })
+        .collect();
+    let p = 64;
+    let mut assignment = vec![Vec::new(); p];
+    for t in 0..n {
+        assignment[(t * p) / n].push(t as u32);
+    }
+    (costs, assignment)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let (costs, assignment) = workload(n);
+        let configs: Vec<(&str, Option<StealConfig>)> = vec![
+            ("static", None),
+            ("rand8", Some(StealConfig::new(StealPolicyKind::rand8()))),
+            ("diffusive", Some(StealConfig::new(StealPolicyKind::Diffusive))),
+            ("hybrid", Some(StealConfig::new(StealPolicyKind::Hybrid(8)))),
+        ];
+        for (name, steal) in configs {
+            let cfg = SimConfig {
+                machine: MachineModel::hopper(),
+                steal,
+                seed: 11,
+            };
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| black_box(simulate(&costs, &assignment, &cfg)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

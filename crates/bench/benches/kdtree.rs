@@ -1,0 +1,62 @@
+//! kd-tree vs brute-force k-nearest-neighbour search — the PRM connection
+//! phase's inner primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use smp_geom::Point;
+use smp_graph::{knn, KdTree};
+use std::hint::black_box;
+
+fn random_points(n: usize, seed: u64) -> Vec<Point<3>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new([
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+            ])
+        })
+        .collect()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn");
+    group.sample_size(20);
+    for &n in &[100usize, 1_000, 10_000] {
+        let pts = random_points(n, 7);
+        let queries = random_points(64, 9);
+        let tree = KdTree::build(&pts);
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(tree.k_nearest(q, 6, None));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(knn::k_nearest(&pts, q, 6, None));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdtree_build");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let pts = random_points(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(KdTree::build(&pts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Partitioner cost: greedy LPT (the paper's partitioner) vs naive block vs
+//! spatially-constrained recursive bisection, at region-graph scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use smp_core::partition::{greedy_lpt, naive_block, spatial_bisection};
+use smp_geom::Point;
+use std::hint::black_box;
+
+fn inputs(n: usize) -> (Vec<f64>, Vec<Point<3>>) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let weights: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..10.0)).collect();
+    let centroids: Vec<Point<3>> = (0..n)
+        .map(|_| {
+            Point::new([
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+            ])
+        })
+        .collect();
+    (weights, centroids)
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    let p = 256;
+    for &n in &[10_000usize, 100_000] {
+        let (weights, centroids) = inputs(n);
+        group.bench_with_input(BenchmarkId::new("block", n), &n, |b, _| {
+            b.iter(|| black_box(naive_block(n, p)))
+        });
+        group.bench_with_input(BenchmarkId::new("lpt", n), &n, |b, _| {
+            b.iter(|| black_box(greedy_lpt(&weights, p)))
+        });
+        group.bench_with_input(BenchmarkId::new("rcb", n), &n, |b, _| {
+            b.iter(|| black_box(spatial_bisection(&centroids, &weights, p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

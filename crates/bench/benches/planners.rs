@@ -1,0 +1,73 @@
+//! Sequential planner cost: regional PRM construction and RRT growth, the
+//! unit of work the parallel algorithms schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smp_cspace::{BoxSampler, ConeSampler, EnvValidity, StraightLinePlanner};
+use smp_geom::{envs, Point, RadialSubdivision};
+use smp_plan::{build_prm, grow_rrt, PrmParams, RrtParams};
+use std::hint::black_box;
+
+fn bench_prm(c: &mut Criterion) {
+    let env = envs::med_cube();
+    let sampler = BoxSampler::new(*env.bounds());
+    let validity = EnvValidity::new(&env, 0.05);
+    let lp = StraightLinePlanner::new(0.01);
+    let mut group = c.benchmark_group("sequential_prm");
+    group.sample_size(10);
+    for &n in &[50usize, 200, 800] {
+        let params = PrmParams {
+            num_samples: n,
+            k_neighbors: 6,
+            max_attempt_factor: 10,
+            skip_same_cc: false,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                black_box(build_prm(&sampler, &validity, &lp, &params, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rrt(c: &mut Criterion) {
+    let env = envs::mixed();
+    let sub: RadialSubdivision<3> =
+        RadialSubdivision::sample(Point::splat(0.5), 0.7, 64, 2.0, 9);
+    let validity = EnvValidity::new(&env, 0.0);
+    let lp = StraightLinePlanner::new(0.01);
+    let mut group = c.benchmark_group("sequential_rrt");
+    group.sample_size(10);
+    for &n in &[25usize, 100] {
+        let params = RrtParams {
+            num_nodes: n,
+            step_size: 0.05,
+            target_bias: 0.1,
+            max_iters: n * 40,
+            stall_limit: 200,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let sampler = ConeSampler::new(&sub, 0);
+                let mut rng = StdRng::seed_from_u64(4);
+                black_box(grow_rrt(
+                    sub.root(),
+                    Some(sub.target(0)),
+                    |q| sub.in_region(0, q),
+                    &sampler,
+                    &validity,
+                    &lp,
+                    &params,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prm, bench_rrt);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Host work-stealing thread pool: speedup over sequential execution on a
+//! deliberately imbalanced batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smp_runtime::WorkStealingPool;
+use std::hint::black_box;
+
+fn spin(n: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+fn bench_pool(c: &mut Criterion) {
+    // imbalanced batch: a few heavy items among many light ones
+    let items: Vec<u64> = (0..512)
+        .map(|i| if i % 32 == 0 { 200_000 } else { 8_000 })
+        .collect();
+    let mut group = c.benchmark_group("host_pool");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for &n in &items {
+                total = total.wrapping_add(spin(n));
+            }
+            black_box(total)
+        })
+    });
+    for &threads in &[2usize, 4, 8] {
+        let pool = WorkStealingPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("pool", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    let (out, _) = pool.run(&items, |_, &n| spin(n));
+                    black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

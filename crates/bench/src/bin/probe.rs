@@ -1,0 +1,104 @@
+//! Developer probe: detailed phase/balance diagnostics for one workload.
+//!
+//! `cargo run --release -p smp-bench --bin probe -- [p ...]`
+
+use smp_bench::figures::Suite;
+use smp_bench::HarnessConfig;
+use smp_core::{run_parallel_prm, run_parallel_rrt, work_cost, Strategy, WeightKind};
+use smp_runtime::MachineModel;
+
+fn rrt_probe() {
+    let mut suite = Suite::new(HarnessConfig::default());
+    let machine = MachineModel::opteron();
+    let w = suite.rrt_env("mixed");
+    let mut costs: Vec<u64> = w.regions.iter().map(|r| work_cost(&r.work, &machine.ops)).collect();
+    costs.sort_unstable();
+    let n = costs.len();
+    let pct = |q: f64| costs[((n - 1) as f64 * q) as usize];
+    println!(
+        "branch costs (us): min={} p25={} p50={} p75={} p95={} max={}  total={}ms",
+        pct(0.0) / 1000,
+        pct(0.25) / 1000,
+        pct(0.5) / 1000,
+        pct(0.75) / 1000,
+        pct(0.95) / 1000,
+        pct(1.0) / 1000,
+        costs.iter().sum::<u64>() / 1_000_000
+    );
+    // direction-cost correlation: mean cost of cones by x-direction octile
+    let raw: Vec<u64> = w.regions.iter().map(|r| work_cost(&r.work, &machine.ops)).collect();
+    let mut by_oct = vec![(0u64, 0u64); 8];
+    for (i, c) in raw.iter().enumerate() {
+        let x = w.sub.direction(i as u32)[0];
+        let o = (((x + 1.0) / 2.0 * 8.0) as usize).min(7);
+        by_oct[o].0 += c;
+        by_oct[o].1 += 1;
+    }
+    println!(
+        "mean cost by x-octile (us): {:?}",
+        by_oct.iter().map(|&(s, n)| s / n.max(1) / 1000).collect::<Vec<_>>()
+    );
+    for p in [8usize, 32, 256] {
+        let no_lb = run_parallel_rrt(w, &machine, p, &Strategy::NoLb);
+        let diff = run_parallel_rrt(
+            w,
+            &machine,
+            p,
+            &Strategy::WorkStealing(smp_runtime::StealConfig::new(
+                smp_runtime::StealPolicyKind::Diffusive,
+            )),
+        );
+        println!(
+            "p={p:4} nolb={:.4}s (node {:.4}, busy_max {:.4}, ideal {:.4}) diff={:.4}s (node {:.4})",
+            no_lb.total_time as f64 / 1e9,
+            no_lb.phases.node_connection as f64 / 1e9,
+            *no_lb.construction.per_pe_busy.iter().max().unwrap() as f64 / 1e9,
+            no_lb.construction.ideal_makespan() as f64 / 1e9,
+            diff.total_time as f64 / 1e9,
+            diff.phases.node_connection as f64 / 1e9,
+        );
+    }
+}
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("rrt") {
+        rrt_probe();
+        return;
+    }
+    let ps: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let ps = if ps.is_empty() { vec![96, 192, 384] } else { ps };
+    let mut suite = Suite::new(HarnessConfig::default());
+    let machine = MachineModel::hopper();
+    for p in ps {
+        for s in [
+            Strategy::NoLb,
+            Strategy::Repartition(WeightKind::SampleCount),
+            Strategy::WorkStealing(smp_runtime::StealConfig::new(
+                smp_runtime::StealPolicyKind::Hybrid(8),
+            )),
+            Strategy::WorkStealing(smp_runtime::StealConfig::new(
+                smp_runtime::StealPolicyKind::RandK(8),
+            )),
+        ] {
+            let w = suite.hopper_medcube();
+            let r = run_parallel_prm(w, &machine, p, &s);
+            let busy_max = r.construction.per_pe_busy.iter().max().unwrap();
+            let busy_sum: u64 = r.construction.per_pe_busy.iter().sum();
+            println!(
+                "p={p:4} {:15} total={:.4}s gen+lb(other)={:.4}s node={:.4}s regconn={:.4}s  node_busy_max={:.4}s node_ideal={:.4}s migr={} cut={}",
+                r.strategy_label,
+                r.total_time as f64 / 1e9,
+                r.phases.other as f64 / 1e9,
+                r.phases.node_connection as f64 / 1e9,
+                r.phases.region_connection as f64 / 1e9,
+                *busy_max as f64 / 1e9,
+                busy_sum as f64 / 1e9 / p as f64,
+                r.migrations,
+                r.edge_cut,
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Harness configuration: experiment scales and processor sweeps.
+//!
+//! `default()` reproduces the paper's processor counts (96–3072 on the
+//! virtual Hopper, 8–256 on the virtual Opteron cluster) over workloads
+//! scaled so the whole suite runs in minutes on a laptop; `quick()` is a
+//! smoke-test scale used by integration tests.
+
+/// Scales and sweeps for the figure harness.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Regions for the Hopper PRM suite (med-cube; Figs. 5–7, 9).
+    pub hopper_regions: usize,
+    /// Regions for the Opteron PRM suite (Fig. 8).
+    pub opteron_regions: usize,
+    /// Cones for the RRT suite (Fig. 10).
+    pub rrt_regions: usize,
+    /// Sampling attempts per PRM region.
+    pub attempts_per_region: usize,
+    /// PRM connection neighbours.
+    pub k_neighbors: usize,
+    /// Ball-robot radius — plays the paper's rigid-body role: it inflates
+    /// the effective blocked fraction, which is what creates the med-cube
+    /// imbalance magnitude (DESIGN.md §2).
+    pub robot_radius: f64,
+    /// Local-planner resolution.
+    pub lp_resolution: f64,
+    /// RRT nodes per region.
+    pub nodes_per_region: usize,
+    /// RRT iteration budget per region.
+    pub rrt_max_iters: usize,
+    /// RRT no-progress cut-off per region.
+    pub rrt_stall_limit: usize,
+
+    /// Model-environment grid (Fig. 4): columns × rows.
+    pub model_columns: usize,
+    pub model_rows: usize,
+    /// Fig. 4(a) processor sweep.
+    pub model_ps: Vec<usize>,
+    /// Fig. 4(b) processor sweep.
+    pub model_runtime_ps: Vec<usize>,
+
+    /// Fig. 5 sweep (Hopper).
+    pub fig5_ps: Vec<usize>,
+    /// Fig. 6 sweep (Hopper, higher counts).
+    pub fig6_ps: Vec<usize>,
+    /// Fig. 7(a) fixed core count.
+    pub fig7a_p: usize,
+    /// Fig. 7(b) fixed core count.
+    pub fig7b_p: usize,
+    /// Fig. 8 sweep (Opteron).
+    pub fig8_ps: Vec<usize>,
+    /// Fig. 9 fixed core counts.
+    pub fig9a_p: usize,
+    pub fig9b_p: usize,
+    /// Fig. 10 sweep (Opteron).
+    pub fig10_ps: Vec<usize>,
+
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            hopper_regions: 110_592,
+            opteron_regions: 16_384,
+            rrt_regions: 2_048,
+            attempts_per_region: 16,
+            k_neighbors: 6,
+            robot_radius: 0.14,
+            lp_resolution: 0.002,
+            nodes_per_region: 32,
+            rrt_max_iters: 1_500,
+            rrt_stall_limit: 40,
+            model_columns: 256,
+            model_rows: 8,
+            model_ps: vec![2, 4, 8, 16, 32, 64, 128, 256],
+            model_runtime_ps: vec![16, 32, 64, 128],
+            fig5_ps: vec![96, 192, 384, 768],
+            fig6_ps: vec![384, 768, 1536, 3072],
+            fig7a_p: 192,
+            fig7b_p: 768,
+            fig8_ps: vec![32, 64, 128, 256],
+            fig9a_p: 96,
+            fig9b_p: 768,
+            fig10_ps: vec![8, 32, 64, 128, 256],
+            seed: 0x5CA1AB1E,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Smoke-test scale: small workloads and processor counts; used by the
+    /// integration tests so the whole harness path is exercised quickly.
+    pub fn quick() -> Self {
+        HarnessConfig {
+            hopper_regions: 2_048,
+            opteron_regions: 1_024,
+            rrt_regions: 192,
+            attempts_per_region: 8,
+            k_neighbors: 4,
+            lp_resolution: 0.008,
+            nodes_per_region: 10,
+            rrt_max_iters: 300,
+            rrt_stall_limit: 30,
+            model_columns: 64,
+            model_rows: 4,
+            model_ps: vec![2, 4, 8, 16, 32],
+            model_runtime_ps: vec![4, 8, 16],
+            fig5_ps: vec![24, 48, 96],
+            fig6_ps: vec![48, 96, 192],
+            fig7a_p: 48,
+            fig7b_p: 96,
+            fig8_ps: vec![8, 16, 32],
+            fig9a_p: 24,
+            fig9b_p: 96,
+            fig10_ps: vec![4, 8, 16, 32],
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_sweeps() {
+        let c = HarnessConfig::default();
+        assert_eq!(c.fig5_ps, vec![96, 192, 384, 768]);
+        assert_eq!(*c.fig6_ps.last().unwrap(), 3072); // "more than 3,000 cores"
+        assert_eq!(c.fig7a_p, 192);
+        assert_eq!(c.fig9b_p, 768);
+        assert_eq!(*c.fig10_ps.first().unwrap(), 8);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let d = HarnessConfig::default();
+        let q = HarnessConfig::quick();
+        assert!(q.hopper_regions < d.hopper_regions);
+        assert!(q.fig5_ps.iter().max() < d.fig5_ps.iter().max());
+    }
+}

@@ -1,0 +1,18 @@
+//! # smp-bench — benchmark harness and paper-figure regeneration
+//!
+//! Two halves:
+//!
+//! * the **figure harness** ([`figures`]): one driver per figure in the
+//!   paper's evaluation (Figures 4–10), regenerating the same series the
+//!   paper plots, as printed tables and CSV files under `results/`.
+//!   Run via `cargo run --release -p smp-bench --bin figures -- <fig|all>`;
+//! * **criterion micro-benchmarks** (`benches/`): substrate performance
+//!   (kd-tree, DES throughput, partitioners, planners, thread pool) plus
+//!   the design-choice ablations listed in DESIGN.md §6.
+
+pub mod config;
+pub mod figures;
+pub mod table;
+
+pub use config::HarnessConfig;
+pub use table::Table;

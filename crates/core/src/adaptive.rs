@@ -1,0 +1,172 @@
+//! Adaptive (hierarchical) subdivision — an extension beyond the paper.
+//!
+//! The paper's own framing (§I, §III) is that *uniform* subdivision is
+//! fundamentally limited: "for most non-trivial environments, as the
+//! problem is subdivided, the variance in the amount of work performed by
+//! the subdivisions will increase". An adaptive quadtree/octree refines
+//! exactly where the work is, so even the *naïve contiguous* mapping of
+//! leaf cells is far better balanced — load balancing by subdivision
+//! instead of by redistribution.
+//!
+//! This module implements weight-driven refinement over exact free-space
+//! volumes and quantifies the effect; the `ablation-adaptive` harness entry
+//! compares it against a uniform grid with the same number of regions.
+
+use smp_geom::{Aabb, Environment, Point};
+
+/// A leaf cell of the adaptive subdivision.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCell<const D: usize> {
+    pub bounds: Aabb<D>,
+    /// Refinement depth (root = 0).
+    pub depth: u32,
+    /// The cell's work weight (free-space volume).
+    pub weight: f64,
+}
+
+/// Weight-driven 2^D-tree subdivision: recursively split any cell whose
+/// weight exceeds `total_weight / target_leaves` until `max_depth`.
+///
+/// Leaves are emitted in depth-first order, which is a space-filling
+/// (Z-order-like) traversal — contiguous leaf ranges are spatially compact,
+/// so the naïve block mapping stays meaningful.
+pub fn adaptive_subdivide<const D: usize>(
+    env: &Environment<D>,
+    target_leaves: usize,
+    max_depth: u32,
+) -> Vec<AdaptiveCell<D>> {
+    let bounds = *env.bounds();
+    let total = env.free_volume_in(&bounds);
+    let threshold = if target_leaves == 0 {
+        f64::INFINITY
+    } else {
+        total / target_leaves as f64
+    };
+    let mut leaves = Vec::new();
+    refine(env, bounds, 0, threshold, max_depth, &mut leaves);
+    leaves
+}
+
+fn refine<const D: usize>(
+    env: &Environment<D>,
+    cell: Aabb<D>,
+    depth: u32,
+    threshold: f64,
+    max_depth: u32,
+    out: &mut Vec<AdaptiveCell<D>>,
+) {
+    let weight = env.free_volume_in(&cell);
+    if depth >= max_depth || weight <= threshold {
+        out.push(AdaptiveCell {
+            bounds: cell,
+            depth,
+            weight,
+        });
+        return;
+    }
+    // split into 2^D children (depth-first, low corner first)
+    let lo = cell.lo();
+    let mid = cell.center();
+    let hi = cell.hi();
+    for mask in 0..(1usize << D) {
+        let mut clo = Point::<D>::zero();
+        let mut chi = Point::<D>::zero();
+        for axis in 0..D {
+            if mask & (1 << axis) == 0 {
+                clo[axis] = lo[axis];
+                chi[axis] = mid[axis];
+            } else {
+                clo[axis] = mid[axis];
+                chi[axis] = hi[axis];
+            }
+        }
+        refine(env, Aabb::new(clo, chi), depth + 1, threshold, max_depth, out);
+    }
+}
+
+/// Per-PE loads when the leaf list is block-mapped (the naïve contiguous
+/// mapping applied to the adaptive leaves).
+pub fn block_loads<const D: usize>(leaves: &[AdaptiveCell<D>], p: usize) -> Vec<f64> {
+    let map = smp_graph::OwnerMap::block(leaves.len(), p);
+    let mut loads = vec![0.0; p];
+    for (i, leaf) in leaves.iter().enumerate() {
+        loads[map.owner_of(i as u32) as usize] += leaf.weight;
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_geom::envs;
+    use smp_runtime::metrics::cov;
+
+    #[test]
+    fn leaves_tile_the_space() {
+        let env = envs::med_cube();
+        let leaves = adaptive_subdivide(&env, 256, 6);
+        let vol: f64 = leaves.iter().map(|l| l.bounds.volume()).sum();
+        assert!((vol - 1.0).abs() < 1e-9, "leaves must tile the cube: {vol}");
+        let free: f64 = leaves.iter().map(|l| l.weight).sum();
+        assert!((free - 0.76).abs() < 1e-9, "free volume conserved: {free}");
+    }
+
+    #[test]
+    fn refinement_concentrates_where_work_is() {
+        let env = envs::med_cube();
+        let leaves = adaptive_subdivide(&env, 256, 6);
+        // obstacle-interior cells should stay coarse (zero weight, never
+        // split); free-space cells get refined
+        let max_w = leaves.iter().map(|l| l.weight).fold(0.0, f64::max);
+        let total: f64 = leaves.iter().map(|l| l.weight).sum();
+        assert!(
+            max_w <= total / 256.0 * 1.001 + 1e-12
+                || leaves.iter().any(|l| l.depth == 6),
+            "all heavy leaves must be split or at max depth"
+        );
+        assert!(leaves.len() >= 256);
+    }
+
+    #[test]
+    fn free_env_degenerates_to_uniform() {
+        let env = envs::free_env();
+        let leaves = adaptive_subdivide(&env, 64, 6);
+        // uniform free space: all leaves at the same depth, equal weight
+        let d0 = leaves[0].depth;
+        assert!(leaves.iter().all(|l| l.depth == d0));
+        let w0 = leaves[0].weight;
+        assert!(leaves.iter().all(|l| (l.weight - w0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn adaptive_block_mapping_beats_uniform() {
+        // The headline property: with the same region count, adaptively
+        // refined leaves block-map far more evenly than uniform cells.
+        let env = envs::med_cube();
+        let leaves = adaptive_subdivide(&env, 512, 8);
+        let p = 16;
+        let adaptive_cov = cov(&block_loads(&leaves, p));
+
+        let grid: smp_geom::GridSubdivision<3> =
+            smp_geom::GridSubdivision::with_target_regions(*env.bounds(), leaves.len(), 0.0);
+        let uniform_weights = crate::weights::vfree_weights(&env, &grid);
+        let map = smp_graph::OwnerMap::block(grid.num_regions(), p);
+        let mut uniform_loads = vec![0.0; p];
+        for (i, w) in uniform_weights.iter().enumerate() {
+            uniform_loads[map.owner_of(i as u32) as usize] += w;
+        }
+        let uniform_cov = cov(&uniform_loads);
+        assert!(
+            adaptive_cov < uniform_cov / 2.0,
+            "adaptive CoV {adaptive_cov:.4} should be well below uniform {uniform_cov:.4}"
+        );
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let env = envs::med_cube();
+        let leaves = adaptive_subdivide(&env, 1_000_000, 3);
+        assert!(leaves.iter().all(|l| l.depth <= 3));
+        assert!(leaves.len() <= 8usize.pow(3));
+    }
+}

@@ -1,0 +1,166 @@
+//! Assembling the global roadmap/tree from regional results.
+//!
+//! Strategy-independent: the regional roadmaps and cross links are fixed by
+//! the workload (region work is location-independent), so the merged result
+//! is identical no matter which PE built which region — the property that
+//! makes virtual-time replay sound.
+
+use crate::parallel_prm::PrmWorkload;
+use crate::parallel_rrt::RrtWorkload;
+use smp_graph::UnionFind;
+use smp_plan::Roadmap;
+
+/// Merge all regional roadmaps plus cross-region links into one global
+/// roadmap (Algorithm 1's output `G`).
+pub fn assemble_prm_roadmap<const D: usize>(workload: &PrmWorkload<D>) -> Roadmap<D> {
+    let mut global: Roadmap<D> = Roadmap::new();
+    // vertex-id offset of each region in the global map
+    let mut offsets = Vec::with_capacity(workload.regions.len());
+    for region in &workload.regions {
+        let off = global.num_vertices() as u32;
+        offsets.push(off);
+        for &q in &region.cfgs {
+            global.add_vertex(q);
+        }
+        for &(a, b, w) in &region.edges {
+            global.add_edge(off + a, off + b, w);
+        }
+    }
+    for cross in &workload.cross {
+        let (ra, rb) = cross.regions;
+        for link in &cross.links {
+            global.add_edge(
+                offsets[ra as usize] + link.from,
+                offsets[rb as usize] + link.to,
+                link.length,
+            );
+        }
+    }
+    global
+}
+
+/// Merge all regional RRT branches plus cross links into one global tree
+/// rooted at the subdivision root (Algorithm 2's output `T`).
+///
+/// Every branch shares the root configuration; the copies are unified into
+/// one vertex. Cross-cone links that would create a cycle are pruned
+/// (Algorithm 2 lines 15–17), so the result is always a tree or forest of
+/// the root's component.
+pub fn assemble_rrt_tree<const D: usize>(workload: &RrtWorkload<D>) -> Roadmap<D> {
+    let mut global: Roadmap<D> = Roadmap::new();
+    let root_id = global.add_vertex(workload.sub.root());
+
+    // map (region, local vertex) -> global id; local 0 is the shared root
+    let mut offsets: Vec<Option<u32>> = Vec::with_capacity(workload.regions.len());
+    for region in &workload.regions {
+        if region.cfgs.is_empty() {
+            offsets.push(None);
+            continue;
+        }
+        // local vertex 0 is the root copy; others get fresh ids
+        let off = global.num_vertices() as u32;
+        offsets.push(Some(off));
+        for &q in region.cfgs.iter().skip(1) {
+            global.add_vertex(q);
+        }
+        let map_id = |v: u32| if v == 0 { root_id } else { off + v - 1 };
+        for &(a, b, w) in &region.edges {
+            global.add_edge(map_id(a), map_id(b), w);
+        }
+    }
+
+    // cross links with cycle pruning
+    let mut uf = UnionFind::new(global.num_vertices());
+    for (a, b, _) in global.edges() {
+        uf.union(a, b);
+    }
+    let mut pruned = 0usize;
+    let mut kept = 0usize;
+    for cross in &workload.cross {
+        let (ra, rb) = cross.regions;
+        let (Some(oa), Some(ob)) = (offsets[ra as usize], offsets[rb as usize]) else {
+            continue;
+        };
+        for link in &cross.links {
+            let map = |off: u32, v: u32| if v == 0 { root_id } else { off + v - 1 };
+            let ga = map(oa, link.from);
+            let gb = map(ob, link.to);
+            if uf.union(ga, gb) {
+                global.add_edge(ga, gb, link.length);
+                kept += 1;
+            } else {
+                pruned += 1;
+            }
+        }
+    }
+    let _ = (kept, pruned);
+    global
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel_prm::{build_prm_workload, ParallelPrmConfig};
+    use crate::parallel_rrt::{build_rrt_workload, ParallelRrtConfig};
+    use smp_geom::envs;
+    use smp_graph::search::connected_components;
+
+    #[test]
+    fn prm_assembly_counts_match() {
+        let env = envs::free_env();
+        let cfg = ParallelPrmConfig {
+            regions_target: 64,
+            attempts_per_region: 5,
+            overlap: 0.02,
+            lp_resolution: 0.05,
+            ..ParallelPrmConfig::new(&env)
+        };
+        let w = build_prm_workload(&cfg);
+        let g = assemble_prm_roadmap(&w);
+        assert_eq!(g.num_vertices(), w.total_vertices());
+        let intra: usize = w.regions.iter().map(|r| r.edges.len()).sum();
+        let cross: usize = w.cross.iter().map(|c| c.links.len()).sum();
+        assert_eq!(g.num_edges(), intra + cross);
+        assert!(smp_plan::roadmap::check_invariants(&g).is_ok());
+    }
+
+    #[test]
+    fn prm_assembly_connects_free_space() {
+        let env = envs::free_env();
+        let cfg = ParallelPrmConfig {
+            regions_target: 27,
+            attempts_per_region: 8,
+            overlap: 0.05,
+            lp_resolution: 0.05,
+            connect_max_pairs: 8,
+            connect_stop_after: 3,
+            ..ParallelPrmConfig::new(&env)
+        };
+        let w = build_prm_workload(&cfg);
+        let g = assemble_prm_roadmap(&w);
+        let (_, ncomp) = connected_components(&g);
+        // free space with overlap: the roadmap should be (nearly) one piece
+        assert!(
+            ncomp <= 3,
+            "free-space assembled roadmap fragmented into {ncomp} components"
+        );
+    }
+
+    #[test]
+    fn rrt_assembly_is_a_tree() {
+        let env = envs::free_env();
+        let cfg = ParallelRrtConfig {
+            num_regions: 16,
+            nodes_per_region: 12,
+            ..ParallelRrtConfig::new(&env)
+        };
+        let w = build_rrt_workload(&cfg);
+        let t = assemble_rrt_tree(&w);
+        assert!(t.num_vertices() >= 1);
+        // tree/forest invariant: edges = vertices - components
+        let (_, ncomp) = connected_components(&t);
+        assert_eq!(t.num_edges(), t.num_vertices() - ncomp, "cycle survived pruning");
+        // the root's component should dominate (branches share the root)
+        assert_eq!(ncomp, 1, "branches did not merge at the root");
+    }
+}

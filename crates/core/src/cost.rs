@@ -1,0 +1,72 @@
+//! Work-counter → virtual-time conversion.
+//!
+//! `WorkCounters.cd_checks` already includes every local-plan interior
+//! check (the local planner calls the validity checker per step), so the
+//! conversion must *not* additionally charge `lp_steps` — doing so would
+//! double-count the dominant term.
+
+use smp_cspace::WorkCounters;
+use smp_runtime::OpCosts;
+
+/// Virtual nanoseconds a PE spends executing the counted work.
+pub fn work_cost(w: &WorkCounters, ops: &OpCosts) -> u64 {
+    w.cd_checks * ops.cd_check
+        + w.lp_calls * ops.lp_call
+        + w.samples_attempted * ops.sample
+        + w.knn_candidates * ops.knn_candidate
+        + w.vertices_added * ops.vertex
+        + w.edges_added * ops.edge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> OpCosts {
+        OpCosts {
+            cd_check: 100,
+            lp_call: 10,
+            sample: 5,
+            knn_candidate: 1,
+            vertex: 2,
+            edge: 3,
+        }
+    }
+
+    #[test]
+    fn zero_work_costs_nothing() {
+        assert_eq!(work_cost(&WorkCounters::new(), &ops()), 0);
+    }
+
+    #[test]
+    fn linear_combination() {
+        let w = WorkCounters {
+            cd_checks: 2,
+            lp_calls: 3,
+            lp_steps: 99, // must NOT be charged (already inside cd_checks)
+            samples_attempted: 4,
+            samples_valid: 4,
+            knn_queries: 1,
+            knn_candidates: 5,
+            vertices_added: 6,
+            edges_added: 7,
+        };
+        assert_eq!(work_cost(&w, &ops()), 200 + 30 + 20 + 5 + 12 + 21);
+    }
+
+    #[test]
+    fn additive_over_merge() {
+        let a = WorkCounters {
+            cd_checks: 10,
+            ..Default::default()
+        };
+        let b = WorkCounters {
+            lp_calls: 5,
+            ..Default::default()
+        };
+        assert_eq!(
+            work_cost(&(a + b), &ops()),
+            work_cost(&a, &ops()) + work_cost(&b, &ops())
+        );
+    }
+}

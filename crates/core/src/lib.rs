@@ -1,0 +1,46 @@
+//! # smp-core — load-balanced parallel sampling-based motion planning
+//!
+//! The paper's contribution, assembled from the substrate crates:
+//!
+//! * [`weights`] — region work estimators: exact free-volume, probe
+//!   sampling, measured sample counts (PRM), and the k-random-rays RRT
+//!   estimate the paper shows to be poor (§III-B);
+//! * [`partition`] — the naïve 1-D/block mapping, greedy LPT (the model's
+//!   best-possible bound), and weight-balanced recursive coordinate
+//!   bisection that preserves spatial geometry (used by repartitioning);
+//! * [`strategy`] — the three load-balancing strategies compared in every
+//!   figure: no load balancing, bulk-synchronous repartitioning
+//!   (Algorithm 4), and work stealing (Algorithm 3) with RAND-K /
+//!   DIFFUSIVE / HYBRID victim selection;
+//! * [`parallel_prm`] — uniform-subdivision parallel PRM (Algorithm 1)
+//!   under any strategy, on the simulated distributed runtime;
+//! * [`parallel_rrt`] — uniform radial-subdivision parallel RRT
+//!   (Algorithm 2) under any strategy;
+//! * [`model`] — the theoretical model of §IV-B: exact `V_free` imbalance
+//!   prediction and best-possible improvement bounds;
+//! * [`cost`] — conversion of measured [`smp_cspace::WorkCounters`] into
+//!   virtual time under a machine's [`smp_runtime::OpCosts`];
+//! * [`phases`] — the phase breakdown reported in Figure 7(a);
+//! * [`assemble`] — merging regional roadmaps/trees into the global result;
+//! * [`adaptive`] — weight-driven hierarchical subdivision (extension:
+//!   balancing by refinement instead of redistribution).
+
+pub mod adaptive;
+pub mod assemble;
+pub mod cost;
+pub mod model;
+pub mod parallel_prm;
+pub mod parallel_rrt;
+pub mod partition;
+pub mod phases;
+pub mod strategy;
+pub mod weights;
+
+pub use cost::work_cost;
+pub use parallel_prm::{
+    build_prm_workload, build_prm_workload_on_grid, run_parallel_prm,
+    run_parallel_prm_with_weights, ParallelPrmConfig, PrmRun, PrmWorkload,
+};
+pub use parallel_rrt::{build_rrt_workload, run_parallel_rrt, ParallelRrtConfig, RrtRun, RrtWorkload};
+pub use phases::PhaseBreakdown;
+pub use strategy::{Strategy, WeightKind};

@@ -1,0 +1,621 @@
+//! Uniform-subdivision parallel PRM (Algorithm 1) under the three
+//! load-balancing strategies.
+//!
+//! ## Execution model (DESIGN.md §4)
+//!
+//! A *workload* is built once per `(environment, parameters)` pair: every
+//! region's PRM is really executed (in parallel on the host via rayon) with
+//! a region-derived RNG seed, splitting the measured work into a *node
+//! generation* part and a *node connection* part, and every region-graph
+//! edge's cross-connection is really executed. Because region work is
+//! location-independent, every strategy × PE-count combination is then an
+//! exact virtual-time replay over the same measured workload:
+//!
+//! 1. **generation phase** — static naïve assignment (samples must exist
+//!    before sample-count weights can, §III-B);
+//! 2. **load balancing** — nothing (`NoLb`), bulk-synchronous
+//!    repartitioning with migration costs (Algorithm 4), or arming the
+//!    work-stealing scheduler (Algorithm 3);
+//! 3. **node connection phase** — the dominant, imbalanced phase, simulated
+//!    under the chosen strategy;
+//! 4. **region connection phase** — cross-region connection charged to the
+//!    owning PE, with remote accesses counted and charged whenever the
+//!    partner region lives elsewhere (Figure 7(b)).
+
+use crate::cost::work_cost;
+use crate::partition::{greedy_lpt, loads, naive_block};
+use crate::phases::PhaseBreakdown;
+use crate::strategy::{Strategy, WeightKind};
+use crate::weights;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use smp_cspace::{derive_seed, BoxSampler, Cfg, EnvValidity, StraightLinePlanner, WorkCounters};
+use smp_cspace::{LocalPlanner, Sampler, ValidityChecker};
+use smp_geom::{Environment, GridSubdivision};
+use smp_graph::{KdTree, OwnerMap, RegionGraph, RemoteAccessCounter};
+use smp_plan::connect::{connect_roadmaps, CandidateEdge};
+use smp_runtime::{simulate, simulate_with_payloads, MachineModel, SimConfig, SimReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of a parallel PRM experiment (strategy-independent).
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelPrmConfig<'e, const D: usize> {
+    pub env: &'e Environment<D>,
+    /// Approximate number of regions (rounded up to a cubic grid).
+    pub regions_target: usize,
+    /// Region overlap margin (absolute units).
+    pub overlap: f64,
+    /// Sampling attempts per region; valid samples are kept, so blocked
+    /// regions produce less downstream work — the imbalance under study.
+    pub attempts_per_region: usize,
+    /// Neighbours per sample in the connection phase.
+    pub k_neighbors: usize,
+    /// Local-planner resolution.
+    pub lp_resolution: f64,
+    /// Ball-robot radius.
+    pub robot_radius: f64,
+    /// Cross-region connection: candidate pairs to try per region edge.
+    pub connect_max_pairs: usize,
+    /// Stop after this many successful cross links per region edge.
+    pub connect_stop_after: usize,
+    pub seed: u64,
+}
+
+impl<'e, const D: usize> ParallelPrmConfig<'e, D> {
+    /// Reasonable defaults for an experiment on `env`.
+    pub fn new(env: &'e Environment<D>) -> Self {
+        ParallelPrmConfig {
+            env,
+            regions_target: 4096,
+            overlap: 0.0,
+            attempts_per_region: 6,
+            k_neighbors: 4,
+            lp_resolution: 0.02,
+            robot_radius: 0.0,
+            connect_max_pairs: 4,
+            connect_stop_after: 2,
+            seed: 0xF1DE,
+        }
+    }
+}
+
+/// The measured outcome of one region's PRM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionOutcome<const D: usize> {
+    /// Valid samples (regional roadmap vertices).
+    pub cfgs: Vec<Cfg<D>>,
+    /// Intra-region edges `(a, b, length)`.
+    pub edges: Vec<(u32, u32, f64)>,
+    /// Work of the sample-generation part.
+    pub gen_work: WorkCounters,
+    /// Work of the connection part (the dominant phase).
+    pub con_work: WorkCounters,
+}
+
+/// The measured outcome of one region-graph edge's cross connection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrossOutcome {
+    pub regions: (u32, u32),
+    pub links: Vec<CandidateEdge>,
+    pub work: WorkCounters,
+    /// Vertices of the partner region read during the attempt (remote when
+    /// the partner lives on another PE).
+    pub partner_reads: u64,
+}
+
+/// A fully-measured parallel PRM workload, replayable under any strategy
+/// and PE count.
+#[derive(Debug, Clone)]
+pub struct PrmWorkload<const D: usize> {
+    pub grid: GridSubdivision<D>,
+    pub region_graph: RegionGraph,
+    pub regions: Vec<RegionOutcome<D>>,
+    pub cross: Vec<CrossOutcome>,
+    /// Exact per-region free volume (for the `Vfree` weight and the model).
+    pub vfree: Vec<f64>,
+    pub seed: u64,
+}
+
+impl<const D: usize> PrmWorkload<D> {
+    /// Valid samples per region — the paper's repartitioning weight.
+    pub fn sample_counts(&self) -> Vec<u32> {
+        self.regions.iter().map(|r| r.cfgs.len() as u32).collect()
+    }
+
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total roadmap vertices across regions.
+    pub fn total_vertices(&self) -> usize {
+        self.regions.iter().map(|r| r.cfgs.len()).sum()
+    }
+}
+
+/// Construct one region's PRM with split gen/connect work counters.
+fn build_region<const D: usize>(
+    cfg: &ParallelPrmConfig<'_, D>,
+    grid: &GridSubdivision<D>,
+    region: u32,
+) -> RegionOutcome<D> {
+    let sampler = BoxSampler::new(grid.region(region));
+    let validity = EnvValidity::new(cfg.env, cfg.robot_radius);
+    let lp = StraightLinePlanner::new(cfg.lp_resolution);
+    let mut rng: StdRng = smp_cspace::region_rng(cfg.seed, region, 0x6E6F6465);
+
+    // generation: fixed attempt budget, keep the valid ones
+    let mut gen_work = WorkCounters::new();
+    let mut cfgs: Vec<Cfg<D>> = Vec::new();
+    for _ in 0..cfg.attempts_per_region {
+        let q = sampler.sample(&mut rng, &mut gen_work);
+        if validity.is_valid(&q, &mut gen_work) {
+            gen_work.samples_valid += 1;
+            gen_work.vertices_added += 1;
+            cfgs.push(q);
+        }
+    }
+
+    // connection: k nearest within the region
+    let mut con_work = WorkCounters::new();
+    let mut edges = Vec::new();
+    if cfgs.len() >= 2 && cfg.k_neighbors > 0 {
+        let tree = KdTree::build(&cfgs);
+        for (i, q) in cfgs.iter().enumerate() {
+            con_work.knn_queries += 1;
+            let nns = tree.k_nearest_counted(
+                q,
+                cfg.k_neighbors,
+                Some(i as u32),
+                &mut con_work.knn_candidates,
+            );
+            for (j, dist) in nns {
+                if j < i && edges.iter().any(|&(a, b, _)| (a, b) == (j as u32, i as u32)) {
+                    continue;
+                }
+                let out = lp.check(q, &cfgs[j], &validity, &mut con_work);
+                if out.valid {
+                    let (a, b) = if i < j { (i, j) } else { (j, i) };
+                    edges.push((a as u32, b as u32, dist));
+                    con_work.edges_added += 1;
+                }
+            }
+        }
+    }
+
+    RegionOutcome {
+        cfgs,
+        edges,
+        gen_work,
+        con_work,
+    }
+}
+
+/// Build (really execute, once) the full workload for an experiment.
+pub fn build_prm_workload<const D: usize>(cfg: &ParallelPrmConfig<'_, D>) -> PrmWorkload<D> {
+    let grid = GridSubdivision::with_target_regions(*cfg.env.bounds(), cfg.regions_target, cfg.overlap);
+    build_prm_workload_on_grid(cfg, grid)
+}
+
+/// As [`build_prm_workload`] but on an explicit grid (the Figure-4 harness
+/// must use the model's exact column grid).
+pub fn build_prm_workload_on_grid<const D: usize>(
+    cfg: &ParallelPrmConfig<'_, D>,
+    grid: GridSubdivision<D>,
+) -> PrmWorkload<D> {
+    let region_graph = RegionGraph::from_grid(&grid);
+
+    let region_ids: Vec<u32> = grid.region_ids().collect();
+    let regions: Vec<RegionOutcome<D>> = region_ids
+        .par_iter()
+        .map(|&r| build_region(cfg, &grid, r))
+        .collect();
+
+    let validity = EnvValidity::new(cfg.env, cfg.robot_radius);
+    let lp = StraightLinePlanner::new(cfg.lp_resolution);
+    let cross: Vec<CrossOutcome> = region_graph
+        .edges()
+        .par_iter()
+        .map(|&(a, b)| {
+            let mut work = WorkCounters::new();
+            let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, a as u64, b as u64));
+            let links = connect_roadmaps(
+                &regions[a as usize].cfgs,
+                &regions[b as usize].cfgs,
+                &validity,
+                &lp,
+                cfg.connect_max_pairs,
+                cfg.connect_stop_after,
+                &mut work,
+                &mut rng,
+            );
+            CrossOutcome {
+                regions: (a, b),
+                partner_reads: regions[b as usize].cfgs.len() as u64,
+                links,
+                work,
+            }
+        })
+        .collect();
+
+    let vfree = weights::vfree_weights(cfg.env, &grid);
+
+    PrmWorkload {
+        grid,
+        region_graph,
+        regions,
+        cross,
+        vfree,
+        seed: cfg.seed,
+    }
+}
+
+/// Result of replaying a workload under one strategy at one PE count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrmRun {
+    pub strategy_label: String,
+    pub p: usize,
+    /// End-to-end virtual time (all phases + barriers).
+    pub total_time: u64,
+    pub phases: PhaseBreakdown,
+    /// DES report of the node-connection phase.
+    pub construction: SimReport,
+    /// Roadmap vertices per PE under the initial naïve mapping.
+    pub node_load_initial: Vec<u64>,
+    /// Roadmap vertices per PE after balancing (final executors).
+    pub node_load_final: Vec<u64>,
+    pub remote: RemoteAccessCounter,
+    /// Region-graph edge cut under the final assignment.
+    pub edge_cut: usize,
+    /// Regions that changed owner during repartitioning.
+    pub migrations: usize,
+}
+
+impl PrmRun {
+    /// CoV of per-PE roadmap-node load before balancing (Fig. 5(b) "Before").
+    pub fn cov_before(&self) -> f64 {
+        smp_runtime::metrics::cov_u64(&self.node_load_initial)
+    }
+
+    /// CoV after balancing (Fig. 5(b) "After").
+    pub fn cov_after(&self) -> f64 {
+        smp_runtime::metrics::cov_u64(&self.node_load_final)
+    }
+}
+
+/// Weights for a repartitioning strategy, resolved against the workload.
+fn resolve_weights<const D: usize>(workload: &PrmWorkload<D>, kind: WeightKind) -> Vec<f64> {
+    match kind {
+        WeightKind::SampleCount => weights::sample_count_weights(&workload.sample_counts()),
+        WeightKind::Vfree => workload.vfree.clone(),
+        WeightKind::Probe(_) | WeightKind::KRays(_) => panic!(
+            "{:?} weights need environment access; use run_parallel_prm_with_weights",
+            kind
+        ),
+    }
+}
+
+/// Replay the workload under `strategy` on `p` virtual PEs of `machine`.
+///
+/// ```
+/// use smp_core::{build_prm_workload, run_parallel_prm, ParallelPrmConfig, Strategy, WeightKind};
+/// use smp_geom::envs;
+/// use smp_runtime::MachineModel;
+///
+/// let env = envs::med_cube();
+/// let cfg = ParallelPrmConfig { regions_target: 64, ..ParallelPrmConfig::new(&env) };
+/// let workload = build_prm_workload(&cfg);
+/// let machine = MachineModel::hopper();
+/// let no_lb = run_parallel_prm(&workload, &machine, 8, &Strategy::NoLb);
+/// let repart = run_parallel_prm(
+///     &workload, &machine, 8, &Strategy::Repartition(WeightKind::SampleCount));
+/// assert!(repart.phases.node_connection <= no_lb.phases.node_connection);
+/// ```
+pub fn run_parallel_prm<const D: usize>(
+    workload: &PrmWorkload<D>,
+    machine: &MachineModel,
+    p: usize,
+    strategy: &Strategy,
+) -> PrmRun {
+    let weights = match strategy {
+        Strategy::Repartition(kind) => Some(resolve_weights(workload, *kind)),
+        _ => None,
+    };
+    run_parallel_prm_with_weights(workload, machine, p, strategy, weights.as_deref())
+}
+
+/// As [`run_parallel_prm`] but with explicit repartitioning weights
+/// (required for `Probe`/`KRays` weight kinds).
+pub fn run_parallel_prm_with_weights<const D: usize>(
+    workload: &PrmWorkload<D>,
+    machine: &MachineModel,
+    p: usize,
+    strategy: &Strategy,
+    custom_weights: Option<&[f64]>,
+) -> PrmRun {
+    assert!(p > 0);
+    let nr = workload.num_regions();
+    let ops = &machine.ops;
+
+    let gen_costs: Vec<u64> = workload.regions.iter().map(|r| work_cost(&r.gen_work, ops)).collect();
+    let con_costs: Vec<u64> = workload.regions.iter().map(|r| work_cost(&r.con_work, ops)).collect();
+
+    let naive = naive_block(nr, p);
+    let naive_queues = owner_queues(&naive);
+
+    // Phase 1: generation (static, naïve).
+    let gen_cfg = SimConfig {
+        machine: machine.clone(),
+        steal: None,
+        seed: derive_seed(workload.seed, p as u64, 1),
+    };
+    let gen_sim = simulate(&gen_costs, &naive_queues, &gen_cfg);
+
+    // Phase 2: load balancing.
+    let mut lb_time: u64 = 0;
+    let mut migrations = 0usize;
+    let (connect_queues, steal) = match strategy {
+        Strategy::NoLb => (naive_queues.clone(), None),
+        Strategy::WorkStealing(sc) => (naive_queues.clone(), Some(*sc)),
+        Strategy::Repartition(kind) => {
+            let w: Vec<f64> = match custom_weights {
+                Some(w) => w.to_vec(),
+                None => resolve_weights(workload, *kind),
+            };
+            assert_eq!(w.len(), nr, "weight vector length mismatch");
+            // parallel partition compute: ~sort per PE share
+            let partition_cpu = (nr as u64 * 60) / p as u64 + 60;
+            // Rebalance only when the current distribution is actually
+            // imbalanced (standard bulk-synchronous LB guard; keeps the
+            // free-environment overhead negligible, Fig. 8(c)).
+            let cur = loads(&naive, &w);
+            let mean = cur.iter().sum::<f64>() / p as f64;
+            let max = cur.iter().cloned().fold(0.0, f64::max);
+            if mean <= 0.0 || max <= mean * 1.05 {
+                lb_time = machine.barrier(p) * 2 + partition_cpu;
+                (naive_queues.clone(), None)
+            } else {
+                // Greedy global weight partitioning, ignoring edge cuts —
+                // the paper's partitioner (§IV-B); the induced edge-cut
+                // growth is what Figure 7(b) measures. The
+                // geometry-preserving alternative lives in
+                // `partition::spatial_bisection` (ablation bench).
+                let new_map = greedy_lpt(&w, p);
+                migrations = naive.migration_count(&new_map);
+                // migration: each moved region ships its descriptor plus
+                // its already-generated samples; cost is the max per-PE
+                // transfer volume
+                let mut out_cost = vec![0u64; p];
+                let mut in_cost = vec![0u64; p];
+                for r in 0..nr as u32 {
+                    let (src, dst) = (naive.owner_of(r), new_map.owner_of(r));
+                    if src != dst {
+                        let c = machine.lat.per_task_transfer
+                            + machine.lat.per_vertex_transfer
+                                * workload.regions[r as usize].cfgs.len() as u64;
+                        out_cost[src as usize] += c;
+                        in_cost[dst as usize] += c;
+                    }
+                }
+                let mig_max = (0..p).map(|pe| out_cost[pe] + in_cost[pe]).max().unwrap_or(0);
+                lb_time = machine.barrier(p) * 2 + partition_cpu + mig_max;
+                (owner_queues(&new_map), None)
+            }
+        }
+    };
+
+    // Phase 3: node connection (the balanced phase). Stolen regions carry
+    // their samples (ownership transfer), so steals pay per-vertex payload.
+    let payloads: Vec<u64> = workload.regions.iter().map(|r| r.cfgs.len() as u64).collect();
+    let con_cfg = SimConfig {
+        machine: machine.clone(),
+        steal,
+        seed: derive_seed(workload.seed, p as u64, 2),
+    };
+    let con_sim = simulate_with_payloads(&con_costs, Some(&payloads), &connect_queues, &con_cfg);
+    let final_owner: Vec<u32> = con_sim.executed_by.clone();
+
+    // Phase 4: region connection, charged to the owner of each edge's first
+    // region, with remote access costs for cross-PE partners.
+    let mut remote = RemoteAccessCounter::new();
+    let mut regconn_time = vec![0u64; p];
+    for c in &workload.cross {
+        let (a, b) = c.regions;
+        let oa = final_owner[a as usize] as usize;
+        let ob = final_owner[b as usize];
+        regconn_time[oa] += work_cost(&c.work, ops);
+        remote.touch_region(oa as u32, ob);
+        if oa as u32 != ob && c.partner_reads > 0 {
+            remote.roadmap_remote += c.partner_reads;
+            // one bulk RMI fetches the partner's boundary candidates
+            // (STAPL-style aggregation): latency + per-vertex payload
+            regconn_time[oa] +=
+                machine.lat.remote_access + machine.lat.per_vertex_transfer * c.partner_reads;
+        } else {
+            remote.local += c.partner_reads;
+        }
+    }
+    let regconn_max = regconn_time.iter().copied().max().unwrap_or(0);
+
+    // Loads and cut under final ownership.
+    let counts = workload.sample_counts();
+    let mut node_load_initial = vec![0u64; p];
+    let mut node_load_final = vec![0u64; p];
+    for r in 0..nr {
+        node_load_initial[naive.owner_of(r as u32) as usize] += counts[r] as u64;
+        node_load_final[final_owner[r] as usize] += counts[r] as u64;
+    }
+    let final_map = OwnerMap::new(final_owner, p);
+    let edge_cut = final_map.edge_cut(workload.region_graph.edges());
+
+    let barriers = machine.barrier(p) * 3;
+    let phases = PhaseBreakdown {
+        other: gen_sim.makespan + lb_time + barriers,
+        node_connection: con_sim.makespan,
+        region_connection: regconn_max,
+    };
+
+    PrmRun {
+        strategy_label: strategy.label(),
+        p,
+        total_time: phases.total(),
+        phases,
+        construction: con_sim,
+        node_load_initial,
+        node_load_final,
+        remote,
+        edge_cut,
+        migrations,
+    }
+}
+
+/// Owner map → per-PE queues ordered by region id.
+fn owner_queues(map: &OwnerMap) -> Vec<Vec<u32>> {
+    map.items_per_pe()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_geom::envs;
+    use smp_runtime::{StealConfig, StealPolicyKind};
+
+    fn small_workload() -> PrmWorkload<3> {
+        let env = envs::med_cube();
+        // per-region costs in the tens of microseconds — the regime the
+        // paper's workloads live in (stealing a task must be worth the
+        // round-trip latency)
+        let cfg = ParallelPrmConfig {
+            regions_target: 512,
+            attempts_per_region: 10,
+            k_neighbors: 5,
+            lp_resolution: 0.012,
+            robot_radius: 0.1,
+            ..ParallelPrmConfig::new(&env)
+        };
+        build_prm_workload(&cfg)
+    }
+
+    #[test]
+    fn workload_shape() {
+        let w = small_workload();
+        assert!(w.num_regions() >= 512);
+        assert_eq!(w.regions.len(), w.grid.num_regions());
+        assert_eq!(w.cross.len(), w.region_graph.num_edges());
+        // blocked-center region has no samples; corner region has some
+        let counts = w.sample_counts();
+        let center = w.grid.region_of(&smp_geom::Point::splat(0.5)).unwrap();
+        assert_eq!(counts[center as usize], 0);
+        assert!(w.total_vertices() > 0);
+    }
+
+    #[test]
+    fn repartitioning_beats_no_lb_on_imbalanced_env() {
+        let w = small_workload();
+        let machine = MachineModel::hopper();
+        let p = 32;
+        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb);
+        let repart = run_parallel_prm(
+            &w,
+            &machine,
+            p,
+            &Strategy::Repartition(WeightKind::SampleCount),
+        );
+        assert!(
+            repart.phases.node_connection < no_lb.phases.node_connection,
+            "repart {} vs nolb {}",
+            repart.phases.node_connection,
+            no_lb.phases.node_connection
+        );
+        assert!(repart.cov_after() < no_lb.cov_after());
+        assert!(repart.migrations > 0);
+    }
+
+    #[test]
+    fn work_stealing_beats_no_lb() {
+        let w = small_workload();
+        let machine = MachineModel::hopper();
+        let p = 32;
+        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb);
+        let ws = run_parallel_prm(
+            &w,
+            &machine,
+            p,
+            &Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8))),
+        );
+        assert!(ws.phases.node_connection < no_lb.phases.node_connection);
+        assert!(ws.construction.steal_hits > 0);
+    }
+
+    #[test]
+    fn repartitioning_increases_edge_cut_and_remote_accesses() {
+        let w = small_workload();
+        let machine = MachineModel::hopper();
+        let p = 64;
+        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb);
+        let repart = run_parallel_prm(
+            &w,
+            &machine,
+            p,
+            &Strategy::Repartition(WeightKind::SampleCount),
+        );
+        assert!(
+            repart.edge_cut >= no_lb.edge_cut,
+            "repart cut {} < nolb cut {}",
+            repart.edge_cut,
+            no_lb.edge_cut
+        );
+        assert!(repart.remote.total_remote() >= no_lb.remote.total_remote());
+    }
+
+    #[test]
+    fn all_strategies_execute_every_region() {
+        let w = small_workload();
+        let machine = MachineModel::opteron();
+        for s in Strategy::prm_set() {
+            let run = run_parallel_prm(&w, &machine, 16, &s);
+            let executed: u32 = run.construction.per_pe_executed.iter().sum();
+            assert_eq!(executed as usize, w.num_regions(), "{}", s.label());
+            // load conservation
+            let total_i: u64 = run.node_load_initial.iter().sum();
+            let total_f: u64 = run.node_load_final.iter().sum();
+            assert_eq!(total_i, total_f);
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let w = small_workload();
+        let machine = MachineModel::hopper();
+        let s = Strategy::WorkStealing(StealConfig::new(StealPolicyKind::RandK(8)));
+        let a = run_parallel_prm(&w, &machine, 24, &s);
+        let b = run_parallel_prm(&w, &machine, 24, &s);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.construction.executed_by, b.construction.executed_by);
+    }
+
+    #[test]
+    fn free_env_lb_overhead_is_small() {
+        let env = envs::free_env();
+        let cfg = ParallelPrmConfig {
+            regions_target: 512,
+            attempts_per_region: 4,
+            lp_resolution: 0.05,
+            ..ParallelPrmConfig::new(&env)
+        };
+        let w = build_prm_workload(&cfg);
+        let machine = MachineModel::opteron();
+        let p = 16;
+        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb);
+        for s in Strategy::prm_set().into_iter().skip(1) {
+            let run = run_parallel_prm(&w, &machine, p, &s);
+            assert!(
+                run.total_time <= no_lb.total_time + no_lb.total_time / 5,
+                "{} overhead too high: {} vs {}",
+                s.label(),
+                run.total_time,
+                no_lb.total_time
+            );
+        }
+    }
+}

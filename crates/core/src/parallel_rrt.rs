@@ -1,0 +1,497 @@
+//! Uniform radial-subdivision parallel RRT (Algorithm 2) under the
+//! load-balancing strategies.
+//!
+//! Mirrors [`crate::parallel_prm`]: branches are really grown once (with
+//! per-region seeds) and every strategy × PE-count combination replays the
+//! measured costs in virtual time. The key asymmetry the paper stresses
+//! (§III-B, §IV-C) is reproduced: RRT branch work is dynamic and hard to
+//! estimate a priori, so repartitioning must rely on the k-random-rays
+//! weight — which correlates poorly with the real work and can make
+//! repartitioning *worse than no balancing at all* (Figure 10(b)).
+
+use crate::cost::work_cost;
+use crate::partition::{greedy_lpt, loads, naive_block};
+use crate::phases::PhaseBreakdown;
+use crate::strategy::{Strategy, WeightKind};
+use crate::weights;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use smp_cspace::{derive_seed, Cfg, ConeSampler, EnvValidity, StraightLinePlanner, WorkCounters};
+use smp_geom::{Environment, RadialSubdivision};
+use smp_graph::{OwnerMap, RegionGraph, RemoteAccessCounter};
+use smp_plan::connect::{connect_roadmaps, CandidateEdge};
+use smp_plan::rrt::{grow_rrt, RrtParams};
+use smp_runtime::{simulate, MachineModel, SimConfig, SimReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of a parallel radial-RRT experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRrtConfig<'e, const D: usize> {
+    pub env: &'e Environment<D>,
+    /// Number of conical regions (points sampled on the sphere).
+    pub num_regions: usize,
+    /// Sphere radius (branch reach), in workspace units.
+    pub radius: f64,
+    /// Cone overlap factor (>= 1).
+    pub overlap_factor: f64,
+    /// Region-graph degree: k angularly-nearest neighbours.
+    pub k_adjacent: usize,
+    /// Target tree size per region.
+    pub nodes_per_region: usize,
+    pub step_size: f64,
+    pub target_bias: f64,
+    pub lp_resolution: f64,
+    pub robot_radius: f64,
+    /// Iteration budget per region (bounds work in blocked cones).
+    pub max_iters: usize,
+    /// Consecutive no-progress iterations before a region gives up.
+    pub stall_limit: usize,
+    /// Rays for the k-random-rays weight estimate.
+    pub krays: usize,
+    /// Cross-branch connection: candidate pairs per region edge.
+    pub connect_max_pairs: usize,
+    pub connect_stop_after: usize,
+    pub seed: u64,
+}
+
+impl<'e, const D: usize> ParallelRrtConfig<'e, D> {
+    pub fn new(env: &'e Environment<D>) -> Self {
+        ParallelRrtConfig {
+            env,
+            num_regions: 1024,
+            radius: 0.48,
+            overlap_factor: 1.5,
+            k_adjacent: 4,
+            nodes_per_region: 24,
+            step_size: 0.04,
+            target_bias: 0.1,
+            lp_resolution: 0.02,
+            robot_radius: 0.0,
+            max_iters: 400,
+            stall_limit: usize::MAX,
+            krays: 4,
+            connect_max_pairs: 4,
+            connect_stop_after: 2,
+            seed: 0x5254,
+        }
+    }
+}
+
+/// The measured outcome of one region's branch growth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BranchOutcome<const D: usize> {
+    /// Tree vertices (index 0 is the shared root) — empty if the root was
+    /// invalid for this region.
+    pub cfgs: Vec<Cfg<D>>,
+    /// Tree edges `(a, b, length)` in local indices.
+    pub edges: Vec<(u32, u32, f64)>,
+    pub work: WorkCounters,
+}
+
+/// Cross-branch connection outcome for one region-graph edge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RrtCrossOutcome {
+    pub regions: (u32, u32),
+    pub links: Vec<CandidateEdge>,
+    pub work: WorkCounters,
+    pub partner_reads: u64,
+}
+
+/// A fully-measured parallel RRT workload.
+#[derive(Debug, Clone)]
+pub struct RrtWorkload<const D: usize> {
+    pub sub: RadialSubdivision<D>,
+    pub region_graph: RegionGraph,
+    pub regions: Vec<BranchOutcome<D>>,
+    pub cross: Vec<RrtCrossOutcome>,
+    /// k-random-rays weight per region (the paper's RRT estimate).
+    pub krays_weights: Vec<f64>,
+    pub seed: u64,
+}
+
+impl<const D: usize> RrtWorkload<D> {
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Tree nodes per region (excluding the shared root copy).
+    pub fn node_counts(&self) -> Vec<u32> {
+        self.regions
+            .iter()
+            .map(|r| r.cfgs.len().saturating_sub(1) as u32)
+            .collect()
+    }
+}
+
+/// Build (really execute, once) the RRT workload.
+pub fn build_rrt_workload<const D: usize>(cfg: &ParallelRrtConfig<'_, D>) -> RrtWorkload<D> {
+    let root = cfg.env.bounds().center();
+    let sub = RadialSubdivision::sample(
+        root,
+        cfg.radius,
+        cfg.num_regions,
+        cfg.overlap_factor,
+        derive_seed(cfg.seed, 0, 0x726_164),
+    );
+    let region_graph = RegionGraph::from_radial(&sub, cfg.k_adjacent);
+
+    let validity = EnvValidity::new(cfg.env, cfg.robot_radius);
+    let lp = StraightLinePlanner::new(cfg.lp_resolution);
+    let params = RrtParams {
+        num_nodes: cfg.nodes_per_region,
+        step_size: cfg.step_size,
+        target_bias: cfg.target_bias,
+        max_iters: cfg.max_iters,
+        stall_limit: cfg.stall_limit,
+    };
+
+    let regions: Vec<BranchOutcome<D>> = (0..sub.num_regions() as u32)
+        .into_par_iter()
+        .map(|r| {
+            let sampler = ConeSampler::new(&sub, r);
+            let mut rng: StdRng = smp_cspace::region_rng(cfg.seed, r, 0x7472_6565);
+            let res = grow_rrt(
+                sub.root(),
+                Some(sub.target(r)),
+                |q| sub.in_region(r, q),
+                &sampler,
+                &validity,
+                &lp,
+                &params,
+                &mut rng,
+            );
+            let cfgs: Vec<Cfg<D>> = res.tree.vertices().copied().collect();
+            let edges: Vec<(u32, u32, f64)> =
+                res.tree.edges().map(|(a, b, w)| (a, b, *w)).collect();
+            BranchOutcome {
+                cfgs,
+                edges,
+                work: res.work,
+            }
+        })
+        .collect();
+
+    let cross: Vec<RrtCrossOutcome> = region_graph
+        .edges()
+        .par_iter()
+        .map(|&(a, b)| {
+            let mut work = WorkCounters::new();
+            let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, a as u64, b as u64));
+            // connect non-root vertices of adjacent branches
+            let a_cfgs: Vec<Cfg<D>> = regions[a as usize].cfgs.iter().skip(1).copied().collect();
+            let b_cfgs: Vec<Cfg<D>> = regions[b as usize].cfgs.iter().skip(1).copied().collect();
+            let mut links = connect_roadmaps(
+                &a_cfgs,
+                &b_cfgs,
+                &validity,
+                &lp,
+                cfg.connect_max_pairs,
+                cfg.connect_stop_after,
+                &mut work,
+                &mut rng,
+            );
+            // re-index to full-branch indices (skip(1) shifted by one)
+            for l in &mut links {
+                l.from += 1;
+                l.to += 1;
+            }
+            RrtCrossOutcome {
+                regions: (a, b),
+                partner_reads: b_cfgs.len() as u64,
+                links,
+                work,
+            }
+        })
+        .collect();
+
+    let krays_weights = weights::krays_weights(cfg.env, &sub, cfg.krays, cfg.seed);
+
+    RrtWorkload {
+        sub,
+        region_graph,
+        regions,
+        cross,
+        krays_weights,
+        seed: cfg.seed,
+    }
+}
+
+/// Result of replaying an RRT workload under one strategy at one PE count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RrtRun {
+    pub strategy_label: String,
+    pub p: usize,
+    pub total_time: u64,
+    pub phases: PhaseBreakdown,
+    pub construction: SimReport,
+    pub node_load_initial: Vec<u64>,
+    pub node_load_final: Vec<u64>,
+    pub remote: RemoteAccessCounter,
+    pub edge_cut: usize,
+    pub migrations: usize,
+}
+
+impl RrtRun {
+    pub fn cov_before(&self) -> f64 {
+        smp_runtime::metrics::cov_u64(&self.node_load_initial)
+    }
+
+    pub fn cov_after(&self) -> f64 {
+        smp_runtime::metrics::cov_u64(&self.node_load_final)
+    }
+}
+
+/// Replay the workload under `strategy` on `p` virtual PEs of `machine`.
+///
+/// `Repartition` uses the k-random-rays weights measured in the workload
+/// (the only weight available *before* growth — RRT work cannot be measured
+/// a priori, §III-B). The repartitioning happens before construction, so
+/// migration ships only region descriptors.
+pub fn run_parallel_rrt<const D: usize>(
+    workload: &RrtWorkload<D>,
+    machine: &MachineModel,
+    p: usize,
+    strategy: &Strategy,
+) -> RrtRun {
+    assert!(p > 0);
+    let nr = workload.num_regions();
+    let ops = &machine.ops;
+    let costs: Vec<u64> = workload.regions.iter().map(|r| work_cost(&r.work, ops)).collect();
+
+    let naive = naive_block(nr, p);
+
+    let mut lb_time: u64 = 0;
+    let mut migrations = 0usize;
+    let (queues, steal) = match strategy {
+        Strategy::NoLb => (naive.items_per_pe(), None),
+        Strategy::WorkStealing(sc) => (naive.items_per_pe(), Some(*sc)),
+        Strategy::Repartition(kind) => {
+            let w: Vec<f64> = match kind {
+                WeightKind::KRays(_) => workload.krays_weights.clone(),
+                other => panic!("RRT repartitioning requires KRays weights, got {other:?}"),
+            };
+            // the cost of computing the ray weights themselves
+            // (k ray casts per region, §III-B calls this expensive)
+            let krays_cost = (nr as u64 * ops.cd_check * 4) / p as u64;
+            let cur = loads(&naive, &w);
+            let mean = cur.iter().sum::<f64>() / p as f64;
+            let max = cur.iter().cloned().fold(0.0, f64::max);
+            if mean <= 0.0 || max <= mean * 1.05 {
+                lb_time = machine.barrier(p) * 2 + krays_cost + (nr as u64 * 60) / p as u64;
+                (naive.items_per_pe(), None)
+            } else {
+                // greedy global weight partitioning (as for PRM); the
+                // weights are just a much worse predictor here
+                let new_map = greedy_lpt(&w, p);
+                migrations = naive.migration_count(&new_map);
+                // pre-construction migration: descriptors only
+                lb_time = machine.barrier(p) * 2
+                    + krays_cost
+                    + machine.lat.per_task_transfer * migrations as u64 / p.max(1) as u64
+                    + (nr as u64 * 60) / p as u64;
+                (new_map.items_per_pe(), None)
+            }
+        }
+    };
+
+    let con_cfg = SimConfig {
+        machine: machine.clone(),
+        steal,
+        seed: derive_seed(workload.seed, p as u64, 3),
+    };
+    let con_sim = simulate(&costs, &queues, &con_cfg);
+    let final_owner = con_sim.executed_by.clone();
+
+    // region connection (with cycle pruning happening at assembly; the
+    // attempts' cost is charged here)
+    let mut remote = RemoteAccessCounter::new();
+    let mut regconn_time = vec![0u64; p];
+    for c in &workload.cross {
+        let (a, b) = c.regions;
+        let oa = final_owner[a as usize] as usize;
+        let ob = final_owner[b as usize];
+        regconn_time[oa] += work_cost(&c.work, ops);
+        remote.touch_region(oa as u32, ob);
+        if oa as u32 != ob && c.partner_reads > 0 {
+            remote.roadmap_remote += c.partner_reads;
+            // one bulk RMI fetches the partner branch's boundary candidates
+            regconn_time[oa] +=
+                machine.lat.remote_access + machine.lat.per_vertex_transfer * c.partner_reads;
+        } else {
+            remote.local += c.partner_reads;
+        }
+    }
+    let regconn_max = regconn_time.iter().copied().max().unwrap_or(0);
+
+    let counts = workload.node_counts();
+    let mut node_load_initial = vec![0u64; p];
+    let mut node_load_final = vec![0u64; p];
+    for r in 0..nr {
+        node_load_initial[naive.owner_of(r as u32) as usize] += counts[r] as u64;
+        node_load_final[final_owner[r] as usize] += counts[r] as u64;
+    }
+    let final_map = OwnerMap::new(final_owner, p);
+    let edge_cut = final_map.edge_cut(workload.region_graph.edges());
+
+    let barriers = machine.barrier(p) * 2;
+    let phases = PhaseBreakdown {
+        other: lb_time + barriers,
+        node_connection: con_sim.makespan,
+        region_connection: regconn_max,
+    };
+
+    RrtRun {
+        strategy_label: strategy.label(),
+        p,
+        total_time: phases.total(),
+        phases,
+        construction: con_sim,
+        node_load_initial,
+        node_load_final,
+        remote,
+        edge_cut,
+        migrations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_geom::envs;
+    use smp_runtime::{StealConfig, StealPolicyKind};
+
+    fn mixed_workload() -> RrtWorkload<3> {
+        let env = envs::mixed();
+        let cfg = ParallelRrtConfig {
+            num_regions: 128,
+            nodes_per_region: 16,
+            max_iters: 200,
+            lp_resolution: 0.04,
+            ..ParallelRrtConfig::new(&env)
+        };
+        build_rrt_workload(&cfg)
+    }
+
+    #[test]
+    fn workload_shape() {
+        let w = mixed_workload();
+        assert_eq!(w.num_regions(), 128);
+        assert_eq!(w.cross.len(), w.region_graph.num_edges());
+        assert_eq!(w.krays_weights.len(), 128);
+        // clutter creates branch-size variance
+        let counts = w.node_counts();
+        let max = counts.iter().max().copied().unwrap_or(0);
+        let min = counts.iter().min().copied().unwrap_or(0);
+        assert!(max > min, "no growth variance in mixed env");
+    }
+
+    #[test]
+    fn branches_live_in_their_cones() {
+        let w = mixed_workload();
+        for (r, branch) in w.regions.iter().enumerate().take(16) {
+            for q in branch.cfgs.iter().skip(1) {
+                assert!(
+                    w.sub.in_region(r as u32, q),
+                    "branch {r} node {q:?} escaped its cone"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_improves_mixed_env() {
+        let w = mixed_workload();
+        let machine = MachineModel::opteron();
+        let p = 16;
+        let no_lb = run_parallel_rrt(&w, &machine, p, &Strategy::NoLb);
+        let diff = run_parallel_rrt(
+            &w,
+            &machine,
+            p,
+            &Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Diffusive)),
+        );
+        assert!(
+            diff.phases.node_connection < no_lb.phases.node_connection,
+            "diffusive {} vs nolb {}",
+            diff.phases.node_connection,
+            no_lb.phases.node_connection
+        );
+    }
+
+    #[test]
+    fn krays_repartition_is_not_reliably_better() {
+        // The headline negative result: k-rays weights are a poor work
+        // estimate, so repartitioning may or may not help — unlike work
+        // stealing which always does. We only assert the run completes and
+        // the machinery charges its costs.
+        let w = mixed_workload();
+        let machine = MachineModel::opteron();
+        let run = run_parallel_rrt(&w, &machine, 16, &Strategy::Repartition(WeightKind::KRays(4)));
+        assert!(run.migrations > 0);
+        assert!(run.phases.other > 0);
+        let executed: u32 = run.construction.per_pe_executed.iter().sum();
+        assert_eq!(executed as usize, w.num_regions());
+    }
+
+    #[test]
+    fn all_rrt_strategies_conserve_work() {
+        let w = mixed_workload();
+        let machine = MachineModel::opteron();
+        for s in Strategy::rrt_set() {
+            let run = run_parallel_rrt(&w, &machine, 8, &s);
+            let busy: u64 = run.construction.per_pe_busy.iter().sum();
+            let total: u64 = w
+                .regions
+                .iter()
+                .map(|r| crate::cost::work_cost(&r.work, &machine.ops))
+                .sum();
+            assert_eq!(busy, total, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn deterministic_workload_and_replay() {
+        let env = envs::mixed_30();
+        let cfg = ParallelRrtConfig {
+            num_regions: 64,
+            nodes_per_region: 10,
+            max_iters: 100,
+            lp_resolution: 0.05,
+            ..ParallelRrtConfig::new(&env)
+        };
+        let w1 = build_rrt_workload(&cfg);
+        let w2 = build_rrt_workload(&cfg);
+        assert_eq!(w1.node_counts(), w2.node_counts());
+        let machine = MachineModel::opteron();
+        let s = Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8)));
+        let a = run_parallel_rrt(&w1, &machine, 8, &s);
+        let b = run_parallel_rrt(&w2, &machine, 8, &s);
+        assert_eq!(a.total_time, b.total_time);
+    }
+
+    #[test]
+    fn free_env_rrt_balanced() {
+        let env = envs::free_env();
+        let cfg = ParallelRrtConfig {
+            num_regions: 64,
+            nodes_per_region: 12,
+            max_iters: 200,
+            lp_resolution: 0.05,
+            ..ParallelRrtConfig::new(&env)
+        };
+        let w = build_rrt_workload(&cfg);
+        let machine = MachineModel::opteron();
+        let no_lb = run_parallel_rrt(&w, &machine, 8, &Strategy::NoLb);
+        for s in Strategy::rrt_set().into_iter().skip(1) {
+            let run = run_parallel_rrt(&w, &machine, 8, &s);
+            assert!(
+                run.total_time <= no_lb.total_time + no_lb.total_time / 4,
+                "{} overhead: {} vs {}",
+                s.label(),
+                run.total_time,
+                no_lb.total_time
+            );
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Region work-weight estimators (§III-B).
+//!
+//! Repartitioning quality is bounded by how well these weights predict the
+//! real per-region work. For PRM the sample count is cheap and accurate; for
+//! radial RRT the k-random-rays estimate is the paper's (intentionally
+//! imperfect) attempt, kept faithful here so Figure 10(b)'s slowdown
+//! reproduces.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use smp_cspace::derive_seed;
+use smp_geom::{Environment, GridSubdivision, RadialSubdivision, Ray};
+
+/// Exact free-space volume of every grid region (core cells, so the weights
+/// sum to the environment's total free volume).
+pub fn vfree_weights<const D: usize>(
+    env: &Environment<D>,
+    grid: &GridSubdivision<D>,
+) -> Vec<f64> {
+    grid.region_ids()
+        .map(|r| env.free_volume_in(&grid.core_cell(r)))
+        .collect()
+}
+
+/// Estimated free fraction of every grid region from `m` probe samples,
+/// scaled by cell volume. Cheap, noisy version of [`vfree_weights`]
+/// (sensitivity ablation in the bench suite).
+pub fn probe_weights<const D: usize>(
+    env: &Environment<D>,
+    grid: &GridSubdivision<D>,
+    m: usize,
+    robot_radius: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let m = m.max(1);
+    grid.region_ids()
+        .map(|r| {
+            let cell = grid.core_cell(r);
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, r as u64, 0xBEEF));
+            let ext = cell.extents();
+            let mut free = 0usize;
+            for _ in 0..m {
+                let mut p = cell.lo();
+                for i in 0..D {
+                    p[i] += ext[i] * rng.random_range(0.0..1.0);
+                }
+                if env.is_valid(&p, robot_radius) {
+                    free += 1;
+                }
+            }
+            cell.volume() * free as f64 / m as f64
+        })
+        .collect()
+}
+
+/// Measured sample counts as weights (the paper's PRM repartitioning
+/// metric, available after the generation phase).
+pub fn sample_count_weights(sample_counts: &[u32]) -> Vec<f64> {
+    sample_counts.iter().map(|&c| c as f64).collect()
+}
+
+/// The paper's RRT estimate: cast `k` random rays from the subdivision root
+/// into each region's cone and average the obstacle-free length (clipped at
+/// the region radius). "Intuitively, this should give a reasonable
+/// approximation of the amount of reachable free space in that region;
+/// however ... this metric is a poor indicator of work" (§III-B).
+pub fn krays_weights<const D: usize>(
+    env: &Environment<D>,
+    sub: &RadialSubdivision<D>,
+    k: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let k = k.max(1);
+    let spread = sub.base_half_angle();
+    (0..sub.num_regions() as u32)
+        .map(|r| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, r as u64, 0x4B52));
+            let dir = sub.direction(r);
+            let mut total = 0.0;
+            for _ in 0..k {
+                // perturb the cone axis by a Gaussian of the cone's scale
+                let mut d = dir;
+                for i in 0..D {
+                    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.random_range(0.0..1.0);
+                    let g = (-2.0 * u1.ln()).sqrt()
+                        * (2.0 * std::f64::consts::PI * u2).cos();
+                    d[i] += g * spread;
+                }
+                let d = d.normalized().unwrap_or(dir);
+                let ray = Ray::new(sub.root(), d);
+                total += env.ray_cast(&ray, sub.radius());
+            }
+            total / k as f64
+        })
+        .collect()
+}
+
+/// Normalize weights so they sum to `target` (no-op when all zero). Useful
+/// for comparing weight kinds on the same scale.
+pub fn normalize_to(weights: &[f64], target: f64) -> Vec<f64> {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 {
+        return weights.to_vec();
+    }
+    weights.iter().map(|w| w / sum * target).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_geom::{envs, sphere, Aabb, Point};
+
+    #[test]
+    fn vfree_sums_to_total_free_volume() {
+        let env = envs::med_cube();
+        let grid: GridSubdivision<3> = GridSubdivision::with_target_regions(Aabb::unit(), 64, 0.0);
+        let w = vfree_weights(&env, &grid);
+        let total: f64 = w.iter().sum();
+        assert!((total - 0.76).abs() < 1e-9, "total {total}");
+        // obstacle-centered region weight is (much) lower than corner
+        let center = grid.region_of(&Point::splat(0.5)).unwrap();
+        let corner = grid.region_of(&Point::splat(0.01)).unwrap();
+        assert!(w[center as usize] < w[corner as usize]);
+    }
+
+    #[test]
+    fn probe_tracks_vfree() {
+        let env = envs::med_cube();
+        let grid: GridSubdivision<3> = GridSubdivision::with_target_regions(Aabb::unit(), 27, 0.0);
+        let exact = vfree_weights(&env, &grid);
+        let probe = probe_weights(&env, &grid, 200, 0.0, 7);
+        for (e, p) in exact.iter().zip(&probe) {
+            assert!((e - p).abs() < 0.02, "exact {e} probe {p}");
+        }
+    }
+
+    #[test]
+    fn probe_deterministic() {
+        let env = envs::med_cube();
+        let grid: GridSubdivision<3> = GridSubdivision::with_target_regions(Aabb::unit(), 8, 0.0);
+        assert_eq!(
+            probe_weights(&env, &grid, 50, 0.0, 3),
+            probe_weights(&env, &grid, 50, 0.0, 3)
+        );
+    }
+
+    #[test]
+    fn sample_counts_as_f64() {
+        assert_eq!(sample_count_weights(&[1, 0, 3]), vec![1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn krays_sees_blocked_directions() {
+        // 2-D: obstacle to the +x of the root
+        let env = smp_geom::Environment::new(
+            "ray-test",
+            Aabb::new(Point::new([-1.0, -1.0]), Point::new([1.0, 1.0])),
+            vec![smp_geom::Obstacle::Box(Aabb::new(
+                Point::new([0.2, -1.0]),
+                Point::new([0.4, 1.0]),
+            ))],
+            true,
+        );
+        let dirs = sphere::evenly_spaced_2d(8);
+        let sub = RadialSubdivision::from_directions(Point::<2>::zero(), 0.9, dirs, 1.0);
+        let w = krays_weights(&env, &sub, 16, 1);
+        // region 0 points at +x (blocked at 0.2), region 4 at -x (free to 0.9)
+        assert!(w[0] < 0.45, "blocked direction weight {}", w[0]);
+        assert!(w[4] > 0.8, "free direction weight {}", w[4]);
+    }
+
+    #[test]
+    fn normalize() {
+        let n = normalize_to(&[1.0, 3.0], 8.0);
+        assert_eq!(n, vec![2.0, 6.0]);
+        assert_eq!(normalize_to(&[0.0, 0.0], 5.0), vec![0.0, 0.0]);
+    }
+}

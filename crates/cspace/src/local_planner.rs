@@ -1,0 +1,172 @@
+//! Local planners: edge feasibility between configurations.
+//!
+//! The paper charges almost the entire runtime to local planning ("the most
+//! time consuming phase of the entire computation", §III-B), so the planner
+//! counts every intermediate collision check it performs.
+
+use crate::stats::WorkCounters;
+use crate::validity::ValidityChecker;
+use crate::Cfg;
+
+/// Result of a local-plan attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalPlanOutcome {
+    /// True if every intermediate configuration was valid.
+    pub valid: bool,
+    /// Number of intermediate configurations checked.
+    pub steps: u32,
+}
+
+/// A local planner decides whether the straight path (or any canned maneuver)
+/// between two configurations is feasible.
+pub trait LocalPlanner<const D: usize>: Send + Sync {
+    /// Check feasibility of moving from `a` to `b`. Endpoint validity is the
+    /// caller's responsibility (planners validate samples before connecting).
+    fn check<V: ValidityChecker<D>>(
+        &self,
+        a: &Cfg<D>,
+        b: &Cfg<D>,
+        validity: &V,
+        work: &mut WorkCounters,
+    ) -> LocalPlanOutcome;
+}
+
+/// Straight-line local planner with a fixed resolution: intermediate points
+/// are checked every `resolution` units of C-space distance, using a
+/// bisection ("van der Corput") ordering so failures are found early.
+#[derive(Debug, Clone, Copy)]
+pub struct StraightLinePlanner {
+    resolution: f64,
+}
+
+impl StraightLinePlanner {
+    /// # Panics
+    /// Panics when `resolution` is not strictly positive.
+    pub fn new(resolution: f64) -> Self {
+        assert!(resolution > 0.0, "resolution must be positive");
+        StraightLinePlanner { resolution }
+    }
+
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+}
+
+impl<const D: usize> LocalPlanner<D> for StraightLinePlanner {
+    fn check<V: ValidityChecker<D>>(
+        &self,
+        a: &Cfg<D>,
+        b: &Cfg<D>,
+        validity: &V,
+        work: &mut WorkCounters,
+    ) -> LocalPlanOutcome {
+        work.lp_calls += 1;
+        let dist = a.dist(b);
+        let n = (dist / self.resolution).ceil() as u32;
+        let mut steps = 0u32;
+        // Bisection order over the n-1 interior points: check the midpoint
+        // first, then quarter points, etc. A level-order traversal of the
+        // implicit binary tree gives exactly that ordering.
+        let mut queue = std::collections::VecDeque::new();
+        if n > 1 {
+            queue.push_back((1u32, n - 1)); // interior indices [1, n-1]
+        }
+        let mut ok = true;
+        while let Some((lo, hi)) = queue.pop_front() {
+            if lo > hi {
+                continue;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let q = a.lerp(b, mid as f64 / n as f64);
+            steps += 1;
+            work.lp_steps += 1;
+            if !validity.is_valid(&q, work) {
+                ok = false;
+                break;
+            }
+            if mid > lo {
+                queue.push_back((lo, mid - 1));
+            }
+            if mid < hi {
+                queue.push_back((mid + 1, hi));
+            }
+        }
+        LocalPlanOutcome { valid: ok, steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::FnValidity;
+    use smp_geom::Point;
+
+    fn planner() -> StraightLinePlanner {
+        StraightLinePlanner::new(0.1)
+    }
+
+    #[test]
+    fn free_straight_line_is_valid() {
+        let v = FnValidity(|_: &Cfg<2>| true);
+        let mut w = WorkCounters::new();
+        let out = planner().check(&Point::new([0.0, 0.0]), &Point::new([1.0, 0.0]), &v, &mut w);
+        assert!(out.valid);
+        // 10 segments -> 9 interior checks
+        assert_eq!(out.steps, 9);
+        assert_eq!(w.lp_calls, 1);
+        assert_eq!(w.lp_steps, 9);
+        assert_eq!(w.cd_checks, 9);
+    }
+
+    #[test]
+    fn blocked_midpoint_fails_fast() {
+        // wall at x in (0.45, 0.55)
+        let v = FnValidity(|q: &Cfg<2>| !(0.45..=0.55).contains(&q[0]));
+        let mut w = WorkCounters::new();
+        let out = planner().check(&Point::new([0.0, 0.0]), &Point::new([1.0, 0.0]), &v, &mut w);
+        assert!(!out.valid);
+        // bisection checks the midpoint (x = 0.5) first
+        assert_eq!(out.steps, 1);
+    }
+
+    #[test]
+    fn short_edge_has_no_interior_points() {
+        let v = FnValidity(|_: &Cfg<2>| false); // invalid everywhere
+        let mut w = WorkCounters::new();
+        let out = planner().check(
+            &Point::new([0.0, 0.0]),
+            &Point::new([0.05, 0.0]),
+            &v,
+            &mut w,
+        );
+        // nothing to check between endpoints closer than the resolution
+        assert!(out.valid);
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn step_count_scales_with_length() {
+        let v = FnValidity(|_: &Cfg<2>| true);
+        let mut w = WorkCounters::new();
+        let long = planner().check(&Point::new([0.0, 0.0]), &Point::new([2.0, 0.0]), &v, &mut w);
+        assert_eq!(long.steps, 19);
+    }
+
+    #[test]
+    fn symmetric_validity() {
+        // symmetric obstacle: result must be equal in both directions
+        let v = FnValidity(|q: &Cfg<2>| q[0] < 0.72);
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([1.0, 0.0]);
+        let mut w = WorkCounters::new();
+        let ab = planner().check(&a, &b, &v, &mut w).valid;
+        let ba = planner().check(&b, &a, &v, &mut w).valid;
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resolution_panics() {
+        let _ = StraightLinePlanner::new(0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Distance metrics over configurations.
+//!
+//! PRM connects each sample to its k-nearest neighbours "as computed using
+//! some distance metric" (§II-B.1). The planners are generic over [`Metric`].
+
+use crate::Cfg;
+
+/// A distance metric on C-space.
+pub trait Metric<const D: usize>: Send + Sync {
+    /// Distance between two configurations.
+    fn dist(&self, a: &Cfg<D>, b: &Cfg<D>) -> f64;
+
+    /// Squared distance (override when a cheaper form exists).
+    fn dist_sq(&self, a: &Cfg<D>, b: &Cfg<D>) -> f64 {
+        let d = self.dist(a, b);
+        d * d
+    }
+}
+
+/// Standard Euclidean metric.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EuclideanMetric;
+
+impl<const D: usize> Metric<D> for EuclideanMetric {
+    fn dist(&self, a: &Cfg<D>, b: &Cfg<D>) -> f64 {
+        a.dist(b)
+    }
+
+    fn dist_sq(&self, a: &Cfg<D>, b: &Cfg<D>) -> f64 {
+        a.dist_sq(b)
+    }
+}
+
+/// Per-axis weighted Euclidean metric (e.g. to weight rotational DOFs
+/// differently from translational ones).
+#[derive(Debug, Clone)]
+pub struct WeightedMetric<const D: usize> {
+    weights: [f64; D],
+}
+
+impl<const D: usize> WeightedMetric<D> {
+    /// # Panics
+    /// Panics if any weight is negative.
+    pub fn new(weights: [f64; D]) -> Self {
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "metric weights must be non-negative"
+        );
+        WeightedMetric { weights }
+    }
+}
+
+impl<const D: usize> Metric<D> for WeightedMetric<D> {
+    fn dist(&self, a: &Cfg<D>, b: &Cfg<D>) -> f64 {
+        self.dist_sq(a, b).sqrt()
+    }
+
+    fn dist_sq(&self, a: &Cfg<D>, b: &Cfg<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = a[i] - b[i];
+            acc += self.weights[i] * d * d;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_geom::Point;
+
+    #[test]
+    fn euclidean_matches_point_dist() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 4.0]);
+        assert_eq!(EuclideanMetric.dist(&a, &b), 5.0);
+        assert_eq!(EuclideanMetric.dist_sq(&a, &b), 25.0);
+    }
+
+    #[test]
+    fn weighted_metric_scales_axes() {
+        let m = WeightedMetric::new([4.0, 0.0]);
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([1.0, 100.0]);
+        assert_eq!(m.dist(&a, &b), 2.0); // y axis ignored, x doubled
+    }
+
+    #[test]
+    fn unit_weights_equal_euclidean() {
+        let m = WeightedMetric::new([1.0, 1.0, 1.0]);
+        let a = Point::new([1.0, 2.0, 3.0]);
+        let b = Point::new([4.0, 6.0, 3.0]);
+        assert!((m.dist(&a, &b) - EuclideanMetric.dist(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = WeightedMetric::new([-1.0, 0.0]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Configuration samplers.
+//!
+//! PRM samples uniformly inside a region's (overlap-inflated) box; the radial
+//! RRT samples random targets inside a region's cone.
+
+use crate::stats::WorkCounters;
+use crate::Cfg;
+use rand::{Rng, RngExt};
+use smp_geom::{Aabb, Point, RadialSubdivision};
+
+/// A source of configurations.
+pub trait Sampler<const D: usize>: Send + Sync {
+    /// Draw one configuration. Increments `work.samples_attempted`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, work: &mut WorkCounters) -> Cfg<D>;
+}
+
+/// Uniform sampling inside an axis-aligned box.
+#[derive(Debug, Clone, Copy)]
+pub struct BoxSampler<const D: usize> {
+    bounds: Aabb<D>,
+}
+
+impl<const D: usize> BoxSampler<D> {
+    pub fn new(bounds: Aabb<D>) -> Self {
+        BoxSampler { bounds }
+    }
+
+    pub fn bounds(&self) -> &Aabb<D> {
+        &self.bounds
+    }
+}
+
+impl<const D: usize> Sampler<D> for BoxSampler<D> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, work: &mut WorkCounters) -> Cfg<D> {
+        work.samples_attempted += 1;
+        let mut p = Point::zero();
+        for i in 0..D {
+            let (lo, hi) = (self.bounds.lo()[i], self.bounds.hi()[i]);
+            p[i] = if hi > lo { rng.random_range(lo..hi) } else { lo };
+        }
+        p
+    }
+}
+
+/// Uniform-ish sampling inside one cone of a radial subdivision, by rejection
+/// from the cone's bounding box. Falls back to a point on the cone axis when
+/// rejection fails repeatedly (extremely narrow cones).
+#[derive(Debug, Clone)]
+pub struct ConeSampler<'s, const D: usize> {
+    sub: &'s RadialSubdivision<D>,
+    region: u32,
+    bbox: Aabb<D>,
+    max_rejects: usize,
+}
+
+impl<'s, const D: usize> ConeSampler<'s, D> {
+    pub fn new(sub: &'s RadialSubdivision<D>, region: u32) -> Self {
+        ConeSampler {
+            sub,
+            region,
+            bbox: sub.region_bbox(region),
+            max_rejects: 64,
+        }
+    }
+}
+
+impl<const D: usize> Sampler<D> for ConeSampler<'_, D> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, work: &mut WorkCounters) -> Cfg<D> {
+        work.samples_attempted += 1;
+        for _ in 0..self.max_rejects {
+            let mut p = Point::zero();
+            for i in 0..D {
+                let (lo, hi) = (self.bbox.lo()[i], self.bbox.hi()[i]);
+                p[i] = if hi > lo { rng.random_range(lo..hi) } else { lo };
+            }
+            if self.sub.in_region(self.region, &p) {
+                return p;
+            }
+        }
+        // Fallback: a random point along the cone axis (always a member).
+        let t: f64 = rng.random_range(0.0..1.0);
+        self.sub.root() + self.sub.direction(self.region) * (t * self.sub.radius())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smp_geom::sphere;
+
+    #[test]
+    fn box_sampler_stays_inside() {
+        let bb = Aabb::new(Point::new([1.0, 2.0]), Point::new([3.0, 5.0]));
+        let s = BoxSampler::new(bb);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = WorkCounters::new();
+        for _ in 0..200 {
+            let p = s.sample(&mut rng, &mut w);
+            assert!(bb.contains(&p));
+        }
+        assert_eq!(w.samples_attempted, 200);
+    }
+
+    #[test]
+    fn box_sampler_degenerate_box() {
+        let bb = Aabb::new(Point::new([1.0, 2.0]), Point::new([1.0, 2.0]));
+        let s = BoxSampler::new(bb);
+        let mut w = WorkCounters::new();
+        let p = s.sample(&mut StdRng::seed_from_u64(0), &mut w);
+        assert_eq!(p, Point::new([1.0, 2.0]));
+    }
+
+    #[test]
+    fn cone_sampler_members_only() {
+        let dirs = sphere::evenly_spaced_2d(8);
+        let sub = RadialSubdivision::from_directions(Point::<2>::zero(), 1.0, dirs, 1.5);
+        let s = ConeSampler::new(&sub, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut w = WorkCounters::new();
+        for _ in 0..100 {
+            let p = s.sample(&mut rng, &mut w);
+            assert!(sub.in_region(2, &p), "sample {p:?} escaped its cone");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let bb = Aabb::<3>::unit();
+        let s = BoxSampler::new(bb);
+        let mut w = WorkCounters::new();
+        let a = s.sample(&mut StdRng::seed_from_u64(9), &mut w);
+        let b = s.sample(&mut StdRng::seed_from_u64(9), &mut w);
+        assert_eq!(a, b);
+    }
+}

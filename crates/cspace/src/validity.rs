@@ -1,0 +1,100 @@
+//! Configuration validity checking.
+//!
+//! The robot model is a ball of radius `r` in `R^D`: a configuration is valid
+//! iff the ball centered there lies inside the workspace bounds with
+//! clearance `r` from every obstacle (DESIGN.md §2 explains why this
+//! substitution for the paper's rigid-body robot preserves the load-balance
+//! behaviour under study).
+
+use crate::stats::WorkCounters;
+use crate::Cfg;
+use smp_geom::Environment;
+
+/// Validity oracle over configurations. Implementations must be cheap to
+/// share across threads (`Send + Sync`) because regional planners run
+/// concurrently.
+pub trait ValidityChecker<const D: usize>: Send + Sync {
+    /// Is the configuration collision-free? Increments `work.cd_checks`.
+    fn is_valid(&self, q: &Cfg<D>, work: &mut WorkCounters) -> bool;
+}
+
+/// Environment-backed validity for the ball robot.
+#[derive(Debug, Clone)]
+pub struct EnvValidity<'e, const D: usize> {
+    env: &'e Environment<D>,
+    robot_radius: f64,
+}
+
+impl<'e, const D: usize> EnvValidity<'e, D> {
+    /// `robot_radius` is the ball robot's radius (clearance requirement).
+    pub fn new(env: &'e Environment<D>, robot_radius: f64) -> Self {
+        EnvValidity {
+            env,
+            robot_radius: robot_radius.max(0.0),
+        }
+    }
+
+    pub fn environment(&self) -> &Environment<D> {
+        self.env
+    }
+
+    pub fn robot_radius(&self) -> f64 {
+        self.robot_radius
+    }
+}
+
+impl<const D: usize> ValidityChecker<D> for EnvValidity<'_, D> {
+    fn is_valid(&self, q: &Cfg<D>, work: &mut WorkCounters) -> bool {
+        work.cd_checks += 1;
+        self.env.is_valid(q, self.robot_radius)
+    }
+}
+
+/// A validity checker defined by a plain function — handy in tests and for
+/// synthetic workloads.
+pub struct FnValidity<F>(pub F);
+
+impl<F, const D: usize> ValidityChecker<D> for FnValidity<F>
+where
+    F: Fn(&Cfg<D>) -> bool + Send + Sync,
+{
+    fn is_valid(&self, q: &Cfg<D>, work: &mut WorkCounters) -> bool {
+        work.cd_checks += 1;
+        (self.0)(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_geom::{envs, Point};
+
+    #[test]
+    fn env_validity_counts_checks() {
+        let env = envs::med_cube();
+        let v = EnvValidity::new(&env, 0.0);
+        let mut w = WorkCounters::new();
+        assert!(!v.is_valid(&Point::splat(0.5), &mut w));
+        assert!(v.is_valid(&Point::splat(0.05), &mut w));
+        assert_eq!(w.cd_checks, 2);
+    }
+
+    #[test]
+    fn robot_radius_shrinks_free_space() {
+        let env = envs::med_cube();
+        // obstacle cube spans [0.5 - s/2, 0.5 + s/2] with s = 0.24^(1/3) ≈ .6214
+        let near = Point::new([0.16, 0.5, 0.5]); // ~0.029 outside the obstacle face
+        let mut w = WorkCounters::new();
+        assert!(EnvValidity::new(&env, 0.0).is_valid(&near, &mut w));
+        assert!(!EnvValidity::new(&env, 0.05).is_valid(&near, &mut w));
+    }
+
+    #[test]
+    fn fn_validity_works() {
+        let v = FnValidity(|q: &Cfg<2>| q[0] > 0.0);
+        let mut w = WorkCounters::new();
+        assert!(v.is_valid(&Point::new([1.0, 0.0]), &mut w));
+        assert!(!v.is_valid(&Point::new([-1.0, 0.0]), &mut w));
+        assert_eq!(w.cd_checks, 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Serde support for const-generic arrays.
+//!
+//! `serde` only derives array impls for literal lengths, not for a generic
+//! `[T; D]` field inside a `struct Foo<const D: usize>`. This module provides
+//! `#[serde(with = "array_serde")]`-style helpers that encode such arrays as
+//! sequences.
+
+use serde::de::{Error, SeqAccess, Visitor};
+use serde::ser::SerializeSeq;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Serialize a `[T; D]` as a sequence.
+pub fn serialize<S, T, const D: usize>(arr: &[T; D], ser: S) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    T: Serialize,
+{
+    let mut seq = ser.serialize_seq(Some(D))?;
+    for v in arr {
+        seq.serialize_element(v)?;
+    }
+    seq.end()
+}
+
+/// Deserialize a `[T; D]` from a sequence of exactly `D` elements.
+pub fn deserialize<'de, De, T, const D: usize>(de: De) -> Result<[T; D], De::Error>
+where
+    De: Deserializer<'de>,
+    T: Deserialize<'de> + Default + Copy,
+{
+    struct ArrVisitor<T, const D: usize>(PhantomData<T>);
+
+    impl<'de, T, const D: usize> Visitor<'de> for ArrVisitor<T, D>
+    where
+        T: Deserialize<'de> + Default + Copy,
+    {
+        type Value = [T; D];
+
+        fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+            write!(f, "an array of {D} elements")
+        }
+
+        fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<[T; D], A::Error> {
+            let mut out = [T::default(); D];
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::invalid_length(i, &self))?;
+            }
+            if seq.next_element::<T>()?.is_some() {
+                return Err(A::Error::invalid_length(D + 1, &self));
+            }
+            Ok(out)
+        }
+    }
+
+    de.deserialize_seq(ArrVisitor::<T, D>(PhantomData))
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Wrap<const D: usize> {
+        #[serde(with = "super")]
+        a: [f64; D],
+    }
+
+    #[test]
+    fn wrapper_derives_compile_and_construct() {
+        // the point of Wrap is that #[serde(with = "super")] compiles for a
+        // generic const array; also exercise construction
+        let w = Wrap::<3> { a: [1.0, 2.0, 3.0] };
+        assert_eq!(w.a[2], 3.0);
+    }
+
+    #[test]
+    fn roundtrip_json_like() {
+        // serde_json isn't a dependency; use the test-only token stream via
+        // serde's in-crate helpers is overkill. Round-trip through bincode-ish
+        // self-describing format is unavailable too, so just check the
+        // serializer path compiles and a hand-rolled deserializer works via
+        // serde::de::value.
+        use serde::de::value::{Error as ValErr, SeqDeserializer};
+        let de = SeqDeserializer::<_, ValErr>::new(vec![1.0f64, 2.0, 3.0].into_iter());
+        let arr: [f64; 3] = super::deserialize(de).unwrap();
+        assert_eq!(arr, [1.0, 2.0, 3.0]);
+        // wrong length errors
+        let de = SeqDeserializer::<_, ValErr>::new(vec![1.0f64, 2.0].into_iter());
+        assert!(super::deserialize::<_, f64, 3>(de).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Workspace environments: bounds + obstacles + geometric queries.
+
+use crate::aabb::Aabb;
+use crate::obstacle::Obstacle;
+use crate::point::Point;
+use crate::ray::Ray;
+use serde::{Deserialize, Serialize};
+
+/// A motion-planning workspace: a bounding box and a set of solid obstacles.
+///
+/// ```
+/// use smp_geom::{envs, Point};
+/// let env = envs::med_cube();
+/// assert!(env.is_valid(&Point::splat(0.05), 0.0));   // corner: free
+/// assert!(!env.is_valid(&Point::splat(0.5), 0.0));   // center: obstacle
+/// assert!((env.blocked_fraction() - 0.24).abs() < 1e-9);
+/// ```
+///
+/// The robot model used throughout the reproduction is a ball of radius `r`
+/// in `R^D` (see DESIGN.md for why this substitution preserves the paper's
+/// load-balance behaviour); validity queries therefore take a clearance
+/// radius.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Environment<const D: usize> {
+    name: String,
+    bounds: Aabb<D>,
+    obstacles: Vec<Obstacle<D>>,
+    /// True when the obstacles are known to be pairwise disjoint, enabling
+    /// exact free-volume computation by summation.
+    disjoint_obstacles: bool,
+}
+
+impl<const D: usize> Environment<D> {
+    /// New environment. `disjoint` should be true only when the caller
+    /// guarantees obstacles do not overlap each other.
+    pub fn new(
+        name: impl Into<String>,
+        bounds: Aabb<D>,
+        obstacles: Vec<Obstacle<D>>,
+        disjoint: bool,
+    ) -> Self {
+        Environment {
+            name: name.into(),
+            bounds,
+            obstacles,
+            disjoint_obstacles: disjoint,
+        }
+    }
+
+    /// Obstacle-free environment.
+    pub fn free_space(name: impl Into<String>, bounds: Aabb<D>) -> Self {
+        Self::new(name, bounds, Vec::new(), true)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn bounds(&self) -> &Aabb<D> {
+        &self.bounds
+    }
+
+    pub fn obstacles(&self) -> &[Obstacle<D>] {
+        &self.obstacles
+    }
+
+    /// True when obstacles are declared pairwise disjoint.
+    pub fn has_disjoint_obstacles(&self) -> bool {
+        self.disjoint_obstacles
+    }
+
+    /// Is the ball of radius `clearance` centered at `p` inside the bounds
+    /// and collision-free?
+    pub fn is_valid(&self, p: &Point<D>, clearance: f64) -> bool {
+        if !self.bounds.contains(p) {
+            return false;
+        }
+        self.obstacles
+            .iter()
+            .all(|o| !o.contains(p) && o.distance(p) >= clearance)
+    }
+
+    /// Minimum distance from `p` to any obstacle surface (infinity when there
+    /// are no obstacles). Zero inside an obstacle.
+    pub fn clearance(&self, p: &Point<D>) -> f64 {
+        self.obstacles
+            .iter()
+            .map(|o| o.distance(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Distance along `ray` to the first obstacle hit, clipped at `max_t`.
+    ///
+    /// This is the primitive behind the paper's RRT "k random rays" work
+    /// estimate (§III-B).
+    pub fn ray_cast(&self, ray: &Ray<D>, max_t: f64) -> f64 {
+        self.obstacles
+            .iter()
+            .filter_map(|o| o.ray_hit(ray))
+            .fold(max_t, f64::min)
+    }
+
+    /// Exact obstacle volume inside `region` (requires disjoint obstacles;
+    /// falls back to a stratified estimate otherwise).
+    pub fn obstacle_volume_in(&self, region: &Aabb<D>) -> f64 {
+        if self.disjoint_obstacles {
+            self.obstacles.iter().map(|o| o.volume_in(region)).sum()
+        } else {
+            self.obstacle_volume_in_estimate(region, 12)
+        }
+    }
+
+    /// Stratified midpoint-grid estimate of obstacle volume inside `region`
+    /// (`res` points per axis); handles overlapping obstacles correctly.
+    pub fn obstacle_volume_in_estimate(&self, region: &Aabb<D>, res: usize) -> f64 {
+        if self.obstacles.is_empty() {
+            return 0.0;
+        }
+        let n = res.max(2);
+        let ext = region.extents();
+        let mut idx = vec![0usize; D];
+        let mut inside = 0usize;
+        let mut total = 0usize;
+        loop {
+            let mut p = region.lo();
+            for i in 0..D {
+                p[i] += ext[i] * ((idx[i] as f64 + 0.5) / n as f64);
+            }
+            total += 1;
+            if self.obstacles.iter().any(|o| o.contains(&p)) {
+                inside += 1;
+            }
+            let mut i = 0;
+            loop {
+                if i == D {
+                    return region.volume() * inside as f64 / total as f64;
+                }
+                idx[i] += 1;
+                if idx[i] < n {
+                    break;
+                }
+                idx[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Free-space volume inside `region` (region ∩ bounds minus obstacles).
+    pub fn free_volume_in(&self, region: &Aabb<D>) -> f64 {
+        let clipped = match region.intersection(&self.bounds) {
+            Some(c) => c,
+            None => return 0.0,
+        };
+        (clipped.volume() - self.obstacle_volume_in(&clipped)).max(0.0)
+    }
+
+    /// Fraction of the whole workspace volume that is blocked by obstacles.
+    pub fn blocked_fraction(&self) -> f64 {
+        let v = self.bounds.volume();
+        if v <= 0.0 {
+            return 0.0;
+        }
+        (self.obstacle_volume_in(&self.bounds) / v).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_with_cube() -> Environment<2> {
+        Environment::new(
+            "test",
+            Aabb::unit(),
+            vec![Obstacle::Box(Aabb::new(
+                Point::new([0.4, 0.4]),
+                Point::new([0.6, 0.6]),
+            ))],
+            true,
+        )
+    }
+
+    #[test]
+    fn validity_respects_bounds_and_obstacles() {
+        let env = env_with_cube();
+        assert!(env.is_valid(&Point::new([0.1, 0.1]), 0.0));
+        assert!(!env.is_valid(&Point::new([0.5, 0.5]), 0.0)); // inside obstacle
+        assert!(!env.is_valid(&Point::new([1.5, 0.5]), 0.0)); // out of bounds
+        // clearance shrinks free space
+        assert!(env.is_valid(&Point::new([0.3, 0.3]), 0.05));
+        assert!(!env.is_valid(&Point::new([0.38, 0.5]), 0.05));
+    }
+
+    #[test]
+    fn clearance_query() {
+        let env = env_with_cube();
+        assert!((env.clearance(&Point::new([0.2, 0.5])) - 0.2).abs() < 1e-12);
+        let free: Environment<2> = Environment::free_space("f", Aabb::unit());
+        assert_eq!(free.clearance(&Point::splat(0.5)), f64::INFINITY);
+    }
+
+    #[test]
+    fn free_volume_exact() {
+        let env = env_with_cube();
+        // whole space: 1 - 0.04
+        assert!((env.free_volume_in(&Aabb::unit()) - 0.96).abs() < 1e-12);
+        // left half contains half the obstacle
+        let left = Aabb::new(Point::zero(), Point::new([0.5, 1.0]));
+        assert!((env.free_volume_in(&left) - (0.5 - 0.02)).abs() < 1e-12);
+        // region outside bounds contributes nothing
+        let outside = Aabb::new(Point::splat(2.0), Point::splat(3.0));
+        assert_eq!(env.free_volume_in(&outside), 0.0);
+    }
+
+    #[test]
+    fn blocked_fraction_matches() {
+        let env = env_with_cube();
+        assert!((env.blocked_fraction() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_obstacles_use_estimate() {
+        // two identical overlapping boxes must not double count
+        let bb = Aabb::new(Point::new([0.0, 0.0]), Point::new([0.5, 1.0]));
+        let env: Environment<2> = Environment::new(
+            "ovl",
+            Aabb::unit(),
+            vec![Obstacle::Box(bb), Obstacle::Box(bb)],
+            false,
+        );
+        let blocked = env.obstacle_volume_in(&Aabb::unit());
+        assert!((blocked - 0.5).abs() < 0.05, "blocked {blocked}");
+    }
+
+    #[test]
+    fn ray_cast_first_hit() {
+        let env = env_with_cube();
+        let r = Ray::new(Point::new([0.0, 0.5]), Point::new([1.0, 0.0]));
+        assert!((env.ray_cast(&r, 10.0) - 0.4).abs() < 1e-12);
+        let miss = Ray::new(Point::new([0.0, 0.1]), Point::new([1.0, 0.0]));
+        assert_eq!(env.ray_cast(&miss, 10.0), 10.0);
+    }
+}

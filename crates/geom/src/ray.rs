@@ -1,0 +1,139 @@
+//! Ray casting against primitive obstacles.
+//!
+//! Used by the RRT k-random-rays work estimate (§III-B of the paper): cast
+//! `k` rays from a region's apex and use the minimum obstacle distance as an
+//! (intentionally imperfect) proxy for reachable free space.
+
+use crate::aabb::Aabb;
+use crate::point::Point;
+
+/// A ray `origin + t * dir`, `t >= 0`. `dir` need not be normalized; reported
+/// hit parameters are in units of `|dir|`.
+#[derive(Debug, Clone, Copy)]
+pub struct Ray<const D: usize> {
+    pub origin: Point<D>,
+    pub dir: Point<D>,
+}
+
+impl<const D: usize> Ray<D> {
+    pub fn new(origin: Point<D>, dir: Point<D>) -> Self {
+        Ray { origin, dir }
+    }
+
+    /// Point at parameter `t`.
+    pub fn at(&self, t: f64) -> Point<D> {
+        self.origin + self.dir * t
+    }
+
+    /// Smallest `t >= 0` where the ray enters `bb`, or `None` if it misses.
+    /// Returns `Some(0.0)` when the origin is already inside.
+    pub fn hit_aabb(&self, bb: &Aabb<D>) -> Option<f64> {
+        let mut tmin: f64 = 0.0;
+        let mut tmax = f64::INFINITY;
+        for i in 0..D {
+            let o = self.origin[i];
+            let d = self.dir[i];
+            let (lo, hi) = (bb.lo()[i], bb.hi()[i]);
+            if d.abs() < 1e-300 {
+                if o < lo || o > hi {
+                    return None;
+                }
+            } else {
+                let inv = 1.0 / d;
+                let (t0, t1) = {
+                    let a = (lo - o) * inv;
+                    let b = (hi - o) * inv;
+                    if a <= b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                };
+                tmin = tmin.max(t0);
+                tmax = tmax.min(t1);
+                if tmin > tmax {
+                    return None;
+                }
+            }
+        }
+        Some(tmin)
+    }
+
+    /// Smallest `t >= 0` where the ray hits the sphere surface, or `None`.
+    /// Returns `Some(0.0)` when the origin is inside the sphere.
+    pub fn hit_sphere(&self, center: &Point<D>, radius: f64) -> Option<f64> {
+        let oc = self.origin - *center;
+        if oc.norm() <= radius {
+            return Some(0.0);
+        }
+        let a = self.dir.norm_sq();
+        if a < 1e-300 {
+            return None;
+        }
+        let b = 2.0 * oc.dot(&self.dir);
+        let c = oc.norm_sq() - radius * radius;
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sq = disc.sqrt();
+        let t0 = (-b - sq) / (2.0 * a);
+        let t1 = (-b + sq) / (2.0 * a);
+        if t0 >= 0.0 {
+            Some(t0)
+        } else if t1 >= 0.0 {
+            Some(t1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ray_hits_box_frontally() {
+        let r: Ray<2> = Ray::new(Point::new([-1.0, 0.5]), Point::new([1.0, 0.0]));
+        let bb = Aabb::new(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
+        let t = r.hit_aabb(&bb).unwrap();
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ray_misses_box() {
+        let r: Ray<2> = Ray::new(Point::new([-1.0, 2.0]), Point::new([1.0, 0.0]));
+        let bb = Aabb::new(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
+        assert!(r.hit_aabb(&bb).is_none());
+        // pointing away
+        let r2: Ray<2> = Ray::new(Point::new([-1.0, 0.5]), Point::new([-1.0, 0.0]));
+        assert!(r2.hit_aabb(&bb).is_none());
+    }
+
+    #[test]
+    fn origin_inside_box_is_zero() {
+        let r: Ray<2> = Ray::new(Point::new([0.5, 0.5]), Point::new([1.0, 0.0]));
+        let bb = Aabb::new(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
+        assert_eq!(r.hit_aabb(&bb), Some(0.0));
+    }
+
+    #[test]
+    fn axis_parallel_ray_inside_slab() {
+        // dir has a zero component; origin is within that slab
+        let r: Ray<3> = Ray::new(Point::new([-2.0, 0.5, 0.5]), Point::new([1.0, 0.0, 0.0]));
+        let bb = Aabb::new(Point::zero(), Point::splat(1.0));
+        assert!((r.hit_aabb(&bb).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sphere_hits() {
+        let r: Ray<2> = Ray::new(Point::new([-2.0, 0.0]), Point::new([1.0, 0.0]));
+        let t = r.hit_sphere(&Point::zero(), 1.0).unwrap();
+        assert!((t - 1.0).abs() < 1e-9);
+        assert!(r.hit_sphere(&Point::new([0.0, 3.0]), 1.0).is_none());
+        // origin inside
+        let r2: Ray<2> = Ray::new(Point::zero(), Point::new([1.0, 0.0]));
+        assert_eq!(r2.hit_sphere(&Point::zero(), 1.0), Some(0.0));
+    }
+}

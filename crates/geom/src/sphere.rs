@@ -1,0 +1,90 @@
+//! Uniform sampling of directions on the unit sphere `S^{D-1}`.
+//!
+//! Algorithm 2 of the paper samples `Nr` points on the surface of a
+//! hypersphere; each point defines a conical region for the radial RRT
+//! subdivision.
+
+use crate::point::Point;
+use rand::{Rng, RngExt};
+
+/// Sample one uniformly-distributed unit vector using the Gaussian
+/// normalization method (exact for every dimension).
+pub fn sample_unit_vector<const D: usize, R: Rng + ?Sized>(rng: &mut R) -> Point<D> {
+    loop {
+        let mut v = Point::<D>::zero();
+        for i in 0..D {
+            v[i] = sample_standard_normal(rng);
+        }
+        if let Some(u) = v.normalized() {
+            return u;
+        }
+    }
+}
+
+/// Sample `n` uniformly-distributed unit vectors.
+pub fn sample_unit_vectors<const D: usize, R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<Point<D>> {
+    (0..n).map(|_| sample_unit_vector(rng)).collect()
+}
+
+/// Box–Muller standard normal deviate.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Deterministic, well-spread directions on `S^1` (2-D): evenly spaced
+/// angles. Useful for reproducible small examples and tests.
+pub fn evenly_spaced_2d(n: usize) -> Vec<Point<2>> {
+    (0..n)
+        .map(|i| {
+            let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            Point::new([a.cos(), a.sin()])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_unit_length() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let v: Point<3> = sample_unit_vector(&mut rng);
+            assert!((v.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_cover_hemispheres() {
+        // crude uniformity check: roughly half of samples have positive x
+        let mut rng = StdRng::seed_from_u64(42);
+        let vs: Vec<Point<3>> = sample_unit_vectors(&mut rng, 2000);
+        let pos = vs.iter().filter(|v| v[0] > 0.0).count();
+        assert!(
+            (800..1200).contains(&pos),
+            "hemisphere split badly skewed: {pos}/2000"
+        );
+    }
+
+    #[test]
+    fn evenly_spaced_is_unit_and_distinct() {
+        let vs = evenly_spaced_2d(8);
+        assert_eq!(vs.len(), 8);
+        for v in &vs {
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+        assert!((vs[0].angle_to(&vs[1]) - std::f64::consts::FRAC_PI_4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<Point<4>> = sample_unit_vectors(&mut StdRng::seed_from_u64(9), 5);
+        let b: Vec<Point<4>> = sample_unit_vectors(&mut StdRng::seed_from_u64(9), 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,219 @@
+//! Compact undirected adjacency-list graph.
+//!
+//! Vertices and edges carry payloads (`V`, `E`). Indices are `u32` (the
+//! perf-book "smaller integers" idiom); a roadmap with > 4 billion vertices
+//! is out of scope.
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier (dense, 0-based).
+pub type VertexId = u32;
+/// Edge identifier (dense, 0-based).
+pub type EdgeId = u32;
+
+/// An undirected multigraph with vertex payloads `V` and edge payloads `E`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph<V, E> {
+    vertices: Vec<V>,
+    edges: Vec<(VertexId, VertexId, E)>,
+    /// adjacency[v] = list of (neighbor, edge id)
+    adjacency: Vec<Vec<(VertexId, EdgeId)>>,
+}
+
+impl<V, E> Default for Graph<V, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V, E> Graph<V, E> {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Graph {
+            vertices: Vec::new(),
+            edges: Vec::new(),
+            adjacency: Vec::new(),
+        }
+    }
+
+    /// Empty graph with vertex capacity reserved.
+    pub fn with_capacity(nv: usize, ne: usize) -> Self {
+        Graph {
+            vertices: Vec::with_capacity(nv),
+            edges: Vec::with_capacity(ne),
+            adjacency: Vec::with_capacity(nv),
+        }
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Add a vertex, returning its id.
+    pub fn add_vertex(&mut self, payload: V) -> VertexId {
+        let id = self.vertices.len() as VertexId;
+        self.vertices.push(payload);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Add an undirected edge. Parallel edges and self-loops are permitted
+    /// (callers that care use [`Graph::has_edge`] first).
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId, payload: E) -> EdgeId {
+        assert!((a as usize) < self.vertices.len(), "vertex {a} out of range");
+        assert!((b as usize) < self.vertices.len(), "vertex {b} out of range");
+        let id = self.edges.len() as EdgeId;
+        self.edges.push((a, b, payload));
+        self.adjacency[a as usize].push((b, id));
+        if a != b {
+            self.adjacency[b as usize].push((a, id));
+        }
+        id
+    }
+
+    pub fn vertex(&self, v: VertexId) -> &V {
+        &self.vertices[v as usize]
+    }
+
+    pub fn vertex_mut(&mut self, v: VertexId) -> &mut V {
+        &mut self.vertices[v as usize]
+    }
+
+    /// Edge endpoints and payload.
+    pub fn edge(&self, e: EdgeId) -> (VertexId, VertexId, &E) {
+        let (a, b, ref p) = self.edges[e as usize];
+        (a, b, p)
+    }
+
+    /// Neighbours of `v` as (neighbor, edge id) pairs.
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.adjacency[v as usize]
+    }
+
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v as usize].len()
+    }
+
+    /// True if an edge between `a` and `b` exists.
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        let (s, t) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adjacency[s as usize].iter().any(|&(n, _)| n == t)
+    }
+
+    /// Iterate vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> {
+        0..self.vertices.len() as VertexId
+    }
+
+    /// Iterate vertex payloads.
+    pub fn vertices(&self) -> impl Iterator<Item = &V> {
+        self.vertices.iter()
+    }
+
+    /// Iterate `(a, b, payload)` for every edge.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, &E)> {
+        self.edges.iter().map(|(a, b, p)| (*a, *b, p))
+    }
+
+    /// Append `other` into `self`, returning the vertex-id offset applied to
+    /// `other`'s ids. Used when migrating a regional roadmap into a global
+    /// one.
+    pub fn absorb(&mut self, other: Graph<V, E>) -> VertexId {
+        let offset = self.vertices.len() as VertexId;
+        self.vertices.extend(other.vertices);
+        for _ in 0..(self.vertices.len() - self.adjacency.len()) {
+            self.adjacency.push(Vec::new());
+        }
+        for (a, b, p) in other.edges {
+            self.add_edge(a + offset, b + offset, p);
+        }
+        offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph<&'static str, f64> {
+        let mut g = Graph::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        let c = g.add_vertex("c");
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, c, 2.0);
+        g.add_edge(c, a, 3.0);
+        g
+    }
+
+    #[test]
+    fn construction_counts() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn undirected_adjacency() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        let n: Vec<u32> = g.neighbors(1).iter().map(|&(v, _)| v).collect();
+        assert_eq!(n, vec![0, 2]);
+    }
+
+    #[test]
+    fn payload_access() {
+        let mut g = triangle();
+        assert_eq!(*g.vertex(2), "c");
+        *g.vertex_mut(2) = "z";
+        assert_eq!(*g.vertex(2), "z");
+        let (a, b, w) = g.edge(1);
+        assert_eq!((a, b, *w), (1, 2, 2.0));
+    }
+
+    #[test]
+    fn self_loop_single_adjacency_entry() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let v = g.add_vertex(());
+        g.add_edge(v, v, ());
+        assert_eq!(g.degree(v), 1);
+    }
+
+    #[test]
+    fn absorb_offsets_ids() {
+        let mut g = triangle();
+        let h = triangle();
+        let off = g.absorb(h);
+        assert_eq!(off, 3);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let mut g: Graph<(), ()> = Graph::new();
+        g.add_vertex(());
+        g.add_edge(0, 5, ());
+    }
+}

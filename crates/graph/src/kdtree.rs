@@ -1,0 +1,297 @@
+//! Static kd-tree for exact k-nearest-neighbour queries.
+//!
+//! Built once over a point set (median splits), queried many times — the
+//! access pattern of PRM's connection phase. Euclidean metric.
+
+use smp_geom::Point;
+use std::collections::BinaryHeap;
+
+/// A balanced kd-tree over an immutable point set.
+#[derive(Debug, Clone)]
+pub struct KdTree<const D: usize> {
+    /// Points in tree order (in-place median partitioned).
+    points: Vec<Point<D>>,
+    /// Original index of each point in tree order.
+    original: Vec<u32>,
+}
+
+/// Max-heap entry for bounded kNN (largest distance at the top).
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    idx: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.idx.cmp(&other.idx))
+    }
+}
+
+impl<const D: usize> KdTree<D> {
+    /// Build from a point set. `O(n log² n)` (median by sort per level).
+    pub fn build(points: &[Point<D>]) -> Self {
+        let mut original: Vec<u32> = (0..points.len() as u32).collect();
+        let mut pts: Vec<Point<D>> = points.to_vec();
+        if !pts.is_empty() {
+            Self::build_rec(&mut pts, &mut original, 0, 0, points.len());
+        }
+        KdTree {
+            points: pts,
+            original,
+        }
+    }
+
+    fn build_rec(
+        pts: &mut [Point<D>],
+        orig: &mut [u32],
+        axis: usize,
+        lo: usize,
+        hi: usize,
+    ) {
+        if hi - lo <= 1 {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        // median partition on `axis` via a simple index sort of the slice
+        let mut idx: Vec<usize> = (lo..hi).collect();
+        idx.sort_by(|&a, &b| pts[a][axis].total_cmp(&pts[b][axis]).then(orig[a].cmp(&orig[b])));
+        let mut new_pts: Vec<Point<D>> = Vec::with_capacity(hi - lo);
+        let mut new_orig: Vec<u32> = Vec::with_capacity(hi - lo);
+        for &i in &idx {
+            new_pts.push(pts[i]);
+            new_orig.push(orig[i]);
+        }
+        pts[lo..hi].copy_from_slice(&new_pts);
+        orig[lo..hi].copy_from_slice(&new_orig);
+        let next = (axis + 1) % D;
+        Self::build_rec(pts, orig, next, lo, mid);
+        Self::build_rec(pts, orig, next, mid + 1, hi);
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `k` nearest points to `query`, ascending by distance, as
+    /// `(original index, distance)`. Optionally excludes one original index.
+    /// Returns the number of candidate points examined via `examined`.
+    pub fn k_nearest_counted(
+        &self,
+        query: &Point<D>,
+        k: usize,
+        exclude: Option<u32>,
+        examined: &mut u64,
+    ) -> Vec<(usize, f64)> {
+        if self.points.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+        self.knn_rec(query, k, exclude, 0, 0, self.points.len(), &mut heap, examined);
+        let mut out: Vec<(usize, f64)> = heap
+            .into_iter()
+            .map(|h| (self.original[h.idx as usize] as usize, h.dist))
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The `k` nearest points to `query` (see [`KdTree::k_nearest_counted`]).
+    pub fn k_nearest(&self, query: &Point<D>, k: usize, exclude: Option<u32>) -> Vec<(usize, f64)> {
+        let mut n = 0;
+        self.k_nearest_counted(query, k, exclude, &mut n)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn knn_rec(
+        &self,
+        query: &Point<D>,
+        k: usize,
+        exclude: Option<u32>,
+        axis: usize,
+        lo: usize,
+        hi: usize,
+        heap: &mut BinaryHeap<HeapItem>,
+        examined: &mut u64,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let p = &self.points[mid];
+        *examined += 1;
+        if Some(self.original[mid]) != exclude {
+            let d = p.dist(query);
+            // Tie-stability: prefer the smaller original index on equal
+            // distance so results match the brute-force oracle exactly.
+            if heap.len() < k {
+                heap.push(HeapItem {
+                    dist: d,
+                    idx: mid as u32,
+                });
+            } else if let Some(top) = heap.peek() {
+                let cand = HeapItem {
+                    dist: d,
+                    idx: mid as u32,
+                };
+                let better = d < top.dist
+                    || (d == top.dist
+                        && self.original[cand.idx as usize] < self.original[top.idx as usize]);
+                if better {
+                    heap.pop();
+                    heap.push(cand);
+                }
+            }
+        }
+        let next = (axis + 1) % D;
+        let diff = query[axis] - p[axis];
+        let (first, second) = if diff <= 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
+        self.knn_rec(query, k, exclude, next, first.0, first.1, heap, examined);
+        let worst = heap.peek().map_or(f64::INFINITY, |h| h.dist);
+        if heap.len() < k || diff.abs() <= worst {
+            self.knn_rec(query, k, exclude, next, second.0, second.1, heap, examined);
+        }
+    }
+
+    /// All points within `radius` of `query`, ascending by distance.
+    pub fn within_radius(&self, query: &Point<D>, radius: f64) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        self.radius_rec(query, radius, 0, 0, self.points.len(), &mut out);
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    fn radius_rec(
+        &self,
+        query: &Point<D>,
+        radius: f64,
+        axis: usize,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let p = &self.points[mid];
+        let d = p.dist(query);
+        if d <= radius {
+            out.push((self.original[mid] as usize, d));
+        }
+        let next = (axis + 1) % D;
+        let diff = query[axis] - p[axis];
+        if diff <= radius {
+            self.radius_rec(query, radius, next, lo, mid, out);
+        }
+        if -diff <= radius {
+            self.radius_rec(query, radius, next, mid + 1, hi, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<3>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point::new([
+                    rng.random_range(0.0..1.0),
+                    rng.random_range(0.0..1.0),
+                    rng.random_range(0.0..1.0),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let pts = random_points(300, 17);
+        let tree = KdTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let q = Point::new([
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+            ]);
+            let fast = tree.k_nearest(&q, 7, None);
+            let slow = knn::k_nearest(&pts, &q, 7, None);
+            let fi: Vec<usize> = fast.iter().map(|&(i, _)| i).collect();
+            let si: Vec<usize> = slow.iter().map(|&(i, _)| i).collect();
+            assert_eq!(fi, si);
+        }
+    }
+
+    #[test]
+    fn exclusion() {
+        let pts = random_points(50, 3);
+        let tree = KdTree::build(&pts);
+        let nn = tree.k_nearest(&pts[10], 1, Some(10));
+        assert_ne!(nn[0].0, 10);
+        let with_self = tree.k_nearest(&pts[10], 1, None);
+        assert_eq!(with_self[0].0, 10);
+        assert_eq!(with_self[0].1, 0.0);
+    }
+
+    #[test]
+    fn empty_and_small() {
+        let tree: KdTree<2> = KdTree::build(&[]);
+        assert!(tree.k_nearest(&Point::zero(), 3, None).is_empty());
+        let one = KdTree::build(&[Point::new([1.0, 1.0])]);
+        let nn = one.k_nearest(&Point::zero(), 3, None);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].0, 0);
+    }
+
+    #[test]
+    fn within_radius_matches_brute() {
+        let pts = random_points(200, 5);
+        let tree = KdTree::build(&pts);
+        let q = Point::new([0.5, 0.5, 0.5]);
+        let fast = tree.within_radius(&q, 0.3);
+        let slow = knn::within_radius(&pts, &q, 0.3, None);
+        assert_eq!(
+            fast.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            slow.iter().map(|&(i, _)| i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn prunes_subtrees() {
+        // with clustered data, far queries should examine < n candidates
+        let pts = random_points(4096, 8);
+        let tree = KdTree::build(&pts);
+        let mut examined = 0u64;
+        let _ = tree.k_nearest_counted(&Point::new([0.01, 0.01, 0.01]), 3, None, &mut examined);
+        assert!(
+            examined < 4096,
+            "kd-tree examined every point ({examined}/4096)"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Brute-force k-nearest-neighbour search.
+//!
+//! Exact reference implementation used (a) directly by small regional
+//! planners, and (b) as the oracle against which the kd-tree is
+//! property-tested. Distances are Euclidean.
+
+use smp_geom::Point;
+
+/// Indices and distances of the `k` nearest points to `query` among
+/// `points`, sorted by ascending distance (ties broken by index).
+///
+/// `query_idx` optionally excludes one index (self-neighbour exclusion for
+/// roadmap connection).
+pub fn k_nearest<const D: usize>(
+    points: &[Point<D>],
+    query: &Point<D>,
+    k: usize,
+    exclude: Option<usize>,
+) -> Vec<(usize, f64)> {
+    let mut all: Vec<(usize, f64)> = points
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != exclude)
+        .map(|(i, p)| (i, p.dist(query)))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// All indices within `radius` of `query` (inclusive), ascending by distance.
+pub fn within_radius<const D: usize>(
+    points: &[Point<D>],
+    query: &Point<D>,
+    radius: f64,
+    exclude: Option<usize>,
+) -> Vec<(usize, f64)> {
+    let mut out: Vec<(usize, f64)> = points
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != exclude)
+        .map(|(i, p)| (i, p.dist(query)))
+        .filter(|&(_, d)| d <= radius)
+        .collect();
+    out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Index of the single nearest point (`None` for an empty set).
+pub fn nearest<const D: usize>(points: &[Point<D>], query: &Point<D>) -> Option<(usize, f64)> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, p.dist(query)))
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<Point<2>> {
+        vec![
+            Point::new([0.0, 0.0]),
+            Point::new([1.0, 0.0]),
+            Point::new([0.0, 2.0]),
+            Point::new([5.0, 5.0]),
+        ]
+    }
+
+    #[test]
+    fn k_nearest_sorted_ascending() {
+        let p = pts();
+        let nn = k_nearest(&p, &Point::new([0.1, 0.0]), 3, None);
+        assert_eq!(nn.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(nn[0].1 <= nn[1].1 && nn[1].1 <= nn[2].1);
+    }
+
+    #[test]
+    fn exclusion_skips_self() {
+        let p = pts();
+        let nn = k_nearest(&p, &p[0], 1, Some(0));
+        assert_eq!(nn[0].0, 1);
+    }
+
+    #[test]
+    fn k_larger_than_set() {
+        let p = pts();
+        let nn = k_nearest(&p, &Point::zero(), 10, None);
+        assert_eq!(nn.len(), 4);
+    }
+
+    #[test]
+    fn within_radius_filters() {
+        let p = pts();
+        let r = within_radius(&p, &Point::zero(), 2.0, None);
+        assert_eq!(r.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nearest_basic() {
+        let p = pts();
+        assert_eq!(nearest(&p, &Point::new([4.0, 4.0])).unwrap().0, 3);
+        let empty: Vec<Point<2>> = vec![];
+        assert!(nearest(&empty, &Point::zero()).is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! # smp-graph — graph substrate
+//!
+//! The planning stack is "essentially a large-scale graph problem" (paper
+//! §I). This crate provides:
+//!
+//! * [`Graph`] — a compact undirected adjacency-list graph with vertex and
+//!   edge payloads (the roadmap / tree representation);
+//! * [`UnionFind`] — connected-component tracking (cycle detection for RRT
+//!   region connection, CC queries for PRM);
+//! * [`KdTree`], the fixed-radius [`GridHash`], and brute-force [`knn`] —
+//!   nearest-neighbour search;
+//! * [`search`] — BFS / Dijkstra / A* for query resolution;
+//! * [`RegionGraph`] — the region adjacency graph of Algorithms 1 and 2;
+//! * [`partitioned`] — ownership maps and remote-access accounting that
+//!   emulate a distributed (STAPL pGraph-like) view of a graph.
+
+pub mod graph;
+pub mod gridhash;
+pub mod kdtree;
+pub mod knn;
+pub mod partitioned;
+pub mod region_graph;
+pub mod search;
+pub mod union_find;
+
+pub use graph::{EdgeId, Graph, VertexId};
+pub use gridhash::GridHash;
+pub use kdtree::KdTree;
+pub use partitioned::{OwnerMap, RemoteAccessCounter};
+pub use region_graph::RegionGraph;
+pub use union_find::UnionFind;

@@ -1,0 +1,175 @@
+//! Cross-region roadmap connection.
+//!
+//! Lines 10–12 of Algorithm 1 / lines 13–18 of Algorithm 2: for each region
+//! graph edge, attempt local plans between the two regional roadmaps. The
+//! number of candidate pairs examined here is exactly the "remote access"
+//! traffic that Figure 7(b) measures when the two regions live on different
+//! processors.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use smp_cspace::{Cfg, LocalPlanner, ValidityChecker, WorkCounters};
+
+/// A feasible connection found between two regional roadmaps: indices into
+/// the respective cfg arrays plus the edge length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateEdge {
+    pub from: u32,
+    pub to: u32,
+    pub length: f64,
+}
+
+/// Attempt connections between two regional roadmaps.
+///
+/// For each of up to `max_pairs` closest cross-region configuration pairs, a
+/// local plan is attempted; feasible ones are returned. Pairs are examined
+/// in ascending distance so short boundary connections are found first.
+/// `_rng` reserved for randomized pair subsampling strategies.
+pub fn connect_roadmaps<const D: usize, V, L, R>(
+    a_cfgs: &[Cfg<D>],
+    b_cfgs: &[Cfg<D>],
+    validity: &V,
+    local_planner: &L,
+    max_pairs: usize,
+    stop_after: usize,
+    work: &mut WorkCounters,
+    _rng: &mut R,
+) -> Vec<CandidateEdge>
+where
+    V: ValidityChecker<D>,
+    L: LocalPlanner<D>,
+    R: Rng + ?Sized,
+{
+    if a_cfgs.is_empty() || b_cfgs.is_empty() || max_pairs == 0 {
+        return Vec::new();
+    }
+    // All cross pairs, sorted by distance. Regional roadmaps are small (a
+    // handful of samples), so the quadratic enumeration is the dominant
+    // idiom in practice; the candidate count is charged as kNN work.
+    let mut pairs: Vec<(f64, u32, u32)> = Vec::with_capacity(a_cfgs.len() * b_cfgs.len());
+    for (i, qa) in a_cfgs.iter().enumerate() {
+        for (j, qb) in b_cfgs.iter().enumerate() {
+            pairs.push((qa.dist(qb), i as u32, j as u32));
+        }
+    }
+    work.knn_queries += 1;
+    work.knn_candidates += pairs.len() as u64;
+    pairs.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)).then(x.2.cmp(&y.2)));
+
+    let mut out = Vec::new();
+    for &(dist, i, j) in pairs.iter().take(max_pairs) {
+        let res = local_planner.check(&a_cfgs[i as usize], &b_cfgs[j as usize], validity, work);
+        if res.valid {
+            out.push(CandidateEdge {
+                from: i,
+                to: j,
+                length: dist,
+            });
+            if out.len() >= stop_after {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smp_cspace::validity::FnValidity;
+    use smp_cspace::StraightLinePlanner;
+    use smp_geom::Point;
+
+    fn cfgs(xs: &[f64]) -> Vec<Cfg<2>> {
+        xs.iter().map(|&x| Point::new([x, 0.0])).collect()
+    }
+
+    #[test]
+    fn connects_nearest_pairs_first() {
+        let a = cfgs(&[0.0, 0.4]);
+        let b = cfgs(&[0.5, 2.0]);
+        let v = FnValidity(|_: &Cfg<2>| true);
+        let lp = StraightLinePlanner::new(0.1);
+        let mut w = WorkCounters::new();
+        let edges = connect_roadmaps(
+            &a,
+            &b,
+            &v,
+            &lp,
+            4,
+            1,
+            &mut w,
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(edges.len(), 1);
+        // nearest pair is a[1] (0.4) to b[0] (0.5)
+        assert_eq!((edges[0].from, edges[0].to), (1, 0));
+        assert!((edges[0].length - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocked_boundary_yields_nothing() {
+        let a = cfgs(&[0.0]);
+        let b = cfgs(&[1.0]);
+        // wall between 0.4 and 0.6
+        let v = FnValidity(|q: &Cfg<2>| !(0.4..=0.6).contains(&q[0]));
+        let lp = StraightLinePlanner::new(0.05);
+        let mut w = WorkCounters::new();
+        let edges = connect_roadmaps(
+            &a,
+            &b,
+            &v,
+            &lp,
+            10,
+            10,
+            &mut w,
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert!(edges.is_empty());
+        assert!(w.lp_calls >= 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v = FnValidity(|_: &Cfg<2>| true);
+        let lp = StraightLinePlanner::new(0.1);
+        let mut w = WorkCounters::new();
+        let empty: Vec<Cfg<2>> = vec![];
+        let some = cfgs(&[1.0]);
+        assert!(connect_roadmaps(
+            &empty,
+            &some,
+            &v,
+            &lp,
+            5,
+            5,
+            &mut w,
+            &mut StdRng::seed_from_u64(0)
+        )
+        .is_empty());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn max_pairs_bounds_work() {
+        let a = cfgs(&[0.0, 0.1, 0.2, 0.3]);
+        let b = cfgs(&[1.0, 1.1, 1.2, 1.3]);
+        let v = FnValidity(|_: &Cfg<2>| true);
+        let lp = StraightLinePlanner::new(0.5);
+        let mut w = WorkCounters::new();
+        let _ = connect_roadmaps(
+            &a,
+            &b,
+            &v,
+            &lp,
+            3,
+            100,
+            &mut w,
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(w.lp_calls, 3);
+        assert_eq!(w.knn_candidates, 16);
+    }
+}

@@ -1,0 +1,107 @@
+//! Roadmap/tree export for external visualization.
+//!
+//! Two plain formats:
+//! * CSV — `vertex,<coords...>` and `edge,<a>,<b>,<length>` rows;
+//! * Wavefront OBJ (for D >= 3, using the first three coordinates) —
+//!   drop the file into any mesh viewer to see the roadmap as a wireframe.
+
+use crate::roadmap::Roadmap;
+use std::io::{self, Write};
+
+/// Write a roadmap as CSV rows to any writer.
+pub fn write_csv<const D: usize, W: Write>(map: &Roadmap<D>, out: &mut W) -> io::Result<()> {
+    for v in map.vertex_ids() {
+        let q = map.vertex(v);
+        write!(out, "vertex,{v}")?;
+        for i in 0..D {
+            write!(out, ",{}", q[i])?;
+        }
+        writeln!(out)?;
+    }
+    for (a, b, w) in map.edges() {
+        writeln!(out, "edge,{a},{b},{w}")?;
+    }
+    Ok(())
+}
+
+/// Write a roadmap as a Wavefront OBJ wireframe (first 3 coordinates;
+/// requires `D >= 3` semantically, lower dimensions are zero-padded).
+pub fn write_obj<const D: usize, W: Write>(map: &Roadmap<D>, out: &mut W) -> io::Result<()> {
+    writeln!(out, "# smp roadmap: {} vertices, {} edges", map.num_vertices(), map.num_edges())?;
+    for v in map.vertex_ids() {
+        let q = map.vertex(v);
+        let coord = |i: usize| if i < D { q[i] } else { 0.0 };
+        writeln!(out, "v {} {} {}", coord(0), coord(1), coord(2))?;
+    }
+    for (a, b, _) in map.edges() {
+        // OBJ line elements are 1-indexed
+        writeln!(out, "l {} {}", a + 1, b + 1)?;
+    }
+    Ok(())
+}
+
+/// Convenience: export to a file path by extension (`.csv` or `.obj`).
+pub fn export_path<const D: usize>(map: &Roadmap<D>, path: &std::path::Path) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("obj") => write_obj(map, &mut f),
+        _ => write_csv(map, &mut f),
+    }?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_geom::Point;
+
+    fn sample_map() -> Roadmap<3> {
+        let mut m = Roadmap::new();
+        let a = m.add_vertex(Point::new([0.0, 0.0, 0.0]));
+        let b = m.add_vertex(Point::new([1.0, 0.5, 0.25]));
+        m.add_edge(a, b, 1.0);
+        m
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut buf = Vec::new();
+        write_csv(&sample_map(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("vertex,0,0,0,0"));
+        assert!(text.contains("vertex,1,1,0.5,0.25"));
+        assert!(text.contains("edge,0,1,1"));
+    }
+
+    #[test]
+    fn obj_format_one_indexed() {
+        let mut buf = Vec::new();
+        write_obj(&sample_map(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("v 0 0 0"));
+        assert!(text.contains("v 1 0.5 0.25"));
+        assert!(text.contains("l 1 2"));
+    }
+
+    #[test]
+    fn obj_pads_low_dimensions() {
+        let mut m: Roadmap<2> = Roadmap::new();
+        m.add_vertex(Point::new([0.5, 0.75]));
+        let mut buf = Vec::new();
+        write_obj(&m, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("v 0.5 0.75 0"));
+    }
+
+    #[test]
+    fn export_by_extension() {
+        let dir = std::env::temp_dir().join("smp_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let obj = dir.join("m.obj");
+        let csv = dir.join("m.csv");
+        export_path(&sample_map(), &obj).unwrap();
+        export_path(&sample_map(), &csv).unwrap();
+        assert!(std::fs::read_to_string(&obj).unwrap().starts_with("# smp roadmap"));
+        assert!(std::fs::read_to_string(&csv).unwrap().starts_with("vertex,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

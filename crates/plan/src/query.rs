@@ -1,0 +1,179 @@
+//! Query resolution: connect start and goal to a roadmap and extract a path.
+//!
+//! PRM query processing per §II-B.1: "connecting the start and goal
+//! configurations to the roadmap and extracting a path through the roadmap
+//! that connects them."
+
+use crate::roadmap::Roadmap;
+use smp_cspace::{Cfg, LocalPlanner, ValidityChecker, WorkCounters};
+use smp_graph::search;
+use smp_graph::KdTree;
+
+/// A solved query: the configuration path (start..=goal) and its length.
+#[derive(Debug, Clone)]
+pub struct QueryResult<const D: usize> {
+    pub path: Vec<Cfg<D>>,
+    pub length: f64,
+}
+
+/// Try to solve `start -> goal` against `roadmap`.
+///
+/// Both endpoints are connected to up to `k` nearest roadmap vertices via
+/// the local planner, then A* (straight-line heuristic) extracts a shortest
+/// path. Returns `None` when no connection exists.
+pub fn solve_query<const D: usize, V, L>(
+    roadmap: &Roadmap<D>,
+    start: Cfg<D>,
+    goal: Cfg<D>,
+    validity: &V,
+    local_planner: &L,
+    k: usize,
+    work: &mut WorkCounters,
+) -> Option<QueryResult<D>>
+where
+    V: ValidityChecker<D>,
+    L: LocalPlanner<D>,
+{
+    if !validity.is_valid(&start, work) || !validity.is_valid(&goal, work) {
+        return None;
+    }
+    // direct connection?
+    if local_planner.check(&start, &goal, validity, work).valid {
+        return Some(QueryResult {
+            path: vec![start, goal],
+            length: start.dist(&goal),
+        });
+    }
+    if roadmap.num_vertices() == 0 {
+        return None;
+    }
+
+    // Work on an augmented copy: roadmap + start + goal.
+    let mut g = roadmap.clone();
+    let s = g.add_vertex(start);
+    let t = g.add_vertex(goal);
+
+    let cfgs: Vec<Cfg<D>> = roadmap.vertices().copied().collect();
+    let tree = KdTree::build(&cfgs);
+    for (endpoint, vid) in [(start, s), (goal, t)] {
+        work.knn_queries += 1;
+        let nns = tree.k_nearest_counted(&endpoint, k, None, &mut work.knn_candidates);
+        for (j, dist) in nns {
+            if local_planner
+                .check(&endpoint, &cfgs[j], validity, work)
+                .valid
+            {
+                g.add_edge(vid, j as u32, dist);
+            }
+        }
+    }
+
+    let (path_ids, length) = search::astar(&g, s, t, |w| *w, |v| g.vertex(v).dist(&goal))?;
+    Some(QueryResult {
+        path: path_ids.into_iter().map(|v| *g.vertex(v)).collect(),
+        length,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prm::{build_prm, PrmParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smp_cspace::{BoxSampler, EnvValidity, StraightLinePlanner};
+    use smp_geom::{envs, Point};
+
+    #[test]
+    fn direct_connection_short_circuits() {
+        let env = envs::free_env();
+        let v = EnvValidity::new(&env, 0.0);
+        let lp = StraightLinePlanner::new(0.05);
+        let map: Roadmap<3> = Roadmap::new();
+        let mut w = WorkCounters::new();
+        let res = solve_query(
+            &map,
+            Point::splat(0.1),
+            Point::splat(0.2),
+            &v,
+            &lp,
+            3,
+            &mut w,
+        )
+        .unwrap();
+        assert_eq!(res.path.len(), 2);
+    }
+
+    #[test]
+    fn query_through_roadmap_around_obstacle() {
+        let env = envs::med_cube();
+        let v = EnvValidity::new(&env, 0.0);
+        let lp = StraightLinePlanner::new(0.02);
+        let sampler = BoxSampler::new(*env.bounds());
+        let params = PrmParams {
+            num_samples: 300,
+            k_neighbors: 8,
+            ..Default::default()
+        };
+        let prm = build_prm(&sampler, &v, &lp, &params, &mut StdRng::seed_from_u64(2));
+        let mut w = WorkCounters::new();
+        // corner-to-corner goes through the central cube if straight
+        let res = solve_query(
+            &prm.roadmap,
+            Point::splat(0.05),
+            Point::splat(0.95),
+            &v,
+            &lp,
+            10,
+            &mut w,
+        );
+        let res = res.expect("query should be solvable with a 300-sample roadmap");
+        assert!(res.path.len() >= 2);
+        assert_eq!(res.path[0], Point::splat(0.05));
+        assert_eq!(*res.path.last().unwrap(), Point::splat(0.95));
+        // path length >= straight-line distance
+        assert!(res.length >= Point::<3>::splat(0.05).dist(&Point::splat(0.95)) - 1e-9);
+        // every waypoint is valid
+        for q in &res.path {
+            assert!(env.is_valid(q, 0.0));
+        }
+    }
+
+    #[test]
+    fn invalid_endpoints_fail() {
+        let env = envs::med_cube();
+        let v = EnvValidity::new(&env, 0.0);
+        let lp = StraightLinePlanner::new(0.05);
+        let map: Roadmap<3> = Roadmap::new();
+        let mut w = WorkCounters::new();
+        assert!(solve_query(
+            &map,
+            Point::splat(0.5), // inside obstacle
+            Point::splat(0.9),
+            &v,
+            &lp,
+            3,
+            &mut w
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn empty_roadmap_unsolvable_when_not_direct() {
+        let env = envs::med_cube();
+        let v = EnvValidity::new(&env, 0.0);
+        let lp = StraightLinePlanner::new(0.02);
+        let map: Roadmap<3> = Roadmap::new();
+        let mut w = WorkCounters::new();
+        assert!(solve_query(
+            &map,
+            Point::new([0.05, 0.5, 0.5]),
+            Point::new([0.95, 0.5, 0.5]), // straight line blocked by cube
+            &v,
+            &lp,
+            3,
+            &mut w
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,278 @@
+//! Sequential Rapidly-exploring Random Tree (RRT).
+//!
+//! LaValle–Kuffner 2001, as invoked per region by the uniform radial
+//! subdivision parallel RRT (Algorithm 2, line 11). The regional variant
+//! grows a branch rooted at (or near) `q_root`, biased toward the region's
+//! target `q_i`, and constrained to stay inside the region's (overlapping)
+//! cone via a membership predicate.
+
+use crate::roadmap::Roadmap;
+use rand::{Rng, RngExt};
+use smp_cspace::{Cfg, LocalPlanner, Sampler, ValidityChecker, WorkCounters};
+
+/// RRT parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RrtParams {
+    /// Stop after this many tree nodes.
+    pub num_nodes: usize,
+    /// Maximum extension step `Δq`.
+    pub step_size: f64,
+    /// Probability of sampling the bias target instead of a random point.
+    pub target_bias: f64,
+    /// Give up after this many iterations (important in blocked regions).
+    pub max_iters: usize,
+    /// Give up after this many consecutive iterations without adding a
+    /// node ("no progress" cut-off): fully-blocked regions exit cheaply,
+    /// while narrow-passage regions that keep making occasional progress
+    /// run long — the heavy-tailed work distribution that makes radial RRT
+    /// hard to balance (§III-B).
+    pub stall_limit: usize,
+}
+
+impl Default for RrtParams {
+    fn default() -> Self {
+        RrtParams {
+            num_nodes: 100,
+            step_size: 0.05,
+            target_bias: 0.05,
+            max_iters: 10_000,
+            stall_limit: usize::MAX,
+        }
+    }
+}
+
+/// Output of an RRT growth.
+#[derive(Debug, Clone)]
+pub struct RrtResult<const D: usize> {
+    /// The tree (vertex 0 is the root). Always acyclic.
+    pub tree: Roadmap<D>,
+    pub work: WorkCounters,
+    /// True if a node within `step_size` of the bias target was added.
+    pub reached_target: bool,
+}
+
+/// Grow an RRT from `root`.
+///
+/// * `target` — optional bias configuration (`q_i` in Algorithm 2);
+/// * `in_region` — membership predicate; `q_new` outside the region is
+///   rejected (pass `|_| true` for unconstrained growth);
+/// * all randomness comes from `rng`.
+///
+/// Returns an empty tree if the root itself is invalid (a region whose apex
+/// is blocked).
+pub fn grow_rrt<const D: usize, S, V, L, R, F>(
+    root: Cfg<D>,
+    target: Option<Cfg<D>>,
+    in_region: F,
+    sampler: &S,
+    validity: &V,
+    local_planner: &L,
+    params: &RrtParams,
+    rng: &mut R,
+) -> RrtResult<D>
+where
+    S: Sampler<D>,
+    V: ValidityChecker<D>,
+    L: LocalPlanner<D>,
+    R: Rng + ?Sized,
+    F: Fn(&Cfg<D>) -> bool,
+{
+    let mut work = WorkCounters::new();
+    let mut tree: Roadmap<D> = Roadmap::new();
+    let mut reached = false;
+
+    if !validity.is_valid(&root, &mut work) {
+        return RrtResult {
+            tree,
+            work,
+            reached_target: false,
+        };
+    }
+    tree.add_vertex(root);
+    work.vertices_added += 1;
+
+    let mut nodes: Vec<Cfg<D>> = vec![root];
+    let mut iters = 0usize;
+    let mut stalled = 0usize;
+    while nodes.len() < params.num_nodes && iters < params.max_iters && stalled < params.stall_limit
+    {
+        iters += 1;
+        stalled += 1;
+        // 1. q_rand (biased toward the region target)
+        let q_rand = match target {
+            Some(t) if rng.random_range(0.0..1.0) < params.target_bias => t,
+            _ => sampler.sample(rng, &mut work),
+        };
+        // 2. q_near: nearest tree node (linear scan — regional trees are
+        // small; the scan cost is charged as knn candidates)
+        work.knn_queries += 1;
+        work.knn_candidates += nodes.len() as u64;
+        let (near_idx, near_dist) = match smp_graph::knn::nearest(&nodes, &q_rand) {
+            Some(x) => x,
+            None => break,
+        };
+        if near_dist <= 1e-12 {
+            continue; // q_rand duplicates an existing node
+        }
+        // 3. extend q_near toward q_rand by at most Δq
+        let q_near = nodes[near_idx];
+        let t = (params.step_size / near_dist).min(1.0);
+        let q_new = q_near.lerp(&q_rand, t);
+        if !in_region(&q_new) {
+            continue;
+        }
+        if !validity.is_valid(&q_new, &mut work) {
+            continue;
+        }
+        let lp = local_planner.check(&q_near, &q_new, validity, &mut work);
+        if !lp.valid {
+            continue;
+        }
+        // 4. add node + edge
+        let new_id = tree.add_vertex(q_new);
+        work.vertices_added += 1;
+        tree.add_edge(near_idx as u32, new_id, q_near.dist(&q_new));
+        work.edges_added += 1;
+        nodes.push(q_new);
+        stalled = 0;
+        if let Some(t) = target {
+            if q_new.dist(&t) <= params.step_size {
+                reached = true;
+            }
+        }
+    }
+
+    RrtResult {
+        tree,
+        work,
+        reached_target: reached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roadmap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smp_cspace::{BoxSampler, EnvValidity, StraightLinePlanner};
+    use smp_geom::{envs, Aabb, Point};
+
+    fn grow(env: &smp_geom::Environment<3>, n: usize, seed: u64) -> RrtResult<3> {
+        let sampler = BoxSampler::new(*env.bounds());
+        let validity = EnvValidity::new(env, 0.0);
+        let lp = StraightLinePlanner::new(0.02);
+        let params = RrtParams {
+            num_nodes: n,
+            step_size: 0.08,
+            target_bias: 0.05,
+            max_iters: 20_000,
+            stall_limit: usize::MAX,
+        };
+        grow_rrt(
+            Point::splat(0.5),
+            Some(Point::new([0.9, 0.9, 0.9])),
+            |_| true,
+            &sampler,
+            &validity,
+            &lp,
+            &params,
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn tree_is_acyclic_and_connected() {
+        let env = envs::free_env();
+        let res = grow(&env, 80, 1);
+        assert_eq!(res.tree.num_vertices(), 80);
+        // a tree: |E| = |V| - 1 and connected
+        assert_eq!(res.tree.num_edges(), 79);
+        let (_, ncomp) = smp_graph::search::connected_components(&res.tree);
+        assert_eq!(ncomp, 1);
+        assert!(roadmap::check_invariants(&res.tree).is_ok());
+    }
+
+    #[test]
+    fn edges_respect_step_size() {
+        let env = envs::free_env();
+        let res = grow(&env, 60, 2);
+        for (_, _, w) in res.tree.edges() {
+            assert!(*w <= 0.08 + 1e-9, "edge longer than Δq: {w}");
+        }
+    }
+
+    #[test]
+    fn blocked_root_returns_empty() {
+        let env = envs::med_cube();
+        let sampler = BoxSampler::new(*env.bounds());
+        let validity = EnvValidity::new(&env, 0.0);
+        let lp = StraightLinePlanner::new(0.02);
+        let res = grow_rrt(
+            Point::splat(0.5), // inside the obstacle
+            None,
+            |_| true,
+            &sampler,
+            &validity,
+            &lp,
+            &RrtParams::default(),
+            &mut StdRng::seed_from_u64(1),
+        );
+        assert_eq!(res.tree.num_vertices(), 0);
+    }
+
+    #[test]
+    fn region_constraint_respected() {
+        let env = envs::free_env();
+        let half = Aabb::new(Point::zero(), Point::new([0.5, 1.0, 1.0]));
+        let sampler = BoxSampler::new(*env.bounds());
+        let validity = EnvValidity::new(&env, 0.0);
+        let lp = StraightLinePlanner::new(0.02);
+        let params = RrtParams {
+            num_nodes: 50,
+            step_size: 0.05,
+            target_bias: 0.0,
+            max_iters: 20_000,
+            stall_limit: usize::MAX,
+        };
+        let res = grow_rrt(
+            Point::new([0.25, 0.5, 0.5]),
+            None,
+            |q| half.contains(q),
+            &sampler,
+            &validity,
+            &lp,
+            &params,
+            &mut StdRng::seed_from_u64(4),
+        );
+        assert!(res.tree.num_vertices() > 1);
+        for q in res.tree.vertices() {
+            assert!(half.contains(q), "node escaped region: {q:?}");
+        }
+    }
+
+    #[test]
+    fn obstacles_reduce_growth() {
+        let free = grow(&envs::free_env(), 100, 9);
+        let blocked = grow(&envs::med_cube(), 100, 9);
+        // identical budget: obstructed growth does at least as much work per
+        // node and rejects more extensions
+        assert!(free.tree.num_vertices() >= blocked.tree.num_vertices());
+    }
+
+    #[test]
+    fn bias_reaches_target_in_free_space() {
+        let env = envs::free_env();
+        let res = grow(&env, 200, 5);
+        assert!(res.reached_target, "biased RRT should reach its target");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let env = envs::med_cube();
+        let a = grow(&env, 60, 13);
+        let b = grow(&env, 60, 13);
+        assert_eq!(a.work, b.work);
+        assert_eq!(a.tree.num_vertices(), b.tree.num_vertices());
+    }
+}

@@ -1,0 +1,119 @@
+//! Path post-processing: shortcut smoothing.
+//!
+//! Roadmap/tree paths zig-zag through sampled configurations; shortcut
+//! smoothing repeatedly replaces sub-paths by direct local plans. Standard
+//! post-processing for any sampling-based planner's query output.
+
+use rand::{Rng, RngExt};
+use smp_cspace::{Cfg, LocalPlanner, ValidityChecker, WorkCounters};
+
+/// Shortcut-smooth `path` in place: for `iterations` rounds, pick two
+/// random waypoints and, when the direct local plan between them is valid,
+/// splice out everything in between. Returns the number of successful
+/// shortcuts.
+///
+/// The path's endpoints never move; the result is always a valid path if
+/// the input was (segment validity is only ever replaced by a validated
+/// direct segment).
+pub fn shortcut_smooth<const D: usize, V, L, R>(
+    path: &mut Vec<Cfg<D>>,
+    validity: &V,
+    local_planner: &L,
+    iterations: usize,
+    rng: &mut R,
+    work: &mut WorkCounters,
+) -> usize
+where
+    V: ValidityChecker<D>,
+    L: LocalPlanner<D>,
+    R: Rng + ?Sized,
+{
+    let mut shortcuts = 0;
+    for _ in 0..iterations {
+        if path.len() < 3 {
+            break;
+        }
+        let i = rng.random_range(0..path.len() - 2);
+        let j = rng.random_range(i + 2..path.len());
+        let out = local_planner.check(&path[i], &path[j], validity, work);
+        if out.valid {
+            path.drain(i + 1..j);
+            shortcuts += 1;
+        }
+    }
+    shortcuts
+}
+
+/// Total Euclidean length of a waypoint path.
+pub fn path_length<const D: usize>(path: &[Cfg<D>]) -> f64 {
+    path.windows(2).map(|w| w[0].dist(&w[1])).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smp_cspace::validity::FnValidity;
+    use smp_cspace::StraightLinePlanner;
+    use smp_geom::Point;
+
+    fn zigzag() -> Vec<Cfg<2>> {
+        (0..11)
+            .map(|i| Point::new([i as f64 / 10.0, if i % 2 == 0 { 0.0 } else { 0.2 }]))
+            .collect()
+    }
+
+    #[test]
+    fn smoothing_shortens_free_paths() {
+        let mut path = zigzag();
+        let before = path_length(&path);
+        let v = FnValidity(|_: &Cfg<2>| true);
+        let lp = StraightLinePlanner::new(0.01);
+        let mut w = WorkCounters::new();
+        let n = shortcut_smooth(&mut path, &v, &lp, 100, &mut StdRng::seed_from_u64(1), &mut w);
+        assert!(n > 0);
+        assert!(path_length(&path) < before);
+        // endpoints preserved
+        assert_eq!(path.first(), Some(&Point::new([0.0, 0.0])));
+        assert_eq!(path.last(), Some(&Point::new([1.0, 0.0])));
+        // fully-free space: collapses to the straight segment
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn smoothing_respects_obstacles() {
+        // wall at x in (0.45, 0.55) with a hole at y > 0.5: the path detours
+        // through the hole and must keep doing so
+        let blocked =
+            |q: &Cfg<2>| !((0.45..=0.55).contains(&q[0]) && q[1] < 0.5);
+        let v = FnValidity(blocked);
+        let lp = StraightLinePlanner::new(0.01);
+        let mut path = vec![
+            Point::new([0.0, 0.0]),
+            Point::new([0.2, 0.3]),
+            Point::new([0.5, 0.7]),
+            Point::new([0.8, 0.3]),
+            Point::new([1.0, 0.0]),
+        ];
+        let mut w = WorkCounters::new();
+        shortcut_smooth(&mut path, &v, &lp, 200, &mut StdRng::seed_from_u64(2), &mut w);
+        // every remaining segment must still be valid
+        for seg in path.windows(2) {
+            assert!(lp.check(&seg[0], &seg[1], &v, &mut w).valid);
+        }
+        // it cannot be the straight line (that crosses the wall)
+        assert!(path.len() >= 3, "smoothed through the wall: {path:?}");
+    }
+
+    #[test]
+    fn degenerate_paths_untouched() {
+        let v = FnValidity(|_: &Cfg<2>| true);
+        let lp = StraightLinePlanner::new(0.01);
+        let mut w = WorkCounters::new();
+        let mut short = vec![Point::new([0.0, 0.0]), Point::new([1.0, 1.0])];
+        let n = shortcut_smooth(&mut short, &v, &lp, 50, &mut StdRng::seed_from_u64(3), &mut w);
+        assert_eq!(n, 0);
+        assert_eq!(short.len(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Migration message encoding.
+//!
+//! When a region's ownership is transferred (steal grant or bulk
+//! redistribution), the region descriptor and any already-built roadmap
+//! payload move between PEs. This module gives that payload a concrete wire
+//! format so transfer costs can be charged by *encoded size* rather than by
+//! guess, and so the simulated runtime has a faithful serialization
+//! boundary.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A region-migration message: the region id plus the flat `f64` coordinate
+/// payload of any roadmap vertices moving with it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationMsg {
+    pub region: u32,
+    pub from_pe: u32,
+    pub to_pe: u32,
+    /// Flattened vertex coordinates (dimension implied by context).
+    pub payload: Vec<f64>,
+}
+
+impl MigrationMsg {
+    /// Encode to a wire buffer: header (region, from, to, len) + payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.payload.len() * 8);
+        buf.put_u32_le(self.region);
+        buf.put_u32_le(self.from_pe);
+        buf.put_u32_le(self.to_pe);
+        buf.put_u32_le(self.payload.len() as u32);
+        for &v in &self.payload {
+            buf.put_f64_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Decode from a wire buffer. Returns `None` on malformed input.
+    pub fn decode(mut buf: Bytes) -> Option<MigrationMsg> {
+        if buf.remaining() < 16 {
+            return None;
+        }
+        let region = buf.get_u32_le();
+        let from_pe = buf.get_u32_le();
+        let to_pe = buf.get_u32_le();
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() != len * 8 {
+            return None;
+        }
+        let mut payload = Vec::with_capacity(len);
+        for _ in 0..len {
+            payload.push(buf.get_f64_le());
+        }
+        Some(MigrationMsg {
+            region,
+            from_pe,
+            to_pe,
+            payload,
+        })
+    }
+
+    /// Encoded size in bytes (without materializing the buffer).
+    pub fn encoded_len(&self) -> usize {
+        16 + self.payload.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let msg = MigrationMsg {
+            region: 42,
+            from_pe: 3,
+            to_pe: 17,
+            payload: vec![1.5, -2.25, 0.0, 1e300],
+        };
+        let wire = msg.encode();
+        assert_eq!(wire.len(), msg.encoded_len());
+        let back = MigrationMsg::decode(wire).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let msg = MigrationMsg {
+            region: 0,
+            from_pe: 0,
+            to_pe: 1,
+            payload: vec![],
+        };
+        let back = MigrationMsg::decode(msg.encode()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(MigrationMsg::decode(Bytes::from_static(b"xx")).is_none());
+        // truncated payload
+        let msg = MigrationMsg {
+            region: 1,
+            from_pe: 0,
+            to_pe: 1,
+            payload: vec![1.0, 2.0],
+        };
+        let wire = msg.encode();
+        let truncated = wire.slice(0..wire.len() - 4);
+        assert!(MigrationMsg::decode(truncated).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! # smp-runtime — simulated distributed runtime + real thread pool
+//!
+//! The paper runs on STAPL over MPI on a Cray XE6 and an Opteron cluster.
+//! This crate substitutes that stack with two components (DESIGN.md §2):
+//!
+//! 1. A **deterministic discrete-event simulator** ([`sim`]) of a
+//!    distributed-memory machine: virtual processing elements with per-PE
+//!    clocks and task deques, intra-/inter-node message latencies, a
+//!    work-stealing engine with the paper's three victim-selection policies
+//!    ([`steal`]), and full scheduling statistics ([`sim::SimReport`]).
+//!    Task *costs* are measured by really executing the planners once
+//!    (region work is location-independent); every load-balancing strategy
+//!    is then replayed exactly in virtual time.
+//! 2. A **real work-stealing thread pool** ([`threadpool`]) built on
+//!    `crossbeam-deque`, used for genuine on-host parallelism (examples,
+//!    one-pass cost measurement, wall-clock benches).
+//!
+//! [`machine`] defines the virtual machine models (`HOPPER`, `OPTERON`);
+//! [`topology`] the 2-D processor mesh used by diffusive stealing;
+//! [`comm`] the migration message encoding.
+
+pub mod comm;
+pub mod machine;
+pub mod metrics;
+pub mod sim;
+pub mod steal;
+pub mod threadpool;
+pub mod topology;
+
+pub use machine::{LatencyModel, MachineModel, OpCosts};
+pub use sim::{simulate, simulate_with_payloads, SimConfig, SimReport, StealAmount, StealConfig};
+pub use steal::StealPolicyKind;
+pub use threadpool::WorkStealingPool;
+pub use topology::Mesh;
+
+/// Virtual time in nanoseconds.
+pub type VTime = u64;

@@ -1,0 +1,78 @@
+//! Small statistics helpers used across reports and the figure harness.
+
+/// Mean of a slice (0.0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Coefficient of variation σ/μ — the paper's load-imbalance measure
+/// ("defined to be the ratio of the standard deviation σ and mean µ load",
+/// §IV-B). Returns 0.0 when the mean is zero.
+pub fn cov(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m.abs() < 1e-300 {
+        return 0.0;
+    }
+    stddev(xs) / m
+}
+
+/// CoV over unsigned integer loads.
+pub fn cov_u64(xs: &[u64]) -> f64 {
+    let f: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+    cov(&f)
+}
+
+/// Percentage improvement of `new` over `old` (positive = better/lower).
+pub fn percent_improvement(old: f64, new: f64) -> f64 {
+    if old.abs() < 1e-300 {
+        return 0.0;
+    }
+    (old - new) / old * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_uniform_is_zero() {
+        assert_eq!(cov(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(cov(&[]), 0.0);
+        assert_eq!(cov_u64(&[5, 5, 5, 5]), 0.0);
+    }
+
+    #[test]
+    fn cov_scales_free() {
+        // CoV is scale-invariant
+        let a = cov(&[1.0, 2.0, 3.0]);
+        let b = cov(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn improvement_percentage() {
+        assert!((percent_improvement(200.0, 100.0) - 50.0).abs() < 1e-12);
+        assert!((percent_improvement(100.0, 120.0) + 20.0).abs() < 1e-12);
+        assert_eq!(percent_improvement(0.0, 10.0), 0.0);
+    }
+}

@@ -1,0 +1,715 @@
+//! Deterministic discrete-event simulation of a distributed task run.
+//!
+//! Models Algorithm 3 of the paper exactly: every PE owns a deque of region
+//! tasks; it executes them front-to-back; on running dry it issues steal
+//! requests to victims chosen by the configured policy, and a victim
+//! surrenders part of the *back* of its deque ("work is stolen from the back
+//! of its local work queue", §III-A). Ownership transfers with the steal.
+//!
+//! Time is virtual (nanoseconds). All randomness comes from one seeded RNG
+//! consumed in deterministic event order, so a simulation is a pure function
+//! of `(task costs, assignment, config)` — which is what lets the figure
+//! harness replay every load-balancing strategy against identical measured
+//! workloads.
+
+use crate::machine::MachineModel;
+use crate::steal::StealPolicyKind;
+use crate::topology::Mesh;
+use crate::VTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// How much of a victim's queue a successful steal takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StealAmount {
+    /// Half of the unstarted tasks (at least one).
+    Half,
+    /// A single region per steal — the default, matching the behaviour the
+    /// paper reports (per-PE stolen-task counts in the hundreds, Fig. 9(a),
+    /// and work stealing consistently trailing repartitioning, §IV-C.2).
+    One,
+    /// A fixed chunk (clamped to the queue length).
+    Fixed(usize),
+}
+
+impl StealAmount {
+    fn take(&self, avail: usize) -> usize {
+        match *self {
+            StealAmount::Half => (avail / 2).max(1),
+            StealAmount::One => 1,
+            StealAmount::Fixed(n) => n.clamp(1, avail),
+        }
+    }
+}
+
+/// Work-stealing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StealConfig {
+    pub policy: StealPolicyKind,
+    pub amount: StealAmount,
+}
+
+impl StealConfig {
+    pub fn new(policy: StealPolicyKind) -> Self {
+        StealConfig {
+            policy,
+            amount: StealAmount::One,
+        }
+    }
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub machine: MachineModel,
+    /// `None` = static schedule (no load balancing during the phase).
+    pub steal: Option<StealConfig>,
+    pub seed: u64,
+}
+
+/// Complete outcome of one simulated phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Time the last task completed.
+    pub makespan: VTime,
+    /// Per-PE busy time (sum of executed task costs).
+    pub per_pe_busy: Vec<VTime>,
+    /// Per-PE completion time of its last task.
+    pub per_pe_finish: Vec<VTime>,
+    /// Per-PE number of tasks executed.
+    pub per_pe_executed: Vec<u32>,
+    /// Per-PE number of *stolen* tasks executed (initial owner differed).
+    pub per_pe_stolen_executed: Vec<u32>,
+    /// Executor PE of each task.
+    pub executed_by: Vec<u32>,
+    /// Total steal requests sent.
+    pub steal_attempts: u64,
+    /// Requests that returned work.
+    pub steal_hits: u64,
+    /// Requests denied.
+    pub steal_misses: u64,
+    /// Tasks moved by stealing.
+    pub tasks_transferred: u64,
+    /// Control + transfer messages sent.
+    pub messages: u64,
+}
+
+impl SimReport {
+    /// Coefficient of variation of per-PE busy time (σ/μ) — the paper's
+    /// imbalance metric (§IV-B).
+    pub fn busy_cov(&self) -> f64 {
+        crate::metrics::cov_u64(&self.per_pe_busy)
+    }
+
+    /// Ideal makespan: total work / p.
+    pub fn ideal_makespan(&self) -> VTime {
+        let total: u128 = self.per_pe_busy.iter().map(|&b| b as u128).sum();
+        (total / self.per_pe_busy.len().max(1) as u128) as VTime
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// PE finished its current task.
+    Finish { pe: usize },
+    /// Steal request arrives at victim.
+    StealReq { thief: usize, victim: usize },
+    /// Deferred steal request reaches the victim's poll point.
+    ServiceReq { thief: usize, victim: usize },
+    /// Steal response with work arrives at thief.
+    StealGrant { thief: usize, tasks: Vec<u32> },
+    /// Steal denial arrives at thief.
+    StealDeny { thief: usize },
+    /// Thief begins a new steal round after backoff.
+    NewRound { thief: usize },
+}
+
+struct QueuedEvent {
+    time: VTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // min-heap by (time, seq)
+        other
+            .time
+            .cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PeState {
+    Running,
+    /// Mid steal round; the ordered victims not yet tried.
+    Stealing { remaining: VecDeque<usize> },
+    /// Registered on its lifeline partners; woken by pushed work.
+    Dormant,
+    /// Permanently idle (no stealable work can ever appear again).
+    Retired,
+}
+
+struct Sim<'a> {
+    cfg: &'a SimConfig,
+    mesh: Mesh,
+    costs: &'a [VTime],
+    /// Optional per-task migration payload (e.g. roadmap vertices that move
+    /// with a stolen region under ownership transfer).
+    payloads: Option<&'a [u64]>,
+    initial_owner: Vec<u32>,
+    queues: Vec<VecDeque<u32>>,
+    state: Vec<PeState>,
+    /// Is the PE currently executing a task? Steal requests that arrive
+    /// mid-task are deferred to the task boundary (RMI polling semantics).
+    busy: Vec<bool>,
+    /// Dormant thieves registered at each PE (lifeline policy only).
+    lifelines: Vec<VecDeque<usize>>,
+    unstarted: usize,
+    events: BinaryHeap<QueuedEvent>,
+    seq: u64,
+    rng: StdRng,
+    report: SimReport,
+}
+
+impl Sim<'_> {
+    fn push_event(&mut self, time: VTime, event: Event) {
+        self.seq += 1;
+        self.events.push(QueuedEvent {
+            time,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Start the next queued task on `pe` at time `t`, or begin stealing.
+    fn dispatch(&mut self, pe: usize, t: VTime) {
+        if let Some(task) = self.queues[pe].pop_front() {
+            self.unstarted -= 1;
+            let cost = self.costs[task as usize];
+            self.report.per_pe_busy[pe] += cost;
+            self.report.per_pe_executed[pe] += 1;
+            self.report.executed_by[task as usize] = pe as u32;
+            if self.initial_owner[task as usize] != pe as u32 {
+                self.report.per_pe_stolen_executed[pe] += 1;
+            }
+            let end = t + cost;
+            self.report.per_pe_finish[pe] = end;
+            self.report.makespan = self.report.makespan.max(end);
+            self.state[pe] = PeState::Running;
+            self.busy[pe] = true;
+            self.push_event(end, Event::Finish { pe });
+        } else {
+            self.busy[pe] = false;
+            self.begin_round(pe, t);
+        }
+    }
+
+    /// Push one task to a dormant lifeline thief, if any is registered and
+    /// work is available (lifeline policy, at a task boundary).
+    fn push_to_lifelines(&mut self, pe: usize, t: VTime) {
+        let Some(steal) = self.cfg.steal else { return };
+        if !steal.policy.uses_lifelines() {
+            return;
+        }
+        while self.queues[pe].len() >= 2 {
+            let Some(thief) = self.lifelines[pe].pop_front() else {
+                return;
+            };
+            // a woken thief may have been re-activated already; pushing
+            // work to a busy PE is harmless (it queues), but prefer the
+            // dormant ones
+            let task = self.queues[pe].pop_back().expect("len checked");
+            self.report.steal_hits += 1;
+            self.report.messages += 1;
+            self.report.tasks_transferred += 1;
+            let payload: u64 = self.payloads.map_or(0, |p| p[task as usize]);
+            let lat = self.cfg.machine.msg_latency(pe, thief)
+                + self.cfg.machine.lat.per_task_transfer
+                + self.cfg.machine.lat.per_vertex_transfer * payload;
+            self.push_event(
+                t + lat,
+                Event::StealGrant {
+                    thief,
+                    tasks: vec![task],
+                },
+            );
+        }
+    }
+
+    /// Service one steal request at `victim` at time `t` (the victim's RMI
+    /// handler runs now); returns the time after servicing.
+    fn service_request(&mut self, thief: usize, victim: usize, t: VTime) -> VTime {
+        let t = t + self.cfg.machine.lat.steal_service;
+        self.report.steal_attempts += 1;
+        let avail = self.queues[victim].len();
+        let steal = self.cfg.steal.expect("steal event without config");
+        if avail > 0 {
+            let n = steal.amount.take(avail);
+            // take n tasks from the BACK of the victim's deque, preserving
+            // their relative order
+            let mut tasks = Vec::with_capacity(n);
+            for _ in 0..n {
+                tasks.push(self.queues[victim].pop_back().expect("avail checked"));
+            }
+            tasks.reverse();
+            self.report.steal_hits += 1;
+            self.report.messages += 1;
+            self.report.tasks_transferred += n as u64;
+            let payload: u64 = match self.payloads {
+                Some(p) => tasks.iter().map(|&tk| p[tk as usize]).sum(),
+                None => 0,
+            };
+            let lat = self.cfg.machine.msg_latency(victim, thief)
+                + self.cfg.machine.lat.per_task_transfer * n as u64
+                + self.cfg.machine.lat.per_vertex_transfer * payload;
+            self.push_event(t + lat, Event::StealGrant { thief, tasks });
+        } else {
+            self.report.steal_misses += 1;
+            self.report.messages += 1;
+            // lifeline policy: a denied thief becomes this PE's lifeline
+            if steal.policy.uses_lifelines() && !self.lifelines[victim].contains(&thief) {
+                self.lifelines[victim].push_back(thief);
+            }
+            let lat = self.cfg.machine.msg_latency(victim, thief);
+            self.push_event(t + lat, Event::StealDeny { thief });
+        }
+        t
+    }
+
+    /// Begin a steal round for `pe` (or retire it).
+    fn begin_round(&mut self, pe: usize, t: VTime) {
+        let Some(steal) = self.cfg.steal else {
+            self.state[pe] = PeState::Retired;
+            return;
+        };
+        if self.unstarted == 0 {
+            self.state[pe] = PeState::Retired;
+            return;
+        }
+        let victims: VecDeque<usize> = steal
+            .policy
+            .round_victims(pe, &self.mesh, &mut self.rng)
+            .into();
+        if victims.is_empty() {
+            self.state[pe] = PeState::Retired;
+            return;
+        }
+        self.state[pe] = PeState::Stealing { remaining: victims };
+        self.next_request(pe, t);
+    }
+
+    /// Send the next steal request of `pe`'s current round, or schedule a
+    /// new round / retire.
+    fn next_request(&mut self, pe: usize, t: VTime) {
+        let victim = match &mut self.state[pe] {
+            PeState::Stealing { remaining } => remaining.pop_front(),
+            _ => None,
+        };
+        match victim {
+            Some(v) => {
+                self.report.messages += 1;
+                let lat = self.cfg.machine.msg_latency(pe, v);
+                self.push_event(t + lat, Event::StealReq { thief: pe, victim: v });
+            }
+            None => {
+                if self.unstarted == 0 {
+                    self.state[pe] = PeState::Retired;
+                } else if self
+                    .cfg
+                    .steal
+                    .is_some_and(|s| s.policy.uses_lifelines())
+                {
+                    // lifeline: no retry traffic — wait to be woken
+                    self.state[pe] = PeState::Dormant;
+                } else {
+                    let backoff = self.cfg.machine.lat.steal_backoff;
+                    self.push_event(t + backoff, Event::NewRound { thief: pe });
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Event, t: VTime) {
+        match ev {
+            Event::Finish { pe } => {
+                self.busy[pe] = false;
+                self.push_to_lifelines(pe, t);
+                self.dispatch(pe, t);
+            }
+            Event::StealReq { thief, victim } => {
+                if self.busy[victim] {
+                    // victim is mid-task: the request is serviced at the
+                    // victim's next RMI poll point
+                    let poll = self.cfg.machine.lat.poll_delay;
+                    self.push_event(t + poll, Event::ServiceReq { thief, victim });
+                } else {
+                    self.service_request(thief, victim, t);
+                }
+            }
+            Event::ServiceReq { thief, victim } => {
+                self.service_request(thief, victim, t);
+            }
+            Event::StealGrant { thief, tasks } => {
+                for task in tasks {
+                    self.queues[thief].push_back(task);
+                }
+                // unsolicited lifeline pushes can reach a thief that is
+                // already running again; the tasks just queue
+                if !self.busy[thief] {
+                    self.dispatch(thief, t);
+                }
+            }
+            Event::StealDeny { thief } => {
+                // ignore stale denies if a lifeline push already woke us
+                if matches!(self.state[thief], PeState::Stealing { .. }) {
+                    self.next_request(thief, t);
+                }
+            }
+            Event::NewRound { thief } => self.begin_round(thief, t),
+        }
+    }
+}
+
+/// Run one simulated phase (no migration payloads).
+///
+/// ```
+/// use smp_runtime::{simulate, MachineModel, SimConfig, StealConfig, StealPolicyKind};
+/// // 8 equal tasks piled on PE 0 of a 4-PE machine
+/// let costs = vec![100_000u64; 8];
+/// let assignment = vec![vec![0, 1, 2, 3, 4, 5, 6, 7], vec![], vec![], vec![]];
+/// let cfg = SimConfig {
+///     machine: MachineModel::hopper(),
+///     steal: Some(StealConfig::new(StealPolicyKind::rand8())),
+///     seed: 1,
+/// };
+/// let report = simulate(&costs, &assignment, &cfg);
+/// assert!(report.steal_hits > 0);
+/// assert!(report.makespan < 800_000); // faster than serial execution
+/// ```
+///
+/// See [`simulate_with_payloads`].
+pub fn simulate(task_costs: &[VTime], assignment: &[Vec<u32>], cfg: &SimConfig) -> SimReport {
+    simulate_with_payloads(task_costs, None, assignment, cfg)
+}
+
+/// Run one simulated phase.
+///
+/// * `task_costs[i]` — virtual cost of task `i`;
+/// * `payloads` — optional per-task migration payload (vertex count moved
+///   with the task on ownership transfer);
+/// * `assignment[pe]` — initial queue (front-to-back execution order) of
+///   each PE; every task must appear exactly once across all queues.
+///
+/// # Panics
+/// Panics if a task index is out of range or appears more than once.
+pub fn simulate_with_payloads(
+    task_costs: &[VTime],
+    payloads: Option<&[u64]>,
+    assignment: &[Vec<u32>],
+    cfg: &SimConfig,
+) -> SimReport {
+    let p = assignment.len();
+    assert!(p > 0, "need at least one PE");
+    let n = task_costs.len();
+    let mut initial_owner = vec![u32::MAX; n];
+    for (pe, queue) in assignment.iter().enumerate() {
+        for &task in queue {
+            assert!((task as usize) < n, "task {task} out of range");
+            assert!(
+                initial_owner[task as usize] == u32::MAX,
+                "task {task} assigned twice"
+            );
+            initial_owner[task as usize] = pe as u32;
+        }
+    }
+    assert!(
+        initial_owner.iter().all(|&o| o != u32::MAX),
+        "every task must be assigned"
+    );
+
+    let report = SimReport {
+        makespan: 0,
+        per_pe_busy: vec![0; p],
+        per_pe_finish: vec![0; p],
+        per_pe_executed: vec![0; p],
+        per_pe_stolen_executed: vec![0; p],
+        executed_by: vec![u32::MAX; n],
+        steal_attempts: 0,
+        steal_hits: 0,
+        steal_misses: 0,
+        tasks_transferred: 0,
+        messages: 0,
+    };
+
+    if let Some(pl) = payloads {
+        assert_eq!(pl.len(), n, "payload vector length mismatch");
+    }
+    let mut sim = Sim {
+        cfg,
+        mesh: Mesh::new(p),
+        costs: task_costs,
+        payloads,
+        initial_owner,
+        queues: assignment.iter().map(|q| q.iter().copied().collect()).collect(),
+        state: vec![PeState::Retired; p],
+        busy: vec![false; p],
+        lifelines: vec![VecDeque::new(); p],
+        unstarted: n,
+        events: BinaryHeap::new(),
+        seq: 0,
+        rng: StdRng::seed_from_u64(cfg.seed),
+        report,
+    };
+
+    // Boot: every PE dispatches at t = 0.
+    for pe in 0..p {
+        sim.dispatch(pe, 0);
+    }
+
+    // Safety valve against scheduler bugs: the event count is linear in
+    // tasks plus steal traffic; 10^9 means something is looping.
+    let mut processed: u64 = 0;
+    while let Some(QueuedEvent { time, event, .. }) = sim.events.pop() {
+        processed += 1;
+        assert!(processed < 1_000_000_000, "event storm: simulator bug");
+        sim.handle(event, time);
+    }
+
+    debug_assert_eq!(sim.unstarted, 0);
+    sim.report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineModel {
+        MachineModel::hopper()
+    }
+
+    fn static_cfg() -> SimConfig {
+        SimConfig {
+            machine: machine(),
+            steal: None,
+            seed: 1,
+        }
+    }
+
+    fn ws_cfg(policy: StealPolicyKind) -> SimConfig {
+        SimConfig {
+            machine: machine(),
+            steal: Some(StealConfig::new(policy)),
+            seed: 1,
+        }
+    }
+
+    /// Round-robin assignment of `n` tasks over `p` queues.
+    fn round_robin(n: usize, p: usize) -> Vec<Vec<u32>> {
+        let mut a = vec![Vec::new(); p];
+        for t in 0..n {
+            a[t % p].push(t as u32);
+        }
+        a
+    }
+
+    #[test]
+    fn static_balanced_perfect() {
+        let costs = vec![100u64; 100];
+        let rep = simulate(&costs, &round_robin(100, 4), &static_cfg());
+        assert_eq!(rep.makespan, 2_500);
+        assert!(rep.per_pe_busy.iter().all(|&b| b == 2_500));
+        assert_eq!(rep.steal_attempts, 0);
+        assert_eq!(rep.busy_cov(), 0.0);
+    }
+
+    #[test]
+    fn static_imbalanced_serializes() {
+        let costs = vec![100u64; 40];
+        let mut assignment = vec![Vec::new(); 4];
+        assignment[0] = (0..40u32).collect();
+        let rep = simulate(&costs, &assignment, &static_cfg());
+        assert_eq!(rep.makespan, 4_000);
+        assert_eq!(rep.per_pe_busy[0], 4_000);
+        assert_eq!(rep.per_pe_busy[1], 0);
+    }
+
+    #[test]
+    fn work_stealing_recovers_imbalance() {
+        let costs = vec![50_000u64; 64];
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[0] = (0..64u32).collect();
+        let stat = simulate(&costs, &assignment, &static_cfg());
+        let ws = simulate(&costs, &assignment, &ws_cfg(StealPolicyKind::rand8()));
+        assert!(ws.steal_hits > 0);
+        assert!(
+            ws.makespan < stat.makespan / 2,
+            "WS {} vs static {}",
+            ws.makespan,
+            stat.makespan
+        );
+        // other PEs executed stolen tasks
+        let stolen: u32 = ws.per_pe_stolen_executed.iter().sum();
+        assert!(stolen > 0);
+        // a task can be re-stolen, so transfers >= distinct stolen executions
+        assert!(u64::from(stolen) <= ws.tasks_transferred);
+    }
+
+    #[test]
+    fn every_task_executed_exactly_once() {
+        let costs: Vec<u64> = (0..97).map(|i| 1_000 + (i % 7) * 500).collect();
+        for cfg in [
+            static_cfg(),
+            ws_cfg(StealPolicyKind::rand8()),
+            ws_cfg(StealPolicyKind::Diffusive),
+            ws_cfg(StealPolicyKind::Hybrid(8)),
+        ] {
+            let mut assignment = vec![Vec::new(); 6];
+            assignment[1] = (0..97u32).collect();
+            let rep = simulate(&costs, &assignment, &cfg);
+            assert!(rep.executed_by.iter().all(|&e| e != u32::MAX));
+            let total: u32 = rep.per_pe_executed.iter().sum();
+            assert_eq!(total, 97);
+            // busy time conservation
+            let busy: u64 = rep.per_pe_busy.iter().sum();
+            assert_eq!(busy, costs.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn makespan_lower_bounds() {
+        let costs = vec![10_000u64, 50_000, 10_000, 10_000];
+        let rep = simulate(&costs, &round_robin(4, 4), &ws_cfg(StealPolicyKind::rand8()));
+        let total: u64 = costs.iter().sum();
+        assert!(rep.makespan >= total / 4);
+        assert!(rep.makespan >= 50_000); // longest task
+    }
+
+    #[test]
+    fn empty_workload() {
+        let rep = simulate(&[], &vec![Vec::new(); 4], &static_cfg());
+        assert_eq!(rep.makespan, 0);
+        assert_eq!(rep.per_pe_executed, vec![0; 4]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let costs: Vec<u64> = (0..200).map(|i| 500 + (i * 37) % 9_000).collect();
+        let mut assignment = vec![Vec::new(); 16];
+        assignment[3] = (0..100u32).collect();
+        assignment[7] = (100..200u32).collect();
+        let cfg = ws_cfg(StealPolicyKind::Hybrid(8));
+        let a = simulate(&costs, &assignment, &cfg);
+        let b = simulate(&costs, &assignment, &cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.executed_by, b.executed_by);
+        assert_eq!(a.steal_attempts, b.steal_attempts);
+    }
+
+    #[test]
+    fn balanced_load_steals_little() {
+        let costs = vec![100_000u64; 256];
+        let assignment = round_robin(256, 16);
+        let ws = simulate(&costs, &assignment, &ws_cfg(StealPolicyKind::rand8()));
+        let stat = simulate(&costs, &assignment, &static_cfg());
+        // balanced: stealing cannot help, and must not hurt much
+        assert!(ws.makespan <= stat.makespan + stat.makespan / 10);
+        assert_eq!(ws.tasks_transferred, 0, "nothing to steal when balanced");
+    }
+
+    #[test]
+    fn steal_amount_one_transfers_singly() {
+        let costs = vec![30_000u64; 32];
+        let mut assignment = vec![Vec::new(); 4];
+        assignment[0] = (0..32u32).collect();
+        let cfg = SimConfig {
+            machine: machine(),
+            steal: Some(StealConfig {
+                policy: StealPolicyKind::rand8(),
+                amount: StealAmount::One,
+            }),
+            seed: 3,
+        };
+        let rep = simulate(&costs, &assignment, &cfg);
+        // every hit moved exactly one task
+        assert_eq!(rep.tasks_transferred, rep.steal_hits);
+    }
+
+    #[test]
+    fn single_pe_static_equals_total() {
+        let costs = vec![123u64, 456, 789];
+        let rep = simulate(&costs, &[vec![0, 1, 2]], &ws_cfg(StealPolicyKind::rand8()));
+        assert_eq!(rep.makespan, 123 + 456 + 789);
+        assert_eq!(rep.steal_attempts, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_assignment_panics() {
+        let costs = vec![1u64, 2];
+        let _ = simulate(&costs, &[vec![0, 0], vec![1]], &static_cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be assigned")]
+    fn missing_assignment_panics() {
+        let costs = vec![1u64, 2];
+        let _ = simulate(&costs, &[vec![0], vec![]], &static_cfg());
+    }
+
+    #[test]
+    fn lifeline_recovers_imbalance_without_polling() {
+        let costs = vec![60_000u64; 64];
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[0] = (0..64u32).collect();
+        let stat = simulate(&costs, &assignment, &static_cfg());
+        let cfg = ws_cfg(StealPolicyKind::Lifeline);
+        let rep = simulate(&costs, &assignment, &cfg);
+        assert!(rep.steal_hits > 0, "lifeline pushes should deliver work");
+        assert!(
+            rep.makespan < stat.makespan / 2,
+            "lifeline {} vs static {}",
+            rep.makespan,
+            stat.makespan
+        );
+        // conservation still holds
+        assert_eq!(rep.per_pe_executed.iter().sum::<u32>(), 64);
+    }
+
+    #[test]
+    fn lifeline_balanced_load_is_quiet() {
+        let costs = vec![50_000u64; 128];
+        let assignment = round_robin(128, 8);
+        let rep = simulate(&costs, &assignment, &ws_cfg(StealPolicyKind::Lifeline));
+        assert_eq!(rep.tasks_transferred, 0);
+        // dormant thieves generate no retry storms
+        assert!(rep.steal_attempts <= 8 * 4);
+    }
+
+    #[test]
+    fn lifeline_deterministic() {
+        let costs: Vec<u64> = (0..100).map(|i| 10_000 + (i * 31) % 90_000).collect();
+        let mut assignment = vec![Vec::new(); 16];
+        assignment[2] = (0..50u32).collect();
+        assignment[9] = (50..100u32).collect();
+        let cfg = ws_cfg(StealPolicyKind::Lifeline);
+        let a = simulate(&costs, &assignment, &cfg);
+        let b = simulate(&costs, &assignment, &cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.executed_by, b.executed_by);
+    }
+}

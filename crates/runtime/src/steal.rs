@@ -1,0 +1,174 @@
+//! Victim-selection policies for work stealing.
+//!
+//! The three strategies of §III-A:
+//!
+//! * `RAND-K` — "a thief requests additional regions from k random
+//!   processors, but not necessarily the same k processors for each
+//!   request" (the paper fixes k = 8);
+//! * `DIFFUSIVE` — "processors are assumed to be arranged in a 2D mesh and
+//!   underloaded processors will request neighboring processors for work";
+//! * `HYBRID` — "first execute DIFFUSIVE stealing and in the event that no
+//!   request could be serviced, requests are sent to random processors".
+
+use crate::topology::Mesh;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Which victim-selection policy a thief uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StealPolicyKind {
+    /// `k` random distinct victims per round.
+    RandK(usize),
+    /// Mesh neighbours only.
+    Diffusive,
+    /// Mesh neighbours first; if all deny, `k` random victims.
+    Hybrid(usize),
+    /// X10-style lifeline stealing (extension; cited in the paper's related
+    /// work §V): victims are hypercube partners; a thief denied by all
+    /// partners goes *dormant* and is re-activated by work pushed from a
+    /// partner at its next task boundary — no polling back-off traffic.
+    Lifeline,
+}
+
+impl StealPolicyKind {
+    /// The paper's default RAND-K (k = 8).
+    pub fn rand8() -> Self {
+        StealPolicyKind::RandK(8)
+    }
+
+    /// Short display name matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            StealPolicyKind::RandK(k) => format!("Rand-{k} WS"),
+            StealPolicyKind::Diffusive => "Diff WS".to_string(),
+            StealPolicyKind::Hybrid(_) => "Hybrid WS".to_string(),
+            StealPolicyKind::Lifeline => "Lifeline WS".to_string(),
+        }
+    }
+
+    /// True for policies that register dormant lifelines instead of
+    /// backing off and retrying.
+    pub fn uses_lifelines(&self) -> bool {
+        matches!(self, StealPolicyKind::Lifeline)
+    }
+
+    /// Hypercube partners of `pe` within `p` (PEs differing in one bit).
+    pub fn hypercube_partners(pe: usize, p: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut bit = 1usize;
+        while bit < p {
+            let partner = pe ^ bit;
+            if partner < p {
+                out.push(partner);
+            }
+            bit <<= 1;
+        }
+        out
+    }
+
+    /// The ordered victim list for one steal round of `thief`.
+    ///
+    /// Victims are tried in order until one grants work; an empty result
+    /// (possible only for `p = 1`) means stealing is impossible.
+    pub fn round_victims(&self, thief: usize, mesh: &Mesh, rng: &mut StdRng) -> Vec<usize> {
+        let p = mesh.len();
+        match *self {
+            StealPolicyKind::RandK(k) => random_victims(thief, p, k, rng),
+            StealPolicyKind::Diffusive => mesh.neighbors(thief),
+            StealPolicyKind::Hybrid(k) => {
+                let mut v = mesh.neighbors(thief);
+                v.extend(random_victims(thief, p, k, rng));
+                v.dedup();
+                v
+            }
+            StealPolicyKind::Lifeline => Self::hypercube_partners(thief, p),
+        }
+    }
+}
+
+/// Up to `k` distinct random PEs different from `thief`.
+fn random_victims(thief: usize, p: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    if p <= 1 {
+        return Vec::new();
+    }
+    let k = k.min(p - 1);
+    let mut out = Vec::with_capacity(k);
+    // rejection sampling over a small k; deterministic given the rng
+    let mut guard = 0;
+    while out.len() < k && guard < 64 * k {
+        guard += 1;
+        let v = rng.random_range(0..p);
+        if v != thief && !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rand_k_distinct_and_not_self() {
+        let mesh = Mesh::new(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = StealPolicyKind::RandK(8);
+        for thief in 0..16 {
+            let v = p.round_victims(thief, &mesh, &mut rng);
+            assert_eq!(v.len(), 8);
+            assert!(!v.contains(&thief));
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 8);
+        }
+    }
+
+    #[test]
+    fn rand_k_caps_at_p_minus_one() {
+        let mesh = Mesh::new(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = StealPolicyKind::RandK(8).round_victims(0, &mesh, &mut rng);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn diffusive_returns_mesh_neighbors() {
+        let mesh = Mesh::new(16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = StealPolicyKind::Diffusive.round_victims(5, &mesh, &mut rng);
+        assert_eq!(v, mesh.neighbors(5));
+    }
+
+    #[test]
+    fn hybrid_starts_with_neighbors() {
+        let mesh = Mesh::new(16);
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = StealPolicyKind::Hybrid(4).round_victims(5, &mesh, &mut rng);
+        let n = mesh.neighbors(5);
+        assert_eq!(&v[..n.len()], &n[..]);
+        assert!(v.len() > n.len());
+    }
+
+    #[test]
+    fn single_pe_cannot_steal() {
+        let mesh = Mesh::new(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(StealPolicyKind::rand8()
+            .round_victims(0, &mesh, &mut rng)
+            .is_empty());
+        assert!(StealPolicyKind::Diffusive
+            .round_victims(0, &mesh, &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(StealPolicyKind::rand8().label(), "Rand-8 WS");
+        assert_eq!(StealPolicyKind::Diffusive.label(), "Diff WS");
+        assert_eq!(StealPolicyKind::Hybrid(8).label(), "Hybrid WS");
+    }
+}

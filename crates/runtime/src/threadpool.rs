@@ -1,0 +1,205 @@
+//! A real work-stealing thread pool over `crossbeam-deque`.
+//!
+//! This is the *host-side* runtime: it executes the one-pass per-region cost
+//! measurement and powers the examples' genuine parallelism. Each worker
+//! owns a LIFO deque; idle workers steal batches from the global injector
+//! first, then from sibling deques — the classic Blumofe/Cilk discipline
+//! that §II-A describes as the shared-memory baseline.
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Per-worker execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks executed by this worker.
+    pub executed: usize,
+    /// Tasks obtained by stealing from sibling workers.
+    pub stolen: usize,
+}
+
+/// A simple fork-free work-stealing pool: submit a batch of independent
+/// tasks, run them to completion, collect results in input order.
+pub struct WorkStealingPool {
+    threads: usize,
+}
+
+impl WorkStealingPool {
+    /// A pool that will use `threads` workers (>= 1). The pool spawns scoped
+    /// threads per [`WorkStealingPool::run`] call, so it holds no long-lived
+    /// resources.
+    pub fn new(threads: usize) -> Self {
+        WorkStealingPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the host's available parallelism.
+    pub fn with_host_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::new(n)
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute `f(i, &items[i])` for every item across the pool, returning
+    /// results in input order plus per-worker stats.
+    pub fn run<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, Vec<WorkerStats>)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let injector: Injector<usize> = Injector::new();
+        for i in 0..n {
+            injector.push(i);
+        }
+        let workers: Vec<Worker<usize>> = (0..self.threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<usize>> = workers.iter().map(|w| w.stealer()).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let remaining = Arc::new(AtomicUsize::new(n));
+        let stats: Vec<Mutex<WorkerStats>> =
+            (0..self.threads).map(|_| Mutex::new(WorkerStats::default())).collect();
+
+        std::thread::scope(|scope| {
+            for (wid, worker) in workers.into_iter().enumerate() {
+                let injector = &injector;
+                let stealers = &stealers;
+                let results = &results;
+                let stats = &stats;
+                let remaining = Arc::clone(&remaining);
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = WorkerStats::default();
+                    loop {
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        // 1. local deque
+                        let task = worker.pop().or_else(|| {
+                            // 2. global injector (batch refill)
+                            std::iter::repeat_with(|| injector.steal_batch_and_pop(&worker))
+                                .find(|s| !s.is_retry())
+                                .and_then(|s| s.success())
+                                .or_else(|| {
+                                    // 3. sibling deques
+                                    for (sid, st) in stealers.iter().enumerate() {
+                                        if sid == wid {
+                                            continue;
+                                        }
+                                        loop {
+                                            match st.steal() {
+                                                crossbeam::deque::Steal::Success(t) => {
+                                                    local.stolen += 1;
+                                                    return Some(t);
+                                                }
+                                                crossbeam::deque::Steal::Retry => continue,
+                                                crossbeam::deque::Steal::Empty => break,
+                                            }
+                                        }
+                                    }
+                                    None
+                                })
+                        });
+                        match task {
+                            Some(i) => {
+                                let r = f(i, &items[i]);
+                                *results[i].lock() = Some(r);
+                                local.executed += 1;
+                                remaining.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    *stats[wid].lock() = local;
+                });
+            }
+        });
+
+        let out: Vec<R> = results
+            .into_iter()
+            .map(|m| m.into_inner().expect("task not executed"))
+            .collect();
+        let st: Vec<WorkerStats> = stats.into_iter().map(|m| m.into_inner()).collect();
+        (out, st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order() {
+        let pool = WorkStealingPool::new(4);
+        let items: Vec<u64> = (0..1000).collect();
+        let (out, _) = pool.run(&items, |_, &x| x * 2);
+        assert_eq!(out.len(), 1000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u64) * 2);
+        }
+    }
+
+    #[test]
+    fn all_tasks_executed_once() {
+        let pool = WorkStealingPool::new(8);
+        let items: Vec<usize> = (0..500).collect();
+        let counter = AtomicUsize::new(0);
+        let (_, stats) = pool.run(&items, |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        let executed: usize = stats.iter().map(|s| s.executed).sum();
+        assert_eq!(executed, 500);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let pool = WorkStealingPool::new(1);
+        let items = vec![1, 2, 3];
+        let (out, stats) = pool.run(&items, |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        assert_eq!(stats[0].executed, 3);
+        assert_eq!(stats[0].stolen, 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pool = WorkStealingPool::new(4);
+        let items: Vec<u32> = vec![];
+        let (out, _) = pool.run(&items, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_tasks_spread_across_workers() {
+        // tasks with very different durations: the pool should still finish
+        // and multiple workers should execute something
+        let pool = WorkStealingPool::new(4);
+        let items: Vec<u64> = (0..64).map(|i| if i == 0 { 2_000_000 } else { 1_000 }).collect();
+        let (out, stats) = pool.run(&items, |_, &spin| {
+            // busy loop proportional to the value
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+        let busy_workers = stats.iter().filter(|s| s.executed > 0).count();
+        assert!(busy_workers >= 2, "only {busy_workers} workers ran");
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkStealingPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Real parallelism on your machine: construct regional roadmaps with the
+//! crossbeam-deque work-stealing pool and report wall-clock speedup plus
+//! per-worker steal statistics.
+//!
+//! This exercises the *host-side* runtime (the one-pass workload
+//! measurement uses the same machinery), as opposed to the virtual-time
+//! DES used by the figures.
+//!
+//! ```text
+//! cargo run --release --example host_parallel
+//! ```
+
+use smp::cspace::{BoxSampler, EnvValidity, StraightLinePlanner};
+use smp::geom::{envs, GridSubdivision};
+use smp::plan::{build_prm, PrmParams};
+use smp::runtime::WorkStealingPool;
+use std::time::Instant;
+
+fn main() {
+    let env = envs::med_cube();
+    let grid: GridSubdivision<3> =
+        GridSubdivision::with_target_regions(*env.bounds(), 4096, 0.004);
+    let regions: Vec<u32> = grid.region_ids().collect();
+    let params = PrmParams {
+        num_samples: 40,
+        k_neighbors: 6,
+        max_attempt_factor: 3,
+        skip_same_cc: false,
+    };
+
+    let build_one = |region: &u32| {
+        let sampler = BoxSampler::new(grid.region(*region));
+        let validity = EnvValidity::new(&env, 0.05);
+        let lp = StraightLinePlanner::new(0.005);
+        let mut rng = smp::cspace::region_rng(42, *region, 7);
+        let res = build_prm(&sampler, &validity, &lp, &params, &mut rng);
+        (res.roadmap.num_vertices(), res.work.total_cd())
+    };
+
+    // sequential reference
+    let t0 = Instant::now();
+    let seq: Vec<_> = regions.iter().map(build_one).collect();
+    let t_seq = t0.elapsed();
+    let total_vertices: usize = seq.iter().map(|&(v, _)| v).sum();
+    println!(
+        "sequential: {} regions, {} roadmap vertices in {:.2?}",
+        regions.len(),
+        total_vertices,
+        t_seq
+    );
+
+    // our work-stealing pool
+    let pool = WorkStealingPool::with_host_parallelism();
+    let t1 = Instant::now();
+    let (par, stats) = pool.run(&regions, |_, r| build_one(r));
+    let t_par = t1.elapsed();
+    let par_vertices: usize = par.iter().map(|&(v, _)| v).sum();
+    assert_eq!(par_vertices, total_vertices, "parallel result must match");
+    println!(
+        "pool ({} workers): same work in {:.2?} — {:.2}x speedup",
+        pool.threads(),
+        t_par,
+        t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9)
+    );
+    for (i, s) in stats.iter().enumerate() {
+        println!("  worker {i}: executed {:>5}, stolen {:>4}", s.executed, s.stolen);
+    }
+}

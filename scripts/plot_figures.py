@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Plot the regenerated paper figures from results/*.csv.
+
+Usage:
+    cargo run --release -p smp-bench --bin figures -- all
+    python3 scripts/plot_figures.py            # writes results/plots/*.png
+
+Requires matplotlib; falls back to a text summary when unavailable.
+"""
+
+import csv
+import os
+import sys
+
+RESULTS = os.path.join(os.path.dirname(__file__), "..", "results")
+OUT = os.path.join(RESULTS, "plots")
+
+# figure id -> (title, x-column, log-log?)
+LINE_FIGS = {
+    "fig4a": ("Fig 4(a): CoV of model environment", "p", False),
+    "fig4b": ("Fig 4(b): improvement vs theory (%)", "p", False),
+    "fig5a": ("Fig 5(a): PRM time, med-cube on Hopper (s)", "p", True),
+    "fig5b": ("Fig 5(b): CoV before/after repartitioning", "p", False),
+    "fig6": ("Fig 6: PRM time at scale (s)", "p", True),
+    "fig8a": ("Fig 8(a): PRM time, med-cube on Opteron (s)", "p", True),
+    "fig8b": ("Fig 8(b): PRM time, small-cube on Opteron (s)", "p", True),
+    "fig8c": ("Fig 8(c): PRM time, free on Opteron (s)", "p", True),
+    "fig10a": ("Fig 10(a): RRT time, mixed on Opteron (s)", "p", True),
+    "fig10b": ("Fig 10(b): RRT time, mixed-30 on Opteron (s)", "p", True),
+    "fig10c": ("Fig 10(c): RRT time, free on Opteron (s)", "p", True),
+}
+
+PROFILE_FIGS = {
+    "fig5c": "Fig 5(c): per-PE load profile",
+    "fig9a": "Fig 9(a): stolen vs non-stolen tasks per PE",
+    "fig9b": "Fig 9(b): stolen vs non-stolen tasks per PE",
+}
+
+
+def read_csv(fig):
+    path = os.path.join(RESULTS, f"{fig}.csv")
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    return rows[0], rows[1:]
+
+
+def main():
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; CSVs are in results/", file=sys.stderr)
+        for fig in list(LINE_FIGS) + list(PROFILE_FIGS):
+            data = read_csv(fig)
+            if data:
+                print(f"{fig}: {len(data[1])} rows, columns {data[0]}")
+        return
+
+    os.makedirs(OUT, exist_ok=True)
+    made = 0
+    for fig, (title, xcol, loglog) in LINE_FIGS.items():
+        data = read_csv(fig)
+        if not data:
+            continue
+        header, rows = data
+        xi = header.index(xcol)
+        xs = [float(r[xi]) for r in rows]
+        plt.figure(figsize=(6, 4))
+        for col in range(len(header)):
+            if col == xi:
+                continue
+            try:
+                ys = [float(r[col]) for r in rows]
+            except ValueError:
+                continue
+            plt.plot(xs, ys, marker="o", label=header[col])
+        if loglog:
+            plt.xscale("log", base=2)
+            plt.yscale("log")
+        plt.xlabel(xcol)
+        plt.title(title)
+        plt.legend(fontsize=8)
+        plt.grid(True, alpha=0.3)
+        plt.tight_layout()
+        plt.savefig(os.path.join(OUT, f"{fig}.png"), dpi=130)
+        plt.close()
+        made += 1
+
+    for fig, title in PROFILE_FIGS.items():
+        data = read_csv(fig)
+        if not data:
+            continue
+        header, rows = data
+        xs = list(range(len(rows)))
+        plt.figure(figsize=(7, 4))
+        for col in range(1, len(header)):
+            try:
+                ys = [float(r[col]) for r in rows]
+            except ValueError:
+                continue
+            plt.plot(xs, ys, label=header[col], linewidth=1)
+        plt.xlabel("processor id")
+        plt.title(title)
+        plt.legend(fontsize=8)
+        plt.grid(True, alpha=0.3)
+        plt.tight_layout()
+        plt.savefig(os.path.join(OUT, f"{fig}.png"), dpi=130)
+        plt.close()
+        made += 1
+
+    print(f"wrote {made} plots to {os.path.relpath(OUT)}")
+
+
+if __name__ == "__main__":
+    main()

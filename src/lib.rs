@@ -1,0 +1,18 @@
+//! # smp — load-balanced scalable parallel sampling-based motion planning
+//!
+//! Umbrella crate re-exporting the whole workspace. See the README for a
+//! tour and `DESIGN.md` for the architecture and the paper-reproduction
+//! index.
+//!
+//! ```
+//! use smp::geom::envs;
+//! let env = envs::med_cube();
+//! assert!((env.blocked_fraction() - 0.24).abs() < 1e-9);
+//! ```
+
+pub use smp_core as core;
+pub use smp_cspace as cspace;
+pub use smp_geom as geom;
+pub use smp_graph as graph;
+pub use smp_plan as plan;
+pub use smp_runtime as runtime;

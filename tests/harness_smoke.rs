@@ -1,0 +1,81 @@
+//! Smoke test of the figure harness: every figure and ablation must run at
+//! quick scale and produce a non-empty, well-formed table.
+
+use smp_bench::figures::{run, Suite, ALL_ABLATIONS, ALL_FIGURES};
+use smp_bench::HarnessConfig;
+
+#[test]
+fn every_figure_produces_a_table() {
+    let mut suite = Suite::new(HarnessConfig::quick());
+    for id in ALL_FIGURES {
+        let tables = run(id, &mut suite);
+        assert!(!tables.is_empty(), "{id}: no tables");
+        for t in &tables {
+            assert!(!t.headers.is_empty(), "{id}: empty header");
+            assert!(!t.rows.is_empty(), "{id}: empty table");
+            for row in &t.rows {
+                assert_eq!(row.len(), t.headers.len(), "{id}: ragged row");
+                for cell in row {
+                    assert!(!cell.is_empty(), "{id}: empty cell");
+                }
+            }
+            // renders and round-trips to CSV without error
+            let rendered = t.render();
+            assert!(rendered.contains("==")); // title banner
+        }
+    }
+}
+
+#[test]
+fn every_ablation_produces_a_table() {
+    let mut suite = Suite::new(HarnessConfig::quick());
+    for id in ALL_ABLATIONS {
+        let tables = run(id, &mut suite);
+        assert!(!tables.is_empty(), "{id}: no tables");
+        assert!(!tables[0].rows.is_empty(), "{id}: empty table");
+    }
+}
+
+#[test]
+fn figure_shape_claims_hold_at_quick_scale() {
+    let mut suite = Suite::new(HarnessConfig::quick());
+
+    // Fig 5(a): repartitioning beats NoLB at the lowest PE count
+    let t = &run("fig5a", &mut suite)[0];
+    let first = &t.rows[0];
+    let no_lb: f64 = first[1].parse().unwrap();
+    let repart: f64 = first[2].parse().unwrap();
+    assert!(
+        repart < no_lb,
+        "fig5a: repartitioning ({repart}) should beat no-LB ({no_lb})"
+    );
+
+    // Fig 5(b): repartitioning reduces the CoV at every count
+    let t = &run("fig5b", &mut suite)[0];
+    for row in &t.rows {
+        let before: f64 = row[1].parse().unwrap();
+        let after: f64 = row[2].parse().unwrap();
+        assert!(after <= before, "fig5b: CoV must not increase");
+    }
+
+    // Fig 4(b): experimental improvement tracks theory within a factor
+    let t = &run("fig4b", &mut suite)[0];
+    for row in &t.rows {
+        let theory: f64 = row[1].parse().unwrap();
+        let measured: f64 = row[2].parse().unwrap();
+        assert!(
+            (theory - measured).abs() <= theory.max(5.0),
+            "fig4b: measured {measured}% far from theory {theory}%"
+        );
+    }
+
+    // Fig 8(c): in the free environment no strategy is > 25% worse than NoLB
+    let t = &run("fig8c", &mut suite)[0];
+    for row in &t.rows {
+        let no_lb: f64 = row[1].parse().unwrap();
+        for cell in &row[2..] {
+            let v: f64 = cell.parse().unwrap();
+            assert!(v <= no_lb * 1.25, "fig8c: overhead too high ({v} vs {no_lb})");
+        }
+    }
+}
