@@ -26,7 +26,10 @@ fn bench_policies(c: &mut Criterion) {
         let configs: Vec<(&str, Option<StealConfig>)> = vec![
             ("static", None),
             ("rand8", Some(StealConfig::new(StealPolicyKind::rand8()))),
-            ("diffusive", Some(StealConfig::new(StealPolicyKind::Diffusive))),
+            (
+                "diffusive",
+                Some(StealConfig::new(StealPolicyKind::Diffusive)),
+            ),
             ("hybrid", Some(StealConfig::new(StealPolicyKind::Hybrid(8)))),
         ];
         for (name, steal) in configs {

@@ -35,8 +35,7 @@ fn bench_prm(c: &mut Criterion) {
 
 fn bench_rrt(c: &mut Criterion) {
     let env = envs::mixed();
-    let sub: RadialSubdivision<3> =
-        RadialSubdivision::sample(Point::splat(0.5), 0.7, 64, 2.0, 9);
+    let sub: RadialSubdivision<3> = RadialSubdivision::sample(Point::splat(0.5), 0.7, 64, 2.0, 9);
     let validity = EnvValidity::new(&env, 0.0);
     let lp = StraightLinePlanner::new(0.01);
     let mut group = c.benchmark_group("sequential_rrt");

@@ -31,16 +31,12 @@ fn bench_pool(c: &mut Criterion) {
     });
     for &threads in &[2usize, 4, 8] {
         let pool = WorkStealingPool::new(threads);
-        group.bench_with_input(
-            BenchmarkId::new("pool", threads),
-            &threads,
-            |b, _| {
-                b.iter(|| {
-                    let (out, _) = pool.run(&items, |_, &n| spin(n));
-                    black_box(out)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("pool", threads), &threads, |b, _| {
+            b.iter(|| {
+                let (out, _) = pool.run(&items, |_, &n| spin(n));
+                black_box(out)
+            })
+        });
     }
     group.finish();
 }

@@ -11,7 +11,11 @@ fn rrt_probe() {
     let mut suite = Suite::new(HarnessConfig::default());
     let machine = MachineModel::opteron();
     let w = suite.rrt_env("mixed");
-    let mut costs: Vec<u64> = w.regions.iter().map(|r| work_cost(&r.work, &machine.ops)).collect();
+    let mut costs: Vec<u64> = w
+        .regions
+        .iter()
+        .map(|r| work_cost(&r.work, &machine.ops))
+        .collect();
     costs.sort_unstable();
     let n = costs.len();
     let pct = |q: f64| costs[((n - 1) as f64 * q) as usize];
@@ -26,8 +30,12 @@ fn rrt_probe() {
         costs.iter().sum::<u64>() / 1_000_000
     );
     // direction-cost correlation: mean cost of cones by x-direction octile
-    let raw: Vec<u64> = w.regions.iter().map(|r| work_cost(&r.work, &machine.ops)).collect();
-    let mut by_oct = vec![(0u64, 0u64); 8];
+    let raw: Vec<u64> = w
+        .regions
+        .iter()
+        .map(|r| work_cost(&r.work, &machine.ops))
+        .collect();
+    let mut by_oct = [(0u64, 0u64); 8];
     for (i, c) in raw.iter().enumerate() {
         let x = w.sub.direction(i as u32)[0];
         let o = (((x + 1.0) / 2.0 * 8.0) as usize).min(7);
@@ -36,10 +44,13 @@ fn rrt_probe() {
     }
     println!(
         "mean cost by x-octile (us): {:?}",
-        by_oct.iter().map(|&(s, n)| s / n.max(1) / 1000).collect::<Vec<_>>()
+        by_oct
+            .iter()
+            .map(|&(s, n)| s / n.max(1) / 1000)
+            .collect::<Vec<_>>()
     );
     for p in [8usize, 32, 256] {
-        let no_lb = run_parallel_rrt(w, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_rrt(w, &machine, p, &Strategy::NoLb).expect("sim failed");
         let diff = run_parallel_rrt(
             w,
             &machine,
@@ -47,7 +58,8 @@ fn rrt_probe() {
             &Strategy::WorkStealing(smp_runtime::StealConfig::new(
                 smp_runtime::StealPolicyKind::Diffusive,
             )),
-        );
+        )
+        .expect("sim failed");
         println!(
             "p={p:4} nolb={:.4}s (node {:.4}, busy_max {:.4}, ideal {:.4}) diff={:.4}s (node {:.4})",
             no_lb.total_time as f64 / 1e9,
@@ -69,7 +81,11 @@ fn main() {
         .skip(1)
         .filter_map(|a| a.parse().ok())
         .collect();
-    let ps = if ps.is_empty() { vec![96, 192, 384] } else { ps };
+    let ps = if ps.is_empty() {
+        vec![96, 192, 384]
+    } else {
+        ps
+    };
     let mut suite = Suite::new(HarnessConfig::default());
     let machine = MachineModel::hopper();
     for p in ps {
@@ -84,7 +100,7 @@ fn main() {
             )),
         ] {
             let w = suite.hopper_medcube();
-            let r = run_parallel_prm(w, &machine, p, &s);
+            let r = run_parallel_prm(w, &machine, p, &s).expect("sim failed");
             let busy_max = r.construction.per_pe_busy.iter().max().unwrap();
             let busy_sum: u64 = r.construction.per_pe_busy.iter().sum();
             println!(

@@ -17,7 +17,12 @@ pub fn steal_amount(suite: &mut Suite) -> Table {
     let machine = MachineModel::hopper();
     let mut t = Table::new(
         format!("Ablation: steal amount under Hybrid WS at {p} PEs (med-cube)"),
-        &["amount", "node_connection_s", "steal_attempts", "tasks_transferred"],
+        &[
+            "amount",
+            "node_connection_s",
+            "steal_attempts",
+            "tasks_transferred",
+        ],
     );
     for (label, amount) in [
         ("half", StealAmount::Half),
@@ -29,7 +34,7 @@ pub fn steal_amount(suite: &mut Suite) -> Table {
             policy: StealPolicyKind::Hybrid(8),
             amount,
         });
-        let run = run_parallel_prm(workload, &machine, p, &s);
+        let run = run_parallel_prm(workload, &machine, p, &s).expect("sim failed");
         t.push_row(vec![
             label.to_string(),
             vsecs(run.phases.node_connection),
@@ -61,7 +66,8 @@ pub fn lifeline(suite: &mut Suite) -> Table {
             &machine,
             p,
             &Strategy::WorkStealing(StealConfig::new(policy)),
-        );
+        )
+        .expect("sim failed");
         t.push_row(vec![
             policy.label(),
             vsecs(run.phases.node_connection),
@@ -87,7 +93,8 @@ pub fn weight_quality(suite: &mut Suite) -> Table {
     // exact baselines
     for kind in [WeightKind::SampleCount, WeightKind::Vfree] {
         let workload = suite.hopper_medcube();
-        let run = run_parallel_prm(workload, &machine, p, &Strategy::Repartition(kind));
+        let run = run_parallel_prm(workload, &machine, p, &Strategy::Repartition(kind))
+            .expect("sim failed");
         t.push_row(vec![
             kind.label(),
             vsecs(run.phases.node_connection),
@@ -107,7 +114,8 @@ pub fn weight_quality(suite: &mut Suite) -> Table {
             p,
             &Strategy::Repartition(WeightKind::Probe(m)),
             Some(&w),
-        );
+        )
+        .expect("sim failed");
         t.push_row(vec![
             format!("probe-{m}"),
             vsecs(run.phases.node_connection),
@@ -116,7 +124,7 @@ pub fn weight_quality(suite: &mut Suite) -> Table {
     }
     // no balancing reference
     let workload = suite.hopper_medcube();
-    let run = run_parallel_prm(workload, &machine, p, &Strategy::NoLb);
+    let run = run_parallel_prm(workload, &machine, p, &Strategy::NoLb).expect("sim failed");
     t.push_row(vec![
         "none".to_string(),
         vsecs(run.phases.node_connection),
@@ -160,7 +168,7 @@ pub fn partitioner(suite: &mut Suite) -> Table {
             steal: None,
             seed: 1,
         };
-        let rep = simulate(&con_costs, &map.items_per_pe(), &cfg);
+        let rep = simulate(&con_costs, &map.items_per_pe(), &cfg).expect("sim failed");
         let l = loads(&map, &w);
         t.push_row(vec![
             label.to_string(),
@@ -204,13 +212,14 @@ pub fn granularity(suite: &mut Suite) -> Table {
             ..ParallelPrmConfig::new(&env)
         };
         let workload = build_prm_workload(&pcfg);
-        let no_lb = run_parallel_prm(&workload, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_prm(&workload, &machine, p, &Strategy::NoLb).expect("sim failed");
         let repart = run_parallel_prm(
             &workload,
             &machine,
             p,
             &Strategy::Repartition(WeightKind::SampleCount),
-        );
+        )
+        .expect("sim failed");
         t.push_row(vec![
             workload.num_regions().to_string(),
             (workload.num_regions() / p).to_string(),
@@ -234,7 +243,13 @@ pub fn walls45(suite: &mut Suite) -> Table {
     let p = 64;
     let mut t = Table::new(
         format!("Study: walls vs walls-45 PRM at {p} PEs (Opteron)"),
-        &["environment", "strategy", "time_s", "improvement_x", "load_cov"],
+        &[
+            "environment",
+            "strategy",
+            "time_s",
+            "improvement_x",
+            "load_cov",
+        ],
     );
     for (name, env) in [
         ("walls", envs::walls(3, 0.06, 0.18)),
@@ -253,18 +268,21 @@ pub fn walls45(suite: &mut Suite) -> Table {
             ..ParallelPrmConfig::new(&env)
         };
         let workload = build_prm_workload(&pcfg);
-        let base = run_parallel_prm(&workload, &machine, p, &Strategy::NoLb);
+        let base = run_parallel_prm(&workload, &machine, p, &Strategy::NoLb).expect("sim failed");
         for s in [
             Strategy::NoLb,
             Strategy::Repartition(WeightKind::SampleCount),
             Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8))),
         ] {
-            let run = run_parallel_prm(&workload, &machine, p, &s);
+            let run = run_parallel_prm(&workload, &machine, p, &s).expect("sim failed");
             t.push_row(vec![
                 name.to_string(),
                 run.strategy_label.clone(),
                 vsecs(run.total_time),
-                format!("{:.2}", base.total_time as f64 / run.total_time.max(1) as f64),
+                format!(
+                    "{:.2}",
+                    base.total_time as f64 / run.total_time.max(1) as f64
+                ),
                 f4(run.construction.busy_cov()),
             ]);
         }
@@ -279,7 +297,13 @@ pub fn adaptive(suite: &mut Suite) -> Table {
     let env = envs::med_cube();
     let mut t = Table::new(
         "Ablation: adaptive vs uniform subdivision (med-cube, naive mapping)",
-        &["target_regions", "adaptive_leaves", "p", "uniform_cov", "adaptive_cov"],
+        &[
+            "target_regions",
+            "adaptive_leaves",
+            "p",
+            "uniform_cov",
+            "adaptive_cov",
+        ],
     );
     let _ = &suite.cfg;
     for &(target, p) in &[(512usize, 16usize), (2048, 64), (8192, 128)] {
@@ -307,7 +331,13 @@ pub fn overlap(suite: &mut Suite) -> Table {
     let env = envs::med_cube();
     let mut t = Table::new(
         "Ablation: region overlap vs roadmap connectivity (med-cube)",
-        &["overlap", "vertices", "edges", "components", "total_work_cd"],
+        &[
+            "overlap",
+            "vertices",
+            "edges",
+            "components",
+            "total_work_cd",
+        ],
     );
     let machine = MachineModel::hopper();
     let regions = (suite.cfg.opteron_regions / 8).max(512);

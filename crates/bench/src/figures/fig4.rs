@@ -30,13 +30,14 @@ pub fn fig4a(suite: &mut Suite) -> Table {
     for &p in &ps {
         let (instance, workload) = suite.model();
         let row = instance.analyze_p(p);
-        let no_lb = run_parallel_prm(workload, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_prm(workload, &machine, p, &Strategy::NoLb).expect("sim failed");
         let repart = run_parallel_prm(
             workload,
             &machine,
             p,
             &Strategy::Repartition(WeightKind::SampleCount),
-        );
+        )
+        .expect("sim failed");
         t.push_row(vec![
             p.to_string(),
             f4(row.cov_naive),
@@ -63,13 +64,14 @@ pub fn fig4b(suite: &mut Suite) -> Table {
     for &p in &ps {
         let (instance, workload) = suite.model();
         let row = instance.analyze_p(p);
-        let no_lb = run_parallel_prm(workload, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_prm(workload, &machine, p, &Strategy::NoLb).expect("sim failed");
         let repart = run_parallel_prm(
             workload,
             &machine,
             p,
             &Strategy::Repartition(WeightKind::SampleCount),
-        );
+        )
+        .expect("sim failed");
         let max_before = no_lb.node_load_initial.iter().copied().max().unwrap_or(0) as f64;
         let max_after = repart.node_load_final.iter().copied().max().unwrap_or(0) as f64;
         let samples_pct = percent_improvement(max_before, max_after);

@@ -15,7 +15,7 @@ fn run_all(suite: &mut Suite, p: usize) -> Vec<PrmRun> {
     let workload = suite.hopper_medcube();
     strategies
         .iter()
-        .map(|s| run_parallel_prm(workload, &machine, p, s))
+        .map(|s| run_parallel_prm(workload, &machine, p, s).expect("sim failed"))
         .collect()
 }
 
@@ -50,8 +50,13 @@ pub fn fig5b(suite: &mut Suite) -> Table {
             &machine,
             p,
             &Strategy::Repartition(WeightKind::SampleCount),
-        );
-        t.push_row(vec![p.to_string(), f4(run.cov_before()), f4(run.cov_after())]);
+        )
+        .expect("sim failed");
+        t.push_row(vec![
+            p.to_string(),
+            f4(run.cov_before()),
+            f4(run.cov_after()),
+        ]);
     }
     t
 }
@@ -61,13 +66,14 @@ pub fn fig5c(suite: &mut Suite) -> Table {
     let p = suite.cfg.fig7a_p; // the paper uses a 192-core run
     let machine = hopper();
     let workload = suite.hopper_medcube();
-    let no_lb = run_parallel_prm(workload, &machine, p, &Strategy::NoLb);
+    let no_lb = run_parallel_prm(workload, &machine, p, &Strategy::NoLb).expect("sim failed");
     let repart = run_parallel_prm(
         workload,
         &machine,
         p,
         &Strategy::Repartition(WeightKind::SampleCount),
-    );
+    )
+    .expect("sim failed");
     let total: u64 = no_lb.node_load_final.iter().sum();
     let ideal = total as f64 / p as f64;
     let mut t = Table::new(
@@ -95,18 +101,22 @@ pub fn fig6(suite: &mut Suite) -> Table {
     );
     for &p in &ps {
         let workload = suite.hopper_medcube();
-        let no_lb = run_parallel_prm(workload, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_prm(workload, &machine, p, &Strategy::NoLb).expect("sim failed");
         let repart = run_parallel_prm(
             workload,
             &machine,
             p,
             &Strategy::Repartition(WeightKind::SampleCount),
-        );
+        )
+        .expect("sim failed");
         t.push_row(vec![
             p.to_string(),
             vsecs(no_lb.total_time),
             vsecs(repart.total_time),
-            format!("{:.2}", no_lb.total_time as f64 / repart.total_time.max(1) as f64),
+            format!(
+                "{:.2}",
+                no_lb.total_time as f64 / repart.total_time.max(1) as f64
+            ),
         ]);
     }
     t
@@ -143,13 +153,14 @@ pub fn fig7b(suite: &mut Suite) -> Table {
     let p = suite.cfg.fig7b_p;
     let machine = hopper();
     let workload = suite.hopper_medcube();
-    let no_lb = run_parallel_prm(workload, &machine, p, &Strategy::NoLb);
+    let no_lb = run_parallel_prm(workload, &machine, p, &Strategy::NoLb).expect("sim failed");
     let repart = run_parallel_prm(
         workload,
         &machine,
         p,
         &Strategy::Repartition(WeightKind::SampleCount),
-    );
+    )
+    .expect("sim failed");
     let mut t = Table::new(
         format!("Fig 7(b): remote accesses in region connection at {p} PEs"),
         &["method", "region_graph", "roadmap_graph", "edge_cut"],
@@ -177,7 +188,7 @@ pub fn fig9(suite: &mut Suite, low_count: bool) -> Table {
     let s = Strategy::WorkStealing(smp_runtime::StealConfig::new(
         smp_runtime::StealPolicyKind::Hybrid(8),
     ));
-    let run = run_parallel_prm(workload, &machine, p, &s);
+    let run = run_parallel_prm(workload, &machine, p, &s).expect("sim failed");
     let name = if low_count { "9(a)" } else { "9(b)" };
     let mut t = Table::new(
         format!("Fig {name}: tasks stolen vs executed locally at {p} PEs (Hybrid WS)"),

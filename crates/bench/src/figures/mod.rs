@@ -8,6 +8,7 @@ pub mod ablations;
 pub mod fig4;
 pub mod hopper;
 pub mod opteron;
+pub mod resilience;
 pub mod rrt;
 
 use crate::config::HarnessConfig;
@@ -47,7 +48,11 @@ impl Suite {
         }
     }
 
-    fn prm_workload(cfg: &HarnessConfig, env: &smp_geom::Environment<3>, regions: usize) -> PrmWorkload<3> {
+    fn prm_workload(
+        cfg: &HarnessConfig,
+        env: &smp_geom::Environment<3>,
+        regions: usize,
+    ) -> PrmWorkload<3> {
         let pcfg = ParallelPrmConfig {
             regions_target: regions,
             overlap: 0.004,
@@ -67,8 +72,12 @@ impl Suite {
     pub fn hopper_medcube(&mut self) -> &PrmWorkload<3> {
         if self.hopper_medcube.is_none() {
             let env = envs::med_cube();
-            eprintln!("[suite] building hopper med-cube workload ({} regions)...", self.cfg.hopper_regions);
-            self.hopper_medcube = Some(Self::prm_workload(&self.cfg, &env, self.cfg.hopper_regions));
+            eprintln!(
+                "[suite] building hopper med-cube workload ({} regions)...",
+                self.cfg.hopper_regions
+            );
+            self.hopper_medcube =
+                Some(Self::prm_workload(&self.cfg, &env, self.cfg.hopper_regions));
         }
         self.hopper_medcube.as_ref().unwrap()
     }
@@ -110,7 +119,10 @@ impl Suite {
                 "mixed-30" => envs::mixed_30(),
                 _ => envs::free_env(),
             };
-            eprintln!("[suite] building rrt {name} workload ({} cones)...", cfg.rrt_regions);
+            eprintln!(
+                "[suite] building rrt {name} workload ({} cones)...",
+                cfg.rrt_regions
+            );
             let rcfg = ParallelRrtConfig {
                 num_regions: cfg.rrt_regions,
                 nodes_per_region: cfg.nodes_per_region,
@@ -181,6 +193,7 @@ pub const ALL_ABLATIONS: &[&str] = &[
     "ablation-partitioner",
     "ablation-granularity",
     "ablation-overlap",
+    "resilience",
 ];
 
 /// Run one figure (or ablation) by id.
@@ -210,6 +223,11 @@ pub fn run(id: &str, suite: &mut Suite) -> Vec<Table> {
         "ablation-partitioner" => vec![ablations::partitioner(suite)],
         "ablation-granularity" => vec![ablations::granularity(suite)],
         "ablation-overlap" => vec![ablations::overlap(suite)],
+        "resilience" => vec![
+            resilience::straggler(suite),
+            resilience::message_loss(suite),
+            resilience::crash(suite),
+        ],
         other => panic!("unknown figure id: {other}"),
     }
 }

@@ -23,7 +23,7 @@ pub fn fig8(suite: &mut Suite, env: &str, fig_id: &str) -> Table {
         let workload = suite.opteron_env(env);
         let mut row = vec![p.to_string()];
         for s in &strategies {
-            let run = run_parallel_prm(workload, &machine, p, s);
+            let run = run_parallel_prm(workload, &machine, p, s).expect("sim failed");
             row.push(vsecs(run.total_time));
         }
         t.push_row(row);

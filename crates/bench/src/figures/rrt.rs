@@ -25,7 +25,7 @@ pub fn fig10(suite: &mut Suite, env: &str, fig_id: &str) -> Table {
         let workload = suite.rrt_env(env);
         let mut row = vec![p.to_string()];
         for s in &strategies {
-            let run = run_parallel_rrt(workload, &machine, p, s);
+            let run = run_parallel_rrt(workload, &machine, p, s).expect("sim failed");
             row.push(vsecs(run.total_time));
         }
         if include_repart {
@@ -34,7 +34,8 @@ pub fn fig10(suite: &mut Suite, env: &str, fig_id: &str) -> Table {
                 &machine,
                 p,
                 &Strategy::Repartition(WeightKind::KRays(4)),
-            );
+            )
+            .expect("sim failed");
             row.push(vsecs(run.total_time));
         }
         t.push_row(row);

@@ -80,7 +80,14 @@ fn refine<const D: usize>(
                 chi[axis] = hi[axis];
             }
         }
-        refine(env, Aabb::new(clo, chi), depth + 1, threshold, max_depth, out);
+        refine(
+            env,
+            Aabb::new(clo, chi),
+            depth + 1,
+            threshold,
+            max_depth,
+            out,
+        );
     }
 }
 
@@ -120,8 +127,7 @@ mod tests {
         let max_w = leaves.iter().map(|l| l.weight).fold(0.0, f64::max);
         let total: f64 = leaves.iter().map(|l| l.weight).sum();
         assert!(
-            max_w <= total / 256.0 * 1.001 + 1e-12
-                || leaves.iter().any(|l| l.depth == 6),
+            max_w <= total / 256.0 * 1.001 + 1e-12 || leaves.iter().any(|l| l.depth == 6),
             "all heavy leaves must be split or at max depth"
         );
         assert!(leaves.len() >= 256);

@@ -159,7 +159,11 @@ mod tests {
         assert!(t.num_vertices() >= 1);
         // tree/forest invariant: edges = vertices - components
         let (_, ncomp) = connected_components(&t);
-        assert_eq!(t.num_edges(), t.num_vertices() - ncomp, "cycle survived pruning");
+        assert_eq!(
+            t.num_edges(),
+            t.num_vertices() - ncomp,
+            "cycle survived pruning"
+        );
         // the root's component should dominate (branches share the root)
         assert_eq!(ncomp, 1, "branches did not merge at the root");
     }

@@ -27,6 +27,8 @@ use crate::partition::{greedy_lpt, loads, naive_block};
 use crate::phases::PhaseBreakdown;
 use crate::strategy::{Strategy, WeightKind};
 use crate::weights;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use smp_cspace::{derive_seed, BoxSampler, Cfg, EnvValidity, StraightLinePlanner, WorkCounters};
@@ -34,9 +36,9 @@ use smp_cspace::{LocalPlanner, Sampler, ValidityChecker};
 use smp_geom::{Environment, GridSubdivision};
 use smp_graph::{KdTree, OwnerMap, RegionGraph, RemoteAccessCounter};
 use smp_plan::connect::{connect_roadmaps, CandidateEdge};
-use smp_runtime::{simulate, simulate_with_payloads, MachineModel, SimConfig, SimReport};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use smp_runtime::{
+    simulate, simulate_faulted, FaultPlan, MachineModel, SimConfig, SimError, SimReport,
+};
 
 /// Parameters of a parallel PRM experiment (strategy-independent).
 #[derive(Debug, Clone, Copy)]
@@ -170,7 +172,11 @@ fn build_region<const D: usize>(
                 &mut con_work.knn_candidates,
             );
             for (j, dist) in nns {
-                if j < i && edges.iter().any(|&(a, b, _)| (a, b) == (j as u32, i as u32)) {
+                if j < i
+                    && edges
+                        .iter()
+                        .any(|&(a, b, _)| (a, b) == (j as u32, i as u32))
+                {
                     continue;
                 }
                 let out = lp.check(q, &cfgs[j], &validity, &mut con_work);
@@ -193,7 +199,8 @@ fn build_region<const D: usize>(
 
 /// Build (really execute, once) the full workload for an experiment.
 pub fn build_prm_workload<const D: usize>(cfg: &ParallelPrmConfig<'_, D>) -> PrmWorkload<D> {
-    let grid = GridSubdivision::with_target_regions(*cfg.env.bounds(), cfg.regions_target, cfg.overlap);
+    let grid =
+        GridSubdivision::with_target_regions(*cfg.env.bounds(), cfg.regions_target, cfg.overlap);
     build_prm_workload_on_grid(cfg, grid)
 }
 
@@ -306,9 +313,9 @@ fn resolve_weights<const D: usize>(workload: &PrmWorkload<D>, kind: WeightKind) 
 /// let cfg = ParallelPrmConfig { regions_target: 64, ..ParallelPrmConfig::new(&env) };
 /// let workload = build_prm_workload(&cfg);
 /// let machine = MachineModel::hopper();
-/// let no_lb = run_parallel_prm(&workload, &machine, 8, &Strategy::NoLb);
+/// let no_lb = run_parallel_prm(&workload, &machine, 8, &Strategy::NoLb).unwrap();
 /// let repart = run_parallel_prm(
-///     &workload, &machine, 8, &Strategy::Repartition(WeightKind::SampleCount));
+///     &workload, &machine, 8, &Strategy::Repartition(WeightKind::SampleCount)).unwrap();
 /// assert!(repart.phases.node_connection <= no_lb.phases.node_connection);
 /// ```
 pub fn run_parallel_prm<const D: usize>(
@@ -316,12 +323,8 @@ pub fn run_parallel_prm<const D: usize>(
     machine: &MachineModel,
     p: usize,
     strategy: &Strategy,
-) -> PrmRun {
-    let weights = match strategy {
-        Strategy::Repartition(kind) => Some(resolve_weights(workload, *kind)),
-        _ => None,
-    };
-    run_parallel_prm_with_weights(workload, machine, p, strategy, weights.as_deref())
+) -> Result<PrmRun, SimError> {
+    run_parallel_prm_faulted(workload, machine, p, strategy, None, None)
 }
 
 /// As [`run_parallel_prm`] but with explicit repartitioning weights
@@ -332,13 +335,38 @@ pub fn run_parallel_prm_with_weights<const D: usize>(
     p: usize,
     strategy: &Strategy,
     custom_weights: Option<&[f64]>,
-) -> PrmRun {
-    assert!(p > 0);
+) -> Result<PrmRun, SimError> {
+    run_parallel_prm_faulted(workload, machine, p, strategy, custom_weights, None)
+}
+
+/// As [`run_parallel_prm_with_weights`] but injecting `fault` into the
+/// node-connection phase — the long, imbalanced phase where stragglers,
+/// lost messages, and PE crashes actually bite. A `None` or zero-fault plan
+/// reproduces [`run_parallel_prm`] bit for bit.
+pub fn run_parallel_prm_faulted<const D: usize>(
+    workload: &PrmWorkload<D>,
+    machine: &MachineModel,
+    p: usize,
+    strategy: &Strategy,
+    custom_weights: Option<&[f64]>,
+    fault: Option<&FaultPlan>,
+) -> Result<PrmRun, SimError> {
+    if p == 0 {
+        return Err(SimError::NoPes);
+    }
     let nr = workload.num_regions();
     let ops = &machine.ops;
 
-    let gen_costs: Vec<u64> = workload.regions.iter().map(|r| work_cost(&r.gen_work, ops)).collect();
-    let con_costs: Vec<u64> = workload.regions.iter().map(|r| work_cost(&r.con_work, ops)).collect();
+    let gen_costs: Vec<u64> = workload
+        .regions
+        .iter()
+        .map(|r| work_cost(&r.gen_work, ops))
+        .collect();
+    let con_costs: Vec<u64> = workload
+        .regions
+        .iter()
+        .map(|r| work_cost(&r.con_work, ops))
+        .collect();
 
     let naive = naive_block(nr, p);
     let naive_queues = owner_queues(&naive);
@@ -349,7 +377,7 @@ pub fn run_parallel_prm_with_weights<const D: usize>(
         steal: None,
         seed: derive_seed(workload.seed, p as u64, 1),
     };
-    let gen_sim = simulate(&gen_costs, &naive_queues, &gen_cfg);
+    let gen_sim = simulate(&gen_costs, &naive_queues, &gen_cfg)?;
 
     // Phase 2: load balancing.
     let mut lb_time: u64 = 0;
@@ -397,7 +425,10 @@ pub fn run_parallel_prm_with_weights<const D: usize>(
                         in_cost[dst as usize] += c;
                     }
                 }
-                let mig_max = (0..p).map(|pe| out_cost[pe] + in_cost[pe]).max().unwrap_or(0);
+                let mig_max = (0..p)
+                    .map(|pe| out_cost[pe] + in_cost[pe])
+                    .max()
+                    .unwrap_or(0);
                 lb_time = machine.barrier(p) * 2 + partition_cpu + mig_max;
                 (owner_queues(&new_map), None)
             }
@@ -406,13 +437,23 @@ pub fn run_parallel_prm_with_weights<const D: usize>(
 
     // Phase 3: node connection (the balanced phase). Stolen regions carry
     // their samples (ownership transfer), so steals pay per-vertex payload.
-    let payloads: Vec<u64> = workload.regions.iter().map(|r| r.cfgs.len() as u64).collect();
+    let payloads: Vec<u64> = workload
+        .regions
+        .iter()
+        .map(|r| r.cfgs.len() as u64)
+        .collect();
     let con_cfg = SimConfig {
         machine: machine.clone(),
         steal,
         seed: derive_seed(workload.seed, p as u64, 2),
     };
-    let con_sim = simulate_with_payloads(&con_costs, Some(&payloads), &connect_queues, &con_cfg);
+    let con_sim = simulate_faulted(
+        &con_costs,
+        Some(&payloads),
+        &connect_queues,
+        &con_cfg,
+        fault,
+    )?;
     let final_owner: Vec<u32> = con_sim.executed_by.clone();
 
     // Phase 4: region connection, charged to the owner of each edge's first
@@ -455,7 +496,7 @@ pub fn run_parallel_prm_with_weights<const D: usize>(
         region_connection: regconn_max,
     };
 
-    PrmRun {
+    Ok(PrmRun {
         strategy_label: strategy.label(),
         p,
         total_time: phases.total(),
@@ -466,7 +507,7 @@ pub fn run_parallel_prm_with_weights<const D: usize>(
         remote,
         edge_cut,
         migrations,
-    }
+    })
 }
 
 /// Owner map → per-PE queues ordered by region id.
@@ -514,13 +555,14 @@ mod tests {
         let w = small_workload();
         let machine = MachineModel::hopper();
         let p = 32;
-        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb).unwrap();
         let repart = run_parallel_prm(
             &w,
             &machine,
             p,
             &Strategy::Repartition(WeightKind::SampleCount),
-        );
+        )
+        .unwrap();
         assert!(
             repart.phases.node_connection < no_lb.phases.node_connection,
             "repart {} vs nolb {}",
@@ -536,13 +578,14 @@ mod tests {
         let w = small_workload();
         let machine = MachineModel::hopper();
         let p = 32;
-        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb).unwrap();
         let ws = run_parallel_prm(
             &w,
             &machine,
             p,
             &Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8))),
-        );
+        )
+        .unwrap();
         assert!(ws.phases.node_connection < no_lb.phases.node_connection);
         assert!(ws.construction.steal_hits > 0);
     }
@@ -552,13 +595,14 @@ mod tests {
         let w = small_workload();
         let machine = MachineModel::hopper();
         let p = 64;
-        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb).unwrap();
         let repart = run_parallel_prm(
             &w,
             &machine,
             p,
             &Strategy::Repartition(WeightKind::SampleCount),
-        );
+        )
+        .unwrap();
         assert!(
             repart.edge_cut >= no_lb.edge_cut,
             "repart cut {} < nolb cut {}",
@@ -573,7 +617,7 @@ mod tests {
         let w = small_workload();
         let machine = MachineModel::opteron();
         for s in Strategy::prm_set() {
-            let run = run_parallel_prm(&w, &machine, 16, &s);
+            let run = run_parallel_prm(&w, &machine, 16, &s).unwrap();
             let executed: u32 = run.construction.per_pe_executed.iter().sum();
             assert_eq!(executed as usize, w.num_regions(), "{}", s.label());
             // load conservation
@@ -588,8 +632,8 @@ mod tests {
         let w = small_workload();
         let machine = MachineModel::hopper();
         let s = Strategy::WorkStealing(StealConfig::new(StealPolicyKind::RandK(8)));
-        let a = run_parallel_prm(&w, &machine, 24, &s);
-        let b = run_parallel_prm(&w, &machine, 24, &s);
+        let a = run_parallel_prm(&w, &machine, 24, &s).unwrap();
+        let b = run_parallel_prm(&w, &machine, 24, &s).unwrap();
         assert_eq!(a.total_time, b.total_time);
         assert_eq!(a.construction.executed_by, b.construction.executed_by);
     }
@@ -606,9 +650,9 @@ mod tests {
         let w = build_prm_workload(&cfg);
         let machine = MachineModel::opteron();
         let p = 16;
-        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb).unwrap();
         for s in Strategy::prm_set().into_iter().skip(1) {
-            let run = run_parallel_prm(&w, &machine, p, &s);
+            let run = run_parallel_prm(&w, &machine, p, &s).unwrap();
             assert!(
                 run.total_time <= no_lb.total_time + no_lb.total_time / 5,
                 "{} overhead too high: {} vs {}",

@@ -14,6 +14,8 @@ use crate::partition::{greedy_lpt, loads, naive_block};
 use crate::phases::PhaseBreakdown;
 use crate::strategy::{Strategy, WeightKind};
 use crate::weights;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use smp_cspace::{derive_seed, Cfg, ConeSampler, EnvValidity, StraightLinePlanner, WorkCounters};
@@ -21,9 +23,7 @@ use smp_geom::{Environment, RadialSubdivision};
 use smp_graph::{OwnerMap, RegionGraph, RemoteAccessCounter};
 use smp_plan::connect::{connect_roadmaps, CandidateEdge};
 use smp_plan::rrt::{grow_rrt, RrtParams};
-use smp_runtime::{simulate, MachineModel, SimConfig, SimReport};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use smp_runtime::{simulate_faulted, FaultPlan, MachineModel, SimConfig, SimError, SimReport};
 
 /// Parameters of a parallel radial-RRT experiment.
 #[derive(Debug, Clone, Copy)]
@@ -253,11 +253,30 @@ pub fn run_parallel_rrt<const D: usize>(
     machine: &MachineModel,
     p: usize,
     strategy: &Strategy,
-) -> RrtRun {
-    assert!(p > 0);
+) -> Result<RrtRun, SimError> {
+    run_parallel_rrt_faulted(workload, machine, p, strategy, None)
+}
+
+/// As [`run_parallel_rrt`] but injecting `fault` into the construction
+/// phase. A `None` or zero-fault plan reproduces [`run_parallel_rrt`] bit
+/// for bit.
+pub fn run_parallel_rrt_faulted<const D: usize>(
+    workload: &RrtWorkload<D>,
+    machine: &MachineModel,
+    p: usize,
+    strategy: &Strategy,
+    fault: Option<&FaultPlan>,
+) -> Result<RrtRun, SimError> {
+    if p == 0 {
+        return Err(SimError::NoPes);
+    }
     let nr = workload.num_regions();
     let ops = &machine.ops;
-    let costs: Vec<u64> = workload.regions.iter().map(|r| work_cost(&r.work, ops)).collect();
+    let costs: Vec<u64> = workload
+        .regions
+        .iter()
+        .map(|r| work_cost(&r.work, ops))
+        .collect();
 
     let naive = naive_block(nr, p);
 
@@ -300,7 +319,7 @@ pub fn run_parallel_rrt<const D: usize>(
         steal,
         seed: derive_seed(workload.seed, p as u64, 3),
     };
-    let con_sim = simulate(&costs, &queues, &con_cfg);
+    let con_sim = simulate_faulted(&costs, None, &queues, &con_cfg, fault)?;
     let final_owner = con_sim.executed_by.clone();
 
     // region connection (with cycle pruning happening at assembly; the
@@ -341,7 +360,7 @@ pub fn run_parallel_rrt<const D: usize>(
         region_connection: regconn_max,
     };
 
-    RrtRun {
+    Ok(RrtRun {
         strategy_label: strategy.label(),
         p,
         total_time: phases.total(),
@@ -352,7 +371,7 @@ pub fn run_parallel_rrt<const D: usize>(
         remote,
         edge_cut,
         migrations,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -404,13 +423,14 @@ mod tests {
         let w = mixed_workload();
         let machine = MachineModel::opteron();
         let p = 16;
-        let no_lb = run_parallel_rrt(&w, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_rrt(&w, &machine, p, &Strategy::NoLb).unwrap();
         let diff = run_parallel_rrt(
             &w,
             &machine,
             p,
             &Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Diffusive)),
-        );
+        )
+        .unwrap();
         assert!(
             diff.phases.node_connection < no_lb.phases.node_connection,
             "diffusive {} vs nolb {}",
@@ -427,7 +447,13 @@ mod tests {
         // the machinery charges its costs.
         let w = mixed_workload();
         let machine = MachineModel::opteron();
-        let run = run_parallel_rrt(&w, &machine, 16, &Strategy::Repartition(WeightKind::KRays(4)));
+        let run = run_parallel_rrt(
+            &w,
+            &machine,
+            16,
+            &Strategy::Repartition(WeightKind::KRays(4)),
+        )
+        .unwrap();
         assert!(run.migrations > 0);
         assert!(run.phases.other > 0);
         let executed: u32 = run.construction.per_pe_executed.iter().sum();
@@ -439,7 +465,7 @@ mod tests {
         let w = mixed_workload();
         let machine = MachineModel::opteron();
         for s in Strategy::rrt_set() {
-            let run = run_parallel_rrt(&w, &machine, 8, &s);
+            let run = run_parallel_rrt(&w, &machine, 8, &s).unwrap();
             let busy: u64 = run.construction.per_pe_busy.iter().sum();
             let total: u64 = w
                 .regions
@@ -465,8 +491,8 @@ mod tests {
         assert_eq!(w1.node_counts(), w2.node_counts());
         let machine = MachineModel::opteron();
         let s = Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8)));
-        let a = run_parallel_rrt(&w1, &machine, 8, &s);
-        let b = run_parallel_rrt(&w2, &machine, 8, &s);
+        let a = run_parallel_rrt(&w1, &machine, 8, &s).unwrap();
+        let b = run_parallel_rrt(&w2, &machine, 8, &s).unwrap();
         assert_eq!(a.total_time, b.total_time);
     }
 
@@ -482,9 +508,9 @@ mod tests {
         };
         let w = build_rrt_workload(&cfg);
         let machine = MachineModel::opteron();
-        let no_lb = run_parallel_rrt(&w, &machine, 8, &Strategy::NoLb);
+        let no_lb = run_parallel_rrt(&w, &machine, 8, &Strategy::NoLb).unwrap();
         for s in Strategy::rrt_set().into_iter().skip(1) {
-            let run = run_parallel_rrt(&w, &machine, 8, &s);
+            let run = run_parallel_rrt(&w, &machine, 8, &s).unwrap();
             assert!(
                 run.total_time <= no_lb.total_time + no_lb.total_time / 4,
                 "{} overhead: {} vs {}",

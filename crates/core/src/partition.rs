@@ -139,7 +139,14 @@ fn bisect<const D: usize>(
     let (left, right) = sorted.split_at(split);
     // p >= 2 here, so both halves get at least one PE
     bisect(left, centroids, weights, pe_offset, p_left, owner);
-    bisect(right, centroids, weights, pe_offset + p_left, p_right, owner);
+    bisect(
+        right,
+        centroids,
+        weights,
+        pe_offset + p_left,
+        p_right,
+        owner,
+    );
 }
 
 /// Per-PE total weight under an assignment.
@@ -160,7 +167,7 @@ mod tests {
     fn lpt_balances_skewed_weights() {
         // one huge item + many small
         let mut w = vec![10.0];
-        w.extend(std::iter::repeat(1.0).take(30));
+        w.extend(std::iter::repeat_n(1.0, 30));
         let map = greedy_lpt(&w, 4);
         let l = loads(&map, &w);
         let max = l.iter().cloned().fold(0.0, f64::max);
@@ -248,8 +255,7 @@ mod tests {
 
     #[test]
     fn bisection_zero_weights_ok() {
-        let centroids: Vec<Point<2>> =
-            (0..16).map(|i| Point::new([i as f64, 0.0])).collect();
+        let centroids: Vec<Point<2>> = (0..16).map(|i| Point::new([i as f64, 0.0])).collect();
         let weights = vec![0.0; 16];
         let map = spatial_bisection(&centroids, &weights, 4);
         assert_eq!(map.load_per_pe().iter().sum::<usize>(), 16);

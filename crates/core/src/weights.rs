@@ -13,10 +13,7 @@ use smp_geom::{Environment, GridSubdivision, RadialSubdivision, Ray};
 
 /// Exact free-space volume of every grid region (core cells, so the weights
 /// sum to the environment's total free volume).
-pub fn vfree_weights<const D: usize>(
-    env: &Environment<D>,
-    grid: &GridSubdivision<D>,
-) -> Vec<f64> {
+pub fn vfree_weights<const D: usize>(env: &Environment<D>, grid: &GridSubdivision<D>) -> Vec<f64> {
     grid.region_ids()
         .map(|r| env.free_volume_in(&grid.core_cell(r)))
         .collect()
@@ -83,8 +80,7 @@ pub fn krays_weights<const D: usize>(
                 for i in 0..D {
                     let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
                     let u2: f64 = rng.random_range(0.0..1.0);
-                    let g = (-2.0 * u1.ln()).sqrt()
-                        * (2.0 * std::f64::consts::PI * u2).cos();
+                    let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     d[i] += g * spread;
                 }
                 let d = d.normalized().unwrap_or(dir);

@@ -36,7 +36,11 @@ impl<const D: usize> Sampler<D> for BoxSampler<D> {
         let mut p = Point::zero();
         for i in 0..D {
             let (lo, hi) = (self.bounds.lo()[i], self.bounds.hi()[i]);
-            p[i] = if hi > lo { rng.random_range(lo..hi) } else { lo };
+            p[i] = if hi > lo {
+                rng.random_range(lo..hi)
+            } else {
+                lo
+            };
         }
         p
     }
@@ -71,7 +75,11 @@ impl<const D: usize> Sampler<D> for ConeSampler<'_, D> {
             let mut p = Point::zero();
             for i in 0..D {
                 let (lo, hi) = (self.bbox.lo()[i], self.bbox.hi()[i]);
-                p[i] = if hi > lo { rng.random_range(lo..hi) } else { lo };
+                p[i] = if hi > lo {
+                    rng.random_range(lo..hi)
+                } else {
+                    lo
+                };
             }
             if self.sub.in_region(self.region, &p) {
                 return p;

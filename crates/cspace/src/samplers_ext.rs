@@ -40,7 +40,11 @@ fn uniform_in<const D: usize, R: Rng + ?Sized>(bounds: &Aabb<D>, rng: &mut R) ->
     let mut p = Point::zero();
     for i in 0..D {
         let (lo, hi) = (bounds.lo()[i], bounds.hi()[i]);
-        p[i] = if hi > lo { rng.random_range(lo..hi) } else { lo };
+        p[i] = if hi > lo {
+            rng.random_range(lo..hi)
+        } else {
+            lo
+        };
     }
     p
 }

@@ -1,62 +1,51 @@
-//! Serde support for const-generic arrays.
+//! Flat encoding helpers for const-generic arrays.
 //!
-//! `serde` only derives array impls for literal lengths, not for a generic
-//! `[T; D]` field inside a `struct Foo<const D: usize>`. This module provides
-//! `#[serde(with = "array_serde")]`-style helpers that encode such arrays as
-//! sequences.
+//! The vendored `serde` stand-in (see `vendor/README.md`) has no data model,
+//! so the original `#[serde(with = "array_serde")]` hooks are inert. This
+//! module keeps a working serialization story for `[f64; D]` fields: a
+//! trivial flat `f64` encoding used by snapshot/IO code paths, with the same
+//! exact-length checking the serde visitor used to enforce.
 
-use serde::de::{Error, SeqAccess, Visitor};
-use serde::ser::SerializeSeq;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
-use std::fmt;
-use std::marker::PhantomData;
-
-/// Serialize a `[T; D]` as a sequence.
-pub fn serialize<S, T, const D: usize>(arr: &[T; D], ser: S) -> Result<S::Ok, S::Error>
-where
-    S: Serializer,
-    T: Serialize,
-{
-    let mut seq = ser.serialize_seq(Some(D))?;
-    for v in arr {
-        seq.serialize_element(v)?;
-    }
-    seq.end()
+/// Append a `[f64; D]` to a flat buffer.
+pub fn serialize<const D: usize>(arr: &[f64; D], out: &mut Vec<f64>) {
+    out.extend_from_slice(arr);
 }
 
-/// Deserialize a `[T; D]` from a sequence of exactly `D` elements.
-pub fn deserialize<'de, De, T, const D: usize>(de: De) -> Result<[T; D], De::Error>
-where
-    De: Deserializer<'de>,
-    T: Deserialize<'de> + Default + Copy,
-{
-    struct ArrVisitor<T, const D: usize>(PhantomData<T>);
-
-    impl<'de, T, const D: usize> Visitor<'de> for ArrVisitor<T, D>
-    where
-        T: Deserialize<'de> + Default + Copy,
-    {
-        type Value = [T; D];
-
-        fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
-            write!(f, "an array of {D} elements")
-        }
-
-        fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<[T; D], A::Error> {
-            let mut out = [T::default(); D];
-            for (i, slot) in out.iter_mut().enumerate() {
-                *slot = seq
-                    .next_element()?
-                    .ok_or_else(|| A::Error::invalid_length(i, &self))?;
-            }
-            if seq.next_element::<T>()?.is_some() {
-                return Err(A::Error::invalid_length(D + 1, &self));
-            }
-            Ok(out)
-        }
+/// Read a `[f64; D]` back from a flat slice, consuming exactly `D` values.
+///
+/// Returns the array and the remaining tail, or `None` if fewer than `D`
+/// values are available (the old visitor's `invalid_length` case).
+pub fn deserialize<const D: usize>(data: &[f64]) -> Option<([f64; D], &[f64])> {
+    if data.len() < D {
+        return None;
     }
+    let (head, tail) = data.split_at(D);
+    let mut out = [0.0f64; D];
+    out.copy_from_slice(head);
+    Some((out, tail))
+}
 
-    de.deserialize_seq(ArrVisitor::<T, D>(PhantomData))
+/// Encode a sequence of `[f64; D]` points as one flat buffer.
+pub fn serialize_all<const D: usize>(points: &[[f64; D]]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(points.len() * D);
+    for p in points {
+        serialize(p, &mut out);
+    }
+    out
+}
+
+/// Decode a flat buffer back into `[f64; D]` points.
+///
+/// `None` if the buffer length is not a multiple of `D` (partial trailing
+/// array — the old visitor's wrong-length case).
+pub fn deserialize_all<const D: usize>(mut data: &[f64]) -> Option<Vec<[f64; D]>> {
+    let mut out = Vec::with_capacity(data.len() / D.max(1));
+    while !data.is_empty() {
+        let (arr, tail) = deserialize::<D>(data)?;
+        out.push(arr);
+        data = tail;
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -78,18 +67,23 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_json_like() {
-        // serde_json isn't a dependency; use the test-only token stream via
-        // serde's in-crate helpers is overkill. Round-trip through bincode-ish
-        // self-describing format is unavailable too, so just check the
-        // serializer path compiles and a hand-rolled deserializer works via
-        // serde::de::value.
-        use serde::de::value::{Error as ValErr, SeqDeserializer};
-        let de = SeqDeserializer::<_, ValErr>::new(vec![1.0f64, 2.0, 3.0].into_iter());
-        let arr: [f64; 3] = super::deserialize(de).unwrap();
+    fn roundtrip_flat() {
+        let pts = [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]];
+        let flat = super::serialize_all(&pts);
+        assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let back = super::deserialize_all::<3>(&flat).unwrap();
+        assert_eq!(back, pts.to_vec());
+    }
+
+    #[test]
+    fn wrong_length_errors() {
+        // fewer values than D
+        assert!(super::deserialize::<3>(&[1.0, 2.0]).is_none());
+        // trailing partial array
+        assert!(super::deserialize_all::<3>(&[1.0, 2.0, 3.0, 4.0]).is_none());
+        // exact length leaves empty tail
+        let (arr, tail) = super::deserialize::<3>(&[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(arr, [1.0, 2.0, 3.0]);
-        // wrong length errors
-        let de = SeqDeserializer::<_, ValErr>::new(vec![1.0f64, 2.0].into_iter());
-        assert!(super::deserialize::<_, f64, 3>(de).is_err());
+        assert!(tail.is_empty());
     }
 }

@@ -57,10 +57,7 @@ impl<const D: usize> ConvexPolytope<D> {
         let n = axis.normalized().expect("slab axis must be nonzero");
         let c = n.dot(&center);
         let h = thickness.abs() / 2.0;
-        let mut hs = vec![
-            Halfspace::new(n, c + h),
-            Halfspace::new(-n, -(c - h)),
-        ];
+        let mut hs = vec![Halfspace::new(n, c + h), Halfspace::new(-n, -(c - h))];
         // clip to the bounding box
         for i in 0..D {
             let mut plus = Point::<D>::zero();

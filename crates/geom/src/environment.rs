@@ -186,7 +186,7 @@ mod tests {
         assert!(env.is_valid(&Point::new([0.1, 0.1]), 0.0));
         assert!(!env.is_valid(&Point::new([0.5, 0.5]), 0.0)); // inside obstacle
         assert!(!env.is_valid(&Point::new([1.5, 0.5]), 0.0)); // out of bounds
-        // clearance shrinks free space
+                                                              // clearance shrinks free space
         assert!(env.is_valid(&Point::new([0.3, 0.3]), 0.05));
         assert!(!env.is_valid(&Point::new([0.38, 0.5]), 0.05));
     }

@@ -166,7 +166,11 @@ pub fn walls_45(n_walls: usize, wall_thickness: f64, gap: f64) -> Environment<3>
         let slab = ConvexPolytope::slab(center, axis, wall_thickness, bounds);
         // gap along z: alternate bottom/top; wall = slab minus the gap band,
         // expressed as two clipped polytopes
-        let (gap_lo, gap_hi) = if w % 2 == 0 { (0.0, gap) } else { (1.0 - gap, 1.0) };
+        let (gap_lo, gap_hi) = if w % 2 == 0 {
+            (0.0, gap)
+        } else {
+            (1.0 - gap, 1.0)
+        };
         let z = Point::new([0.0, 0.0, 1.0]);
         if gap_lo > 0.0 {
             // z <= gap_lo part
@@ -252,7 +256,10 @@ mod tests {
         let env = walls_45(2, 0.08, 0.2);
         // first wall crosses x + y = 2/3 (gap at the bottom, z < 0.2)
         let on_wall = Point::new([0.33, 0.33, 0.6]);
-        assert!(!env.is_valid(&on_wall, 0.0), "diagonal wall body must block");
+        assert!(
+            !env.is_valid(&on_wall, 0.0),
+            "diagonal wall body must block"
+        );
         let in_gap = Point::new([0.33, 0.33, 0.1]);
         assert!(env.is_valid(&in_gap, 0.0), "gap must be free");
         // off the diagonal band: free

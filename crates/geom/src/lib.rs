@@ -21,8 +21,8 @@
 pub mod aabb;
 pub mod array_serde;
 pub mod convex;
-pub mod envs;
 pub mod environment;
+pub mod envs;
 pub mod obstacle;
 pub mod point;
 pub mod ray;

@@ -89,8 +89,8 @@ impl<const D: usize> Point<D> {
     /// extrapolates.
     pub fn lerp(&self, other: &Self, t: f64) -> Self {
         let mut out = [0.0; D];
-        for i in 0..D {
-            out[i] = self.0[i] + t * (other.0[i] - self.0[i]);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.0[i] + t * (other.0[i] - self.0[i]);
         }
         Point(out)
     }
@@ -98,8 +98,8 @@ impl<const D: usize> Point<D> {
     /// Component-wise minimum.
     pub fn min(&self, other: &Self) -> Self {
         let mut out = [0.0; D];
-        for i in 0..D {
-            out[i] = self.0[i].min(other.0[i]);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.0[i].min(other.0[i]);
         }
         Point(out)
     }
@@ -107,8 +107,8 @@ impl<const D: usize> Point<D> {
     /// Component-wise maximum.
     pub fn max(&self, other: &Self) -> Self {
         let mut out = [0.0; D];
-        for i in 0..D {
-            out[i] = self.0[i].max(other.0[i]);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.0[i].max(other.0[i]);
         }
         Point(out)
     }

@@ -22,7 +22,10 @@ pub fn sample_unit_vector<const D: usize, R: Rng + ?Sized>(rng: &mut R) -> Point
 }
 
 /// Sample `n` uniformly-distributed unit vectors.
-pub fn sample_unit_vectors<const D: usize, R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<Point<D>> {
+pub fn sample_unit_vectors<const D: usize, R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+) -> Vec<Point<D>> {
     (0..n).map(|_| sample_unit_vector(rng)).collect()
 }
 

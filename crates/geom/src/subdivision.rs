@@ -83,8 +83,8 @@ impl<const D: usize> GridSubdivision<D> {
     pub fn index_of(&self, id: RegionId) -> [usize; D] {
         let mut rem = id as usize;
         let mut idx = [0usize; D];
-        for i in 0..D {
-            idx[i] = rem % self.dims[i];
+        for (i, x) in idx.iter_mut().enumerate() {
+            *x = rem % self.dims[i];
             rem /= self.dims[i];
         }
         idx
@@ -116,7 +116,9 @@ impl<const D: usize> GridSubdivision<D> {
 
     /// The region including its overlap margin, clipped to the bounds.
     pub fn region(&self, id: RegionId) -> Aabb<D> {
-        self.core_cell(id).inflate(self.overlap).clip_to(&self.bounds)
+        self.core_cell(id)
+            .inflate(self.overlap)
+            .clip_to(&self.bounds)
     }
 
     /// Centroid of a region's core cell.
@@ -332,7 +334,10 @@ impl<const D: usize> RadialSubdivision<D> {
         // Conservative: box around the cone's axis segment, padded by the
         // cone's end radius.
         let end = self.target(i);
-        let pad = self.radius * (1.0 - self.cos_half_angle * self.cos_half_angle).max(0.0).sqrt();
+        let pad = self.radius
+            * (1.0 - self.cos_half_angle * self.cos_half_angle)
+                .max(0.0)
+                .sqrt();
         Aabb::new(self.root, end).inflate(pad)
     }
 }
@@ -409,7 +414,19 @@ mod tests {
         let center = g.id_of(&[1, 1]);
         let mut n = g.neighbors(center);
         n.sort_unstable();
-        assert_eq!(n, vec![g.id_of(&[0, 1]), g.id_of(&[2, 1]), g.id_of(&[1, 0]), g.id_of(&[1, 2])].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+        assert_eq!(
+            n,
+            vec![
+                g.id_of(&[0, 1]),
+                g.id_of(&[2, 1]),
+                g.id_of(&[1, 0]),
+                g.id_of(&[1, 2])
+            ]
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect::<Vec<_>>()
+        );
         // corner has 2
         assert_eq!(g.neighbors(g.id_of(&[0, 0])).len(), 2);
     }
@@ -460,10 +477,8 @@ mod tests {
 
     #[test]
     fn radial_sample_deterministic() {
-        let a: RadialSubdivision<3> =
-            RadialSubdivision::sample(Point::zero(), 1.0, 16, 1.5, 11);
-        let b: RadialSubdivision<3> =
-            RadialSubdivision::sample(Point::zero(), 1.0, 16, 1.5, 11);
+        let a: RadialSubdivision<3> = RadialSubdivision::sample(Point::zero(), 1.0, 16, 1.5, 11);
+        let b: RadialSubdivision<3> = RadialSubdivision::sample(Point::zero(), 1.0, 16, 1.5, 11);
         for i in 0..16 {
             assert_eq!(a.direction(i), b.direction(i));
         }
@@ -471,8 +486,7 @@ mod tests {
 
     #[test]
     fn region_bbox_contains_target() {
-        let sub: RadialSubdivision<3> =
-            RadialSubdivision::sample(Point::zero(), 2.0, 32, 1.5, 3);
+        let sub: RadialSubdivision<3> = RadialSubdivision::sample(Point::zero(), 2.0, 32, 1.5, 3);
         for i in 0..32u32 {
             assert!(sub.region_bbox(i).contains(&sub.target(i)));
             assert!(sub.region_bbox(i).contains(&sub.root()));

@@ -71,8 +71,14 @@ impl<V, E> Graph<V, E> {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, a: VertexId, b: VertexId, payload: E) -> EdgeId {
-        assert!((a as usize) < self.vertices.len(), "vertex {a} out of range");
-        assert!((b as usize) < self.vertices.len(), "vertex {b} out of range");
+        assert!(
+            (a as usize) < self.vertices.len(),
+            "vertex {a} out of range"
+        );
+        assert!(
+            (b as usize) < self.vertices.len(),
+            "vertex {b} out of range"
+        );
         let id = self.edges.len() as EdgeId;
         self.edges.push((a, b, payload));
         self.adjacency[a as usize].push((b, id));

@@ -52,20 +52,18 @@ impl<const D: usize> KdTree<D> {
         }
     }
 
-    fn build_rec(
-        pts: &mut [Point<D>],
-        orig: &mut [u32],
-        axis: usize,
-        lo: usize,
-        hi: usize,
-    ) {
+    fn build_rec(pts: &mut [Point<D>], orig: &mut [u32], axis: usize, lo: usize, hi: usize) {
         if hi - lo <= 1 {
             return;
         }
         let mid = (lo + hi) / 2;
         // median partition on `axis` via a simple index sort of the slice
         let mut idx: Vec<usize> = (lo..hi).collect();
-        idx.sort_by(|&a, &b| pts[a][axis].total_cmp(&pts[b][axis]).then(orig[a].cmp(&orig[b])));
+        idx.sort_by(|&a, &b| {
+            pts[a][axis]
+                .total_cmp(&pts[b][axis])
+                .then(orig[a].cmp(&orig[b]))
+        });
         let mut new_pts: Vec<Point<D>> = Vec::with_capacity(hi - lo);
         let mut new_orig: Vec<u32> = Vec::with_capacity(hi - lo);
         for &i in &idx {
@@ -102,7 +100,16 @@ impl<const D: usize> KdTree<D> {
             return Vec::new();
         }
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
-        self.knn_rec(query, k, exclude, 0, 0, self.points.len(), &mut heap, examined);
+        self.knn_rec(
+            query,
+            k,
+            exclude,
+            0,
+            0,
+            self.points.len(),
+            &mut heap,
+            examined,
+        );
         let mut out: Vec<(usize, f64)> = heap
             .into_iter()
             .map(|h| (self.original[h.idx as usize] as usize, h.dist))

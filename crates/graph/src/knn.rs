@@ -72,7 +72,10 @@ mod tests {
     fn k_nearest_sorted_ascending() {
         let p = pts();
         let nn = k_nearest(&p, &Point::new([0.1, 0.0]), 3, None);
-        assert_eq!(nn.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            nn.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert!(nn[0].1 <= nn[1].1 && nn[1].1 <= nn[2].1);
     }
 

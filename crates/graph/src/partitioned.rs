@@ -39,7 +39,7 @@ impl OwnerMap {
         let mut owner = Vec::with_capacity(num_items);
         for pe in 0..num_pes {
             let len = base + usize::from(pe < extra);
-            owner.extend(std::iter::repeat(pe as u32).take(len));
+            owner.extend(std::iter::repeat_n(pe as u32, len));
         }
         OwnerMap { owner, num_pes }
     }

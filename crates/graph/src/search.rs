@@ -58,10 +58,7 @@ impl PartialOrd for QueueItem {
 impl Ord for QueueItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // min-heap: reverse
-        other
-            .cost
-            .total_cmp(&self.cost)
-            .then(other.v.cmp(&self.v))
+        other.cost.total_cmp(&self.cost).then(other.v.cmp(&self.v))
     }
 }
 

@@ -25,6 +25,7 @@ pub struct CandidateEdge {
 /// local plan is attempted; feasible ones are returned. Pairs are examined
 /// in ascending distance so short boundary connections are found first.
 /// `_rng` reserved for randomized pair subsampling strategies.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's parameter list
 pub fn connect_roadmaps<const D: usize, V, L, R>(
     a_cfgs: &[Cfg<D>],
     b_cfgs: &[Cfg<D>],
@@ -93,16 +94,7 @@ mod tests {
         let v = FnValidity(|_: &Cfg<2>| true);
         let lp = StraightLinePlanner::new(0.1);
         let mut w = WorkCounters::new();
-        let edges = connect_roadmaps(
-            &a,
-            &b,
-            &v,
-            &lp,
-            4,
-            1,
-            &mut w,
-            &mut StdRng::seed_from_u64(0),
-        );
+        let edges = connect_roadmaps(&a, &b, &v, &lp, 4, 1, &mut w, &mut StdRng::seed_from_u64(0));
         assert_eq!(edges.len(), 1);
         // nearest pair is a[1] (0.4) to b[0] (0.5)
         assert_eq!((edges[0].from, edges[0].to), (1, 0));

@@ -27,7 +27,12 @@ pub fn write_csv<const D: usize, W: Write>(map: &Roadmap<D>, out: &mut W) -> io:
 /// Write a roadmap as a Wavefront OBJ wireframe (first 3 coordinates;
 /// requires `D >= 3` semantically, lower dimensions are zero-padded).
 pub fn write_obj<const D: usize, W: Write>(map: &Roadmap<D>, out: &mut W) -> io::Result<()> {
-    writeln!(out, "# smp roadmap: {} vertices, {} edges", map.num_vertices(), map.num_edges())?;
+    writeln!(
+        out,
+        "# smp roadmap: {} vertices, {} edges",
+        map.num_vertices(),
+        map.num_edges()
+    )?;
     for v in map.vertex_ids() {
         let q = map.vertex(v);
         let coord = |i: usize| if i < D { q[i] } else { 0.0 };
@@ -100,8 +105,12 @@ mod tests {
         let csv = dir.join("m.csv");
         export_path(&sample_map(), &obj).unwrap();
         export_path(&sample_map(), &csv).unwrap();
-        assert!(std::fs::read_to_string(&obj).unwrap().starts_with("# smp roadmap"));
-        assert!(std::fs::read_to_string(&csv).unwrap().starts_with("vertex,"));
+        assert!(std::fs::read_to_string(&obj)
+            .unwrap()
+            .starts_with("# smp roadmap"));
+        assert!(std::fs::read_to_string(&csv)
+            .unwrap()
+            .starts_with("vertex,"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -195,7 +195,13 @@ mod tests {
             k_neighbors: 5,
             ..Default::default()
         };
-        build_prm(&sampler, &validity, &lp, &params, &mut StdRng::seed_from_u64(seed))
+        build_prm(
+            &sampler,
+            &validity,
+            &lp,
+            &params,
+            &mut StdRng::seed_from_u64(seed),
+        )
     }
 
     #[test]
@@ -234,7 +240,13 @@ mod tests {
             max_attempt_factor: 5,
             skip_same_cc: false,
         };
-        let res = build_prm(&sampler, &validity, &lp, &params, &mut StdRng::seed_from_u64(3));
+        let res = build_prm(
+            &sampler,
+            &validity,
+            &lp,
+            &params,
+            &mut StdRng::seed_from_u64(3),
+        );
         assert_eq!(res.roadmap.num_vertices(), 0);
         assert_eq!(res.work.samples_valid, 0);
         assert_eq!(res.work.samples_attempted, 100); // exhausted attempts
@@ -315,7 +327,13 @@ mod tests {
             k_neighbors: 5,
             ..Default::default()
         };
-        let a = build_prm(&sampler, &validity, &lp, &params, &mut StdRng::seed_from_u64(9));
+        let a = build_prm(
+            &sampler,
+            &validity,
+            &lp,
+            &params,
+            &mut StdRng::seed_from_u64(9),
+        );
         let b = crate::prm::build_prm_with(
             &sampler,
             &validity,
@@ -339,7 +357,13 @@ mod tests {
             k_neighbors: 5,
             ..Default::default()
         };
-        let eager = build_prm(&sampler, &validity, &lp, &base, &mut StdRng::seed_from_u64(5));
+        let eager = build_prm(
+            &sampler,
+            &validity,
+            &lp,
+            &base,
+            &mut StdRng::seed_from_u64(5),
+        );
         let lazy_params = PrmParams {
             skip_same_cc: true,
             ..base

@@ -25,9 +25,7 @@ pub fn check_invariants<const D: usize>(map: &Roadmap<D>) -> Result<(), String> 
     for (a, b, w) in map.edges() {
         let d = map.vertex(a).dist(map.vertex(b));
         if (d - *w).abs() > 1e-6 {
-            return Err(format!(
-                "edge ({a},{b}) weight {w} != cfg distance {d}"
-            ));
+            return Err(format!("edge ({a},{b}) weight {w} != cfg distance {d}"));
         }
         if a == b {
             return Err(format!("self-loop at {a}"));

@@ -60,6 +60,7 @@ pub struct RrtResult<const D: usize> {
 ///
 /// Returns an empty tree if the root itself is invalid (a region whose apex
 /// is blocked).
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 2's parameter list
 pub fn grow_rrt<const D: usize, S, V, L, R, F>(
     root: Cfg<D>,
     target: Option<Cfg<D>>,

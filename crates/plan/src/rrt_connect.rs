@@ -53,7 +53,9 @@ impl<const D: usize> Tree<D> {
     fn nearest(&self, q: &Cfg<D>, work: &mut WorkCounters) -> usize {
         work.knn_queries += 1;
         work.knn_candidates += self.nodes.len() as u64;
-        smp_graph::knn::nearest(&self.nodes, q).map(|(i, _)| i).unwrap_or(0)
+        smp_graph::knn::nearest(&self.nodes, q)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
     }
 
     fn add(&mut self, q: Cfg<D>, parent: usize, work: &mut WorkCounters) -> usize {
@@ -162,18 +164,33 @@ where
     for _ in 0..params.max_iters {
         let q_rand = sampler.sample(rng, &mut work);
         // EXTEND tree A toward the sample
-        if let ExtendOutcome::Added(new_a) | ExtendOutcome::Reached(new_a) =
-            extend(&mut ta, &q_rand, validity, local_planner, params.step_size, &mut work)
-        {
+        if let ExtendOutcome::Added(new_a) | ExtendOutcome::Reached(new_a) = extend(
+            &mut ta,
+            &q_rand,
+            validity,
+            local_planner,
+            params.step_size,
+            &mut work,
+        ) {
             // CONNECT tree B toward the new node (greedy repeat)
             let target = ta.nodes[new_a];
             loop {
-                match extend(&mut tb, &target, validity, local_planner, params.step_size, &mut work)
-                {
+                match extend(
+                    &mut tb,
+                    &target,
+                    validity,
+                    local_planner,
+                    params.step_size,
+                    &mut work,
+                ) {
                     ExtendOutcome::Added(_) => continue,
                     ExtendOutcome::Reached(new_b) => {
                         // join: path = start..meeting + meeting..goal
-                        let (sa, sb) = if a_is_start { (new_a, new_b) } else { (new_b, new_a) };
+                        let (sa, sb) = if a_is_start {
+                            (new_a, new_b)
+                        } else {
+                            (new_b, new_a)
+                        };
                         let (stree, gtree) = if a_is_start { (&ta, &tb) } else { (&tb, &ta) };
                         let mut path: Vec<Cfg<D>> = stree.path_to_root(sa);
                         path.reverse();

@@ -71,7 +71,14 @@ mod tests {
         let v = FnValidity(|_: &Cfg<2>| true);
         let lp = StraightLinePlanner::new(0.01);
         let mut w = WorkCounters::new();
-        let n = shortcut_smooth(&mut path, &v, &lp, 100, &mut StdRng::seed_from_u64(1), &mut w);
+        let n = shortcut_smooth(
+            &mut path,
+            &v,
+            &lp,
+            100,
+            &mut StdRng::seed_from_u64(1),
+            &mut w,
+        );
         assert!(n > 0);
         assert!(path_length(&path) < before);
         // endpoints preserved
@@ -85,8 +92,7 @@ mod tests {
     fn smoothing_respects_obstacles() {
         // wall at x in (0.45, 0.55) with a hole at y > 0.5: the path detours
         // through the hole and must keep doing so
-        let blocked =
-            |q: &Cfg<2>| !((0.45..=0.55).contains(&q[0]) && q[1] < 0.5);
+        let blocked = |q: &Cfg<2>| !((0.45..=0.55).contains(&q[0]) && q[1] < 0.5);
         let v = FnValidity(blocked);
         let lp = StraightLinePlanner::new(0.01);
         let mut path = vec![
@@ -97,7 +103,14 @@ mod tests {
             Point::new([1.0, 0.0]),
         ];
         let mut w = WorkCounters::new();
-        shortcut_smooth(&mut path, &v, &lp, 200, &mut StdRng::seed_from_u64(2), &mut w);
+        shortcut_smooth(
+            &mut path,
+            &v,
+            &lp,
+            200,
+            &mut StdRng::seed_from_u64(2),
+            &mut w,
+        );
         // every remaining segment must still be valid
         for seg in path.windows(2) {
             assert!(lp.check(&seg[0], &seg[1], &v, &mut w).valid);
@@ -112,7 +125,14 @@ mod tests {
         let lp = StraightLinePlanner::new(0.01);
         let mut w = WorkCounters::new();
         let mut short = vec![Point::new([0.0, 0.0]), Point::new([1.0, 1.0])];
-        let n = shortcut_smooth(&mut short, &v, &lp, 50, &mut StdRng::seed_from_u64(3), &mut w);
+        let n = shortcut_smooth(
+            &mut short,
+            &v,
+            &lp,
+            50,
+            &mut StdRng::seed_from_u64(3),
+            &mut w,
+        );
         assert_eq!(n, 0);
         assert_eq!(short.len(), 2);
     }

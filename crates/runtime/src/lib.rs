@@ -20,6 +20,7 @@
 //! [`comm`] the migration message encoding.
 
 pub mod comm;
+pub mod fault;
 pub mod machine;
 pub mod metrics;
 pub mod sim;
@@ -27,10 +28,14 @@ pub mod steal;
 pub mod threadpool;
 pub mod topology;
 
+pub use fault::{Crash, FaultPlan, Straggler};
 pub use machine::{LatencyModel, MachineModel, OpCosts};
-pub use sim::{simulate, simulate_with_payloads, SimConfig, SimReport, StealAmount, StealConfig};
+pub use sim::{
+    simulate, simulate_faulted, simulate_with_payloads, ResilienceStats, SimConfig, SimError,
+    SimReport, StealAmount, StealConfig,
+};
 pub use steal::StealPolicyKind;
-pub use threadpool::WorkStealingPool;
+pub use threadpool::{TaskPanic, WorkStealingPool, WorkerStats};
 pub use topology::Mesh;
 
 /// Virtual time in nanoseconds.

@@ -70,6 +70,15 @@ pub struct LatencyModel {
     /// Expected wait until a busy victim's runtime polls for incoming RMIs
     /// and can service a steal request.
     pub poll_delay: u64,
+    /// Thief-side timeout on an outstanding steal request; sized above the
+    /// worst-case fault-free round trip so it only fires on lost messages
+    /// or dead victims.
+    pub steal_timeout: u64,
+    /// Upper bound on the exponential steal back-off.
+    pub steal_backoff_cap: u64,
+    /// Delay between a PE crash and the re-assignment of its orphaned
+    /// queue (failure-detector latency).
+    pub crash_detect: u64,
 }
 
 /// A simulated parallel platform.
@@ -105,6 +114,9 @@ impl MachineModel {
                 steal_backoff: 100_000,
                 steal_service: 2_000,
                 poll_delay: 30_000,
+                steal_timeout: 400_000,
+                steal_backoff_cap: 1_600_000,
+                crash_detect: 500_000,
             },
         }
     }
@@ -134,6 +146,9 @@ impl MachineModel {
                 steal_backoff: 250_000,
                 steal_service: 5_000,
                 poll_delay: 60_000,
+                steal_timeout: 1_000_000,
+                steal_backoff_cap: 4_000_000,
+                crash_detect: 1_000_000,
             },
         }
     }
@@ -195,6 +210,21 @@ mod tests {
         assert_eq!(m.barrier(16), m.lat.barrier_base * 4);
         // p = 1 still nonzero
         assert!(m.barrier(1) > 0);
+    }
+
+    #[test]
+    fn timeouts_exceed_roundtrips() {
+        // a fault-free steal round trip (request + poll + service + grant)
+        // must always beat the timeout, or clean runs would fire timeouts
+        for m in [MachineModel::hopper(), MachineModel::opteron()] {
+            let worst = m.lat.msg_remote * 2
+                + m.lat.poll_delay
+                + m.lat.steal_service
+                + m.lat.per_task_transfer * 4;
+            assert!(m.lat.steal_timeout > worst, "{}", m.name);
+            assert!(m.lat.steal_backoff_cap >= m.lat.steal_backoff);
+            assert!(m.lat.crash_detect > 0);
+        }
     }
 
     #[test]

@@ -8,10 +8,27 @@
 //!
 //! Time is virtual (nanoseconds). All randomness comes from one seeded RNG
 //! consumed in deterministic event order, so a simulation is a pure function
-//! of `(task costs, assignment, config)` — which is what lets the figure
-//! harness replay every load-balancing strategy against identical measured
-//! workloads.
+//! of `(task costs, assignment, config, fault plan)` — which is what lets
+//! the figure harness replay every load-balancing strategy against identical
+//! measured workloads.
+//!
+//! ## Robustness
+//!
+//! The event loop is hardened against injected faults (see [`crate::fault`]):
+//!
+//! * every steal request carries an attempt number and arms a thief-side
+//!   timeout; a lost request or denial is recovered by the timeout, and
+//!   stale responses are ignored by attempt matching;
+//! * a thief whose whole round is denied backs off *exponentially* (capped,
+//!   with deterministic jitter) instead of retrying at a fixed period;
+//! * a crashed PE's running task is rolled back and re-executed, its queue
+//!   is orphaned and re-assigned after a detection latency, and in-flight
+//!   grants addressed to it are re-enqueued at the victim — every task still
+//!   executes exactly once;
+//! * malformed inputs and event storms surface as [`SimError`] instead of
+//!   panics.
 
+use crate::fault::FaultPlan;
 use crate::machine::MachineModel;
 use crate::steal::StealPolicyKind;
 use crate::topology::Mesh;
@@ -20,6 +37,60 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, VecDeque};
+
+/// Ways a simulation can fail (malformed input or unrecoverable faults).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The assignment has no PEs.
+    NoPes,
+    /// A queued task index exceeds the cost vector.
+    TaskOutOfRange { task: u32, n: usize },
+    /// A task appears in more than one queue (or twice in one).
+    DuplicateAssignment { task: u32 },
+    /// A task appears in no queue.
+    UnassignedTask { task: u32 },
+    /// `payloads.len() != task_costs.len()`.
+    PayloadLenMismatch { expected: usize, got: usize },
+    /// The fault plan is malformed (bad rates, factors, or targets).
+    InvalidFaultPlan(String),
+    /// The event loop exceeded its safety budget — a scheduler bug.
+    EventStorm { processed: u64 },
+    /// Every PE crashed with tasks still outstanding.
+    AllPesCrashed { missing: usize },
+    /// Tasks were left unexecuted despite live PEs — a scheduler bug.
+    IncompleteExecution { missing: usize },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NoPes => write!(f, "need at least one PE"),
+            SimError::TaskOutOfRange { task, n } => {
+                write!(f, "task {task} out of range (n = {n})")
+            }
+            SimError::DuplicateAssignment { task } => write!(f, "task {task} assigned twice"),
+            SimError::UnassignedTask { task } => write!(f, "task {task} must be assigned"),
+            SimError::PayloadLenMismatch { expected, got } => {
+                write!(f, "payload vector length {got} != task count {expected}")
+            }
+            SimError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
+            SimError::EventStorm { processed } => {
+                write!(f, "event storm after {processed} events: simulator bug")
+            }
+            SimError::AllPesCrashed { missing } => {
+                write!(f, "all PEs crashed with {missing} tasks unexecuted")
+            }
+            SimError::IncompleteExecution { missing } => {
+                write!(
+                    f,
+                    "{missing} tasks unexecuted despite live PEs: scheduler bug"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// How much of a victim's queue a successful steal takes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,12 +140,42 @@ pub struct SimConfig {
     pub seed: u64,
 }
 
+/// Fault-handling counters (all zero in a fault-free run unless the
+/// workload itself triggers timeouts or backoff retries).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Steal-request timeouts that fired (lost request/response or a
+    /// response slower than `steal_timeout`).
+    pub timeouts_fired: u64,
+    /// Steal rounds re-entered after exponential backoff.
+    pub retries: u64,
+    /// Messages dropped by the fault plan.
+    pub messages_dropped: u64,
+    /// Messages delivered late by the fault plan.
+    pub messages_delayed: u64,
+    /// Task-carrying messages that needed a retransmission after a drop.
+    pub retransmissions: u64,
+    /// Orphaned tasks re-assigned after a crash (queued tasks plus
+    /// re-enqueued in-flight grants).
+    pub tasks_recovered: u64,
+    /// Tasks whose partial execution was lost to a crash and re-ran.
+    pub tasks_reexecuted: u64,
+    /// PE crashes that occurred.
+    pub crashes: u64,
+    /// Virtual time of partial executions lost to crashes.
+    pub wasted_work: VTime,
+    /// Per-PE time between its crash and the end of the run (zero for PEs
+    /// that never crashed).
+    pub per_pe_dead_time: Vec<VTime>,
+}
+
 /// Complete outcome of one simulated phase.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Time the last task completed.
     pub makespan: VTime,
-    /// Per-PE busy time (sum of executed task costs).
+    /// Per-PE busy time (actual execution time, including straggler
+    /// slowdown; equals the sum of executed task costs in fault-free runs).
     pub per_pe_busy: Vec<VTime>,
     /// Per-PE completion time of its last task.
     pub per_pe_finish: Vec<VTime>,
@@ -94,6 +195,8 @@ pub struct SimReport {
     pub tasks_transferred: u64,
     /// Control + transfer messages sent.
     pub messages: u64,
+    /// Fault-handling counters.
+    pub resilience: ResilienceStats,
 }
 
 impl SimReport {
@@ -108,6 +211,16 @@ impl SimReport {
         let total: u128 = self.per_pe_busy.iter().map(|&b| b as u128).sum();
         (total / self.per_pe_busy.len().max(1) as u128) as VTime
     }
+
+    /// Slowdown relative to a fault-free run of the same phase: 1.0 means
+    /// the faults cost nothing, 2.0 means the run took twice as long.
+    pub fn degradation_ratio(&self, fault_free_makespan: VTime) -> f64 {
+        if fault_free_makespan == 0 {
+            1.0
+        } else {
+            self.makespan as f64 / fault_free_makespan as f64
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -115,15 +228,34 @@ enum Event {
     /// PE finished its current task.
     Finish { pe: usize },
     /// Steal request arrives at victim.
-    StealReq { thief: usize, victim: usize },
+    StealReq {
+        thief: usize,
+        victim: usize,
+        attempt: u64,
+    },
     /// Deferred steal request reaches the victim's poll point.
-    ServiceReq { thief: usize, victim: usize },
-    /// Steal response with work arrives at thief.
-    StealGrant { thief: usize, tasks: Vec<u32> },
+    ServiceReq {
+        thief: usize,
+        victim: usize,
+        attempt: u64,
+    },
+    /// Steal response with work arrives at thief. `from` is the granting
+    /// PE, needed to re-enqueue the tasks if the thief has crashed.
+    StealGrant {
+        thief: usize,
+        from: usize,
+        tasks: Vec<u32>,
+    },
     /// Steal denial arrives at thief.
-    StealDeny { thief: usize },
+    StealDeny { thief: usize, attempt: u64 },
     /// Thief begins a new steal round after backoff.
     NewRound { thief: usize },
+    /// Thief-side timeout for an outstanding steal request.
+    ReqTimeout { thief: usize, attempt: u64 },
+    /// PE dies (fault plan).
+    Crash { pe: usize },
+    /// A crashed PE's orphaned queue is detected and re-assigned.
+    Recover { pe: usize },
 }
 
 struct QueuedEvent {
@@ -146,10 +278,7 @@ impl PartialOrd for QueuedEvent {
 impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // min-heap by (time, seq)
-        other
-            .time
-            .cmp(&self.time)
-            .then(other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -157,15 +286,27 @@ impl Ord for QueuedEvent {
 enum PeState {
     Running,
     /// Mid steal round; the ordered victims not yet tried.
-    Stealing { remaining: VecDeque<usize> },
+    Stealing {
+        remaining: VecDeque<usize>,
+    },
     /// Registered on its lifeline partners; woken by pushed work.
     Dormant,
     /// Permanently idle (no stealable work can ever appear again).
     Retired,
 }
 
+/// The task a PE is currently executing (accounting is committed at the
+/// `Finish` event so a crash can roll it back).
+#[derive(Debug, Clone, Copy)]
+struct CurTask {
+    task: u32,
+    start: VTime,
+    end: VTime,
+}
+
 struct Sim<'a> {
     cfg: &'a SimConfig,
+    fault: Option<&'a FaultPlan>,
     mesh: Mesh,
     costs: &'a [VTime],
     /// Optional per-task migration payload (e.g. roadmap vertices that move
@@ -177,13 +318,35 @@ struct Sim<'a> {
     /// Is the PE currently executing a task? Steal requests that arrive
     /// mid-task are deferred to the task boundary (RMI polling semantics).
     busy: Vec<bool>,
+    alive: Vec<bool>,
+    current: Vec<Option<CurTask>>,
+    /// Monotone per-PE attempt counter; stale denials and timeouts carry an
+    /// older attempt number and are ignored.
+    attempt: Vec<u64>,
+    /// Consecutive fully-denied steal rounds, driving exponential backoff.
+    fail_rounds: Vec<u32>,
+    /// Orphaned queue of a crashed PE awaiting its `Recover` event.
+    pending_orphans: Vec<Vec<u32>>,
+    crash_time: Vec<VTime>,
     /// Dormant thieves registered at each PE (lifeline policy only).
     lifelines: Vec<VecDeque<usize>>,
     unstarted: usize,
     events: BinaryHeap<QueuedEvent>,
     seq: u64,
+    /// Send-order sequence number of message events — the key for the fault
+    /// plan's per-message decisions.
+    msg_seq: u64,
     rng: StdRng,
     report: SimReport,
+}
+
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 impl Sim<'_> {
@@ -196,20 +359,67 @@ impl Sim<'_> {
         });
     }
 
+    /// Delivery time of a *control* message (steal request / denial), or
+    /// `None` if the fault plan drops it — the sender's timeout recovers.
+    fn control_delivery(&mut self, t: VTime, lat: VTime) -> Option<VTime> {
+        self.msg_seq += 1;
+        let Some(plan) = self.fault else {
+            return Some(t + lat);
+        };
+        if plan.drops_message(self.msg_seq) {
+            self.report.resilience.messages_dropped += 1;
+            return None;
+        }
+        let extra = plan.extra_delay(self.msg_seq);
+        if extra > 0 {
+            self.report.resilience.messages_delayed += 1;
+        }
+        Some(t + lat + extra)
+    }
+
+    /// Delivery time of a *task-carrying* message (grant / lifeline push).
+    /// These ride a reliable channel: a drop costs a detection + retransmit
+    /// delay instead of losing the payload, preserving exactly-once.
+    fn grant_delivery(&mut self, t: VTime, lat: VTime) -> VTime {
+        self.msg_seq += 1;
+        let Some(plan) = self.fault else {
+            return t + lat;
+        };
+        let mut at = t + lat;
+        if plan.drops_message(self.msg_seq) {
+            self.report.resilience.messages_dropped += 1;
+            self.report.resilience.retransmissions += 1;
+            at += self.cfg.machine.lat.steal_timeout + lat;
+        }
+        let extra = plan.extra_delay(self.msg_seq);
+        if extra > 0 {
+            self.report.resilience.messages_delayed += 1;
+            at += extra;
+        }
+        at
+    }
+
     /// Start the next queued task on `pe` at time `t`, or begin stealing.
     fn dispatch(&mut self, pe: usize, t: VTime) {
+        if !self.alive[pe] {
+            return;
+        }
         if let Some(task) = self.queues[pe].pop_front() {
             self.unstarted -= 1;
-            let cost = self.costs[task as usize];
-            self.report.per_pe_busy[pe] += cost;
-            self.report.per_pe_executed[pe] += 1;
-            self.report.executed_by[task as usize] = pe as u32;
-            if self.initial_owner[task as usize] != pe as u32 {
-                self.report.per_pe_stolen_executed[pe] += 1;
-            }
+            self.fail_rounds[pe] = 0;
+            // invalidate any outstanding steal request of this PE
+            self.attempt[pe] += 1;
+            let base = self.costs[task as usize];
+            let cost = match self.fault {
+                Some(plan) => plan.scaled_cost(pe, t, base),
+                None => base,
+            };
             let end = t + cost;
-            self.report.per_pe_finish[pe] = end;
-            self.report.makespan = self.report.makespan.max(end);
+            self.current[pe] = Some(CurTask {
+                task,
+                start: t,
+                end,
+            });
             self.state[pe] = PeState::Running;
             self.busy[pe] = true;
             self.push_event(end, Event::Finish { pe });
@@ -230,6 +440,10 @@ impl Sim<'_> {
             let Some(thief) = self.lifelines[pe].pop_front() else {
                 return;
             };
+            // a registered thief may have crashed since; skip it
+            if !self.alive[thief] {
+                continue;
+            }
             // a woken thief may have been re-activated already; pushing
             // work to a busy PE is harmless (it queues), but prefer the
             // dormant ones
@@ -241,10 +455,12 @@ impl Sim<'_> {
             let lat = self.cfg.machine.msg_latency(pe, thief)
                 + self.cfg.machine.lat.per_task_transfer
                 + self.cfg.machine.lat.per_vertex_transfer * payload;
+            let at = self.grant_delivery(t, lat);
             self.push_event(
-                t + lat,
+                at,
                 Event::StealGrant {
                     thief,
+                    from: pe,
                     tasks: vec![task],
                 },
             );
@@ -253,7 +469,7 @@ impl Sim<'_> {
 
     /// Service one steal request at `victim` at time `t` (the victim's RMI
     /// handler runs now); returns the time after servicing.
-    fn service_request(&mut self, thief: usize, victim: usize, t: VTime) -> VTime {
+    fn service_request(&mut self, thief: usize, victim: usize, attempt: u64, t: VTime) -> VTime {
         let t = t + self.cfg.machine.lat.steal_service;
         self.report.steal_attempts += 1;
         let avail = self.queues[victim].len();
@@ -277,7 +493,15 @@ impl Sim<'_> {
             let lat = self.cfg.machine.msg_latency(victim, thief)
                 + self.cfg.machine.lat.per_task_transfer * n as u64
                 + self.cfg.machine.lat.per_vertex_transfer * payload;
-            self.push_event(t + lat, Event::StealGrant { thief, tasks });
+            let at = self.grant_delivery(t, lat);
+            self.push_event(
+                at,
+                Event::StealGrant {
+                    thief,
+                    from: victim,
+                    tasks,
+                },
+            );
         } else {
             self.report.steal_misses += 1;
             self.report.messages += 1;
@@ -286,7 +510,9 @@ impl Sim<'_> {
                 self.lifelines[victim].push_back(thief);
             }
             let lat = self.cfg.machine.msg_latency(victim, thief);
-            self.push_event(t + lat, Event::StealDeny { thief });
+            if let Some(at) = self.control_delivery(t, lat) {
+                self.push_event(at, Event::StealDeny { thief, attempt });
+            }
         }
         t
     }
@@ -314,7 +540,7 @@ impl Sim<'_> {
     }
 
     /// Send the next steal request of `pe`'s current round, or schedule a
-    /// new round / retire.
+    /// new round (exponential backoff) / retire.
     fn next_request(&mut self, pe: usize, t: VTime) {
         let victim = match &mut self.state[pe] {
             PeState::Stealing { remaining } => remaining.pop_front(),
@@ -323,22 +549,116 @@ impl Sim<'_> {
         match victim {
             Some(v) => {
                 self.report.messages += 1;
+                self.attempt[pe] += 1;
+                let a = self.attempt[pe];
                 let lat = self.cfg.machine.msg_latency(pe, v);
-                self.push_event(t + lat, Event::StealReq { thief: pe, victim: v });
+                if let Some(at) = self.control_delivery(t, lat) {
+                    self.push_event(
+                        at,
+                        Event::StealReq {
+                            thief: pe,
+                            victim: v,
+                            attempt: a,
+                        },
+                    );
+                }
+                // armed regardless of delivery — a lost request is exactly
+                // what the timeout exists to recover from
+                self.push_event(
+                    t + self.cfg.machine.lat.steal_timeout,
+                    Event::ReqTimeout {
+                        thief: pe,
+                        attempt: a,
+                    },
+                );
             }
             None => {
                 if self.unstarted == 0 {
                     self.state[pe] = PeState::Retired;
-                } else if self
-                    .cfg
-                    .steal
-                    .is_some_and(|s| s.policy.uses_lifelines())
-                {
+                } else if self.cfg.steal.is_some_and(|s| s.policy.uses_lifelines()) {
                     // lifeline: no retry traffic — wait to be woken
                     self.state[pe] = PeState::Dormant;
                 } else {
-                    let backoff = self.cfg.machine.lat.steal_backoff;
-                    self.push_event(t + backoff, Event::NewRound { thief: pe });
+                    let lat = &self.cfg.machine.lat;
+                    let cap = lat.steal_backoff_cap.max(lat.steal_backoff);
+                    let backoff = lat
+                        .steal_backoff
+                        .saturating_mul(1u64 << self.fail_rounds[pe].min(20))
+                        .min(cap);
+                    // deterministic jitter desynchronises thieves that ran
+                    // dry at the same instant without touching the main RNG
+                    let span = lat.steal_backoff / 4 + 1;
+                    let jitter =
+                        mix64(self.cfg.seed ^ (pe as u64) << 32 ^ u64::from(self.fail_rounds[pe]))
+                            % span;
+                    self.fail_rounds[pe] = self.fail_rounds[pe].saturating_add(1);
+                    self.report.resilience.retries += 1;
+                    self.push_event(t + backoff + jitter, Event::NewRound { thief: pe });
+                }
+            }
+        }
+    }
+
+    /// Kill `pe`: roll back its running task, orphan its queue, schedule
+    /// recovery after the detection latency.
+    fn crash(&mut self, pe: usize, t: VTime) {
+        if !self.alive[pe] {
+            return;
+        }
+        self.alive[pe] = false;
+        self.crash_time[pe] = t;
+        self.report.resilience.crashes += 1;
+        let mut orphans: Vec<u32> = self.queues[pe].drain(..).collect();
+        if let Some(cur) = self.current[pe].take() {
+            // partial execution is lost; the task must run again elsewhere
+            self.report.resilience.wasted_work += t.saturating_sub(cur.start);
+            self.report.resilience.tasks_reexecuted += 1;
+            self.unstarted += 1;
+            orphans.insert(0, cur.task);
+        }
+        self.busy[pe] = false;
+        self.state[pe] = PeState::Retired;
+        self.lifelines[pe].clear();
+        if !orphans.is_empty() {
+            self.pending_orphans[pe] = orphans;
+            self.push_event(t + self.cfg.machine.lat.crash_detect, Event::Recover { pe });
+        }
+    }
+
+    /// Re-assign a crashed PE's orphaned tasks so they execute exactly once.
+    fn recover(&mut self, pe: usize, t: VTime) {
+        let orphans = std::mem::take(&mut self.pending_orphans[pe]);
+        if orphans.is_empty() {
+            return;
+        }
+        let alive: Vec<usize> = (0..self.queues.len()).filter(|&q| self.alive[q]).collect();
+        if alive.is_empty() {
+            // nowhere to put them; the run ends as AllPesCrashed
+            return;
+        }
+        self.report.resilience.tasks_recovered += orphans.len() as u64;
+        match self.cfg.steal {
+            None => {
+                // static schedule: no stealing will spread the work, so
+                // re-block deterministically round-robin over live PEs
+                for (i, &task) in orphans.iter().enumerate() {
+                    self.queues[alive[i % alive.len()]].push_back(task);
+                }
+                for &dst in &alive {
+                    if !self.busy[dst] && !self.queues[dst].is_empty() {
+                        self.dispatch(dst, t);
+                    }
+                }
+            }
+            Some(_) => {
+                // hand the whole queue to the next live PE; the active
+                // steal policy redistributes from there
+                let succ = alive.iter().copied().find(|&q| q > pe).unwrap_or(alive[0]);
+                for task in orphans {
+                    self.queues[succ].push_back(task);
+                }
+                if !self.busy[succ] {
+                    self.dispatch(succ, t);
                 }
             }
         }
@@ -347,24 +667,81 @@ impl Sim<'_> {
     fn handle(&mut self, ev: Event, t: VTime) {
         match ev {
             Event::Finish { pe } => {
+                if !self.alive[pe] {
+                    return; // rolled back at crash time
+                }
+                let Some(cur) = self.current[pe].take() else {
+                    return;
+                };
+                // commit accounting at completion, not at dispatch, so a
+                // crash loses the work instead of double-counting it
+                self.report.per_pe_busy[pe] += cur.end - cur.start;
+                self.report.per_pe_executed[pe] += 1;
+                self.report.executed_by[cur.task as usize] = pe as u32;
+                if self.initial_owner[cur.task as usize] != pe as u32 {
+                    self.report.per_pe_stolen_executed[pe] += 1;
+                }
+                self.report.per_pe_finish[pe] = t;
+                self.report.makespan = self.report.makespan.max(t);
                 self.busy[pe] = false;
                 self.push_to_lifelines(pe, t);
                 self.dispatch(pe, t);
             }
-            Event::StealReq { thief, victim } => {
+            Event::StealReq {
+                thief,
+                victim,
+                attempt,
+            } => {
+                if !self.alive[victim] {
+                    return; // request dies with the victim; thief times out
+                }
                 if self.busy[victim] {
                     // victim is mid-task: the request is serviced at the
                     // victim's next RMI poll point
                     let poll = self.cfg.machine.lat.poll_delay;
-                    self.push_event(t + poll, Event::ServiceReq { thief, victim });
+                    self.push_event(
+                        t + poll,
+                        Event::ServiceReq {
+                            thief,
+                            victim,
+                            attempt,
+                        },
+                    );
                 } else {
-                    self.service_request(thief, victim, t);
+                    self.service_request(thief, victim, attempt, t);
                 }
             }
-            Event::ServiceReq { thief, victim } => {
-                self.service_request(thief, victim, t);
+            Event::ServiceReq {
+                thief,
+                victim,
+                attempt,
+            } => {
+                if !self.alive[victim] {
+                    return;
+                }
+                self.service_request(thief, victim, attempt, t);
             }
-            Event::StealGrant { thief, tasks } => {
+            Event::StealGrant { thief, from, tasks } => {
+                if !self.alive[thief] {
+                    // in-flight work addressed to a dead thief: re-enqueue
+                    // at the victim (or the next live PE) — never lost
+                    let dst = if self.alive[from] {
+                        Some(from)
+                    } else {
+                        (0..self.queues.len())
+                            .map(|i| (from + 1 + i) % self.queues.len())
+                            .find(|&q| self.alive[q])
+                    };
+                    let Some(dst) = dst else { return };
+                    self.report.resilience.tasks_recovered += tasks.len() as u64;
+                    for task in tasks {
+                        self.queues[dst].push_back(task);
+                    }
+                    if !self.busy[dst] {
+                        self.dispatch(dst, t);
+                    }
+                    return;
+                }
                 for task in tasks {
                     self.queues[thief].push_back(task);
                 }
@@ -374,13 +751,30 @@ impl Sim<'_> {
                     self.dispatch(thief, t);
                 }
             }
-            Event::StealDeny { thief } => {
-                // ignore stale denies if a lifeline push already woke us
+            Event::StealDeny { thief, attempt } => {
+                if !self.alive[thief] || attempt != self.attempt[thief] {
+                    return; // dead, or stale (a timeout already moved on)
+                }
                 if matches!(self.state[thief], PeState::Stealing { .. }) {
                     self.next_request(thief, t);
                 }
             }
-            Event::NewRound { thief } => self.begin_round(thief, t),
+            Event::NewRound { thief } => {
+                if self.alive[thief] {
+                    self.begin_round(thief, t);
+                }
+            }
+            Event::ReqTimeout { thief, attempt } => {
+                if !self.alive[thief] || attempt != self.attempt[thief] {
+                    return; // resolved in time — the common, quiet case
+                }
+                if matches!(self.state[thief], PeState::Stealing { .. }) {
+                    self.report.resilience.timeouts_fired += 1;
+                    self.next_request(thief, t);
+                }
+            }
+            Event::Crash { pe } => self.crash(pe, t),
+            Event::Recover { pe } => self.recover(pe, t),
         }
     }
 }
@@ -397,14 +791,18 @@ impl Sim<'_> {
 ///     steal: Some(StealConfig::new(StealPolicyKind::rand8())),
 ///     seed: 1,
 /// };
-/// let report = simulate(&costs, &assignment, &cfg);
+/// let report = simulate(&costs, &assignment, &cfg).unwrap();
 /// assert!(report.steal_hits > 0);
 /// assert!(report.makespan < 800_000); // faster than serial execution
 /// ```
 ///
-/// See [`simulate_with_payloads`].
-pub fn simulate(task_costs: &[VTime], assignment: &[Vec<u32>], cfg: &SimConfig) -> SimReport {
-    simulate_with_payloads(task_costs, None, assignment, cfg)
+/// See [`simulate_with_payloads`] and [`simulate_faulted`].
+pub fn simulate(
+    task_costs: &[VTime],
+    assignment: &[Vec<u32>],
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    simulate_faulted(task_costs, None, assignment, cfg, None)
 }
 
 /// Run one simulated phase.
@@ -415,32 +813,76 @@ pub fn simulate(task_costs: &[VTime], assignment: &[Vec<u32>], cfg: &SimConfig) 
 /// * `assignment[pe]` — initial queue (front-to-back execution order) of
 ///   each PE; every task must appear exactly once across all queues.
 ///
-/// # Panics
-/// Panics if a task index is out of range or appears more than once.
+/// Returns [`SimError`] on malformed input instead of panicking.
 pub fn simulate_with_payloads(
     task_costs: &[VTime],
     payloads: Option<&[u64]>,
     assignment: &[Vec<u32>],
     cfg: &SimConfig,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
+    simulate_faulted(task_costs, payloads, assignment, cfg, None)
+}
+
+/// Run one simulated phase under an optional [`FaultPlan`].
+///
+/// With `fault = None` or a zero-fault plan the result is bit-identical to
+/// [`simulate_with_payloads`] — fault decisions never touch the victim-
+/// selection RNG. Under faults, every task still executes exactly once
+/// unless every PE crashes ([`SimError::AllPesCrashed`]).
+///
+/// ```
+/// use smp_runtime::{simulate, simulate_faulted, FaultPlan, MachineModel,
+///                   SimConfig, StealConfig, StealPolicyKind};
+/// let costs = vec![100_000u64; 8];
+/// let assignment = vec![vec![0, 1, 2, 3, 4, 5, 6, 7], vec![], vec![], vec![]];
+/// let cfg = SimConfig {
+///     machine: MachineModel::hopper(),
+///     steal: Some(StealConfig::new(StealPolicyKind::rand8())),
+///     seed: 1,
+/// };
+/// let clean = simulate(&costs, &assignment, &cfg).unwrap();
+/// let plan = FaultPlan::new(7).with_straggler(0, 0, u64::MAX, 8.0);
+/// let hurt = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan)).unwrap();
+/// assert!(hurt.degradation_ratio(clean.makespan) >= 1.0);
+/// ```
+pub fn simulate_faulted(
+    task_costs: &[VTime],
+    payloads: Option<&[u64]>,
+    assignment: &[Vec<u32>],
+    cfg: &SimConfig,
+    fault: Option<&FaultPlan>,
+) -> Result<SimReport, SimError> {
     let p = assignment.len();
-    assert!(p > 0, "need at least one PE");
+    if p == 0 {
+        return Err(SimError::NoPes);
+    }
     let n = task_costs.len();
     let mut initial_owner = vec![u32::MAX; n];
     for (pe, queue) in assignment.iter().enumerate() {
         for &task in queue {
-            assert!((task as usize) < n, "task {task} out of range");
-            assert!(
-                initial_owner[task as usize] == u32::MAX,
-                "task {task} assigned twice"
-            );
+            if task as usize >= n {
+                return Err(SimError::TaskOutOfRange { task, n });
+            }
+            if initial_owner[task as usize] != u32::MAX {
+                return Err(SimError::DuplicateAssignment { task });
+            }
             initial_owner[task as usize] = pe as u32;
         }
     }
-    assert!(
-        initial_owner.iter().all(|&o| o != u32::MAX),
-        "every task must be assigned"
-    );
+    if let Some(task) = initial_owner.iter().position(|&o| o == u32::MAX) {
+        return Err(SimError::UnassignedTask { task: task as u32 });
+    }
+    if let Some(pl) = payloads {
+        if pl.len() != n {
+            return Err(SimError::PayloadLenMismatch {
+                expected: n,
+                got: pl.len(),
+            });
+        }
+    }
+    if let Some(plan) = fault {
+        plan.validate(p)?;
+    }
 
     let report = SimReport {
         makespan: 0,
@@ -454,27 +896,48 @@ pub fn simulate_with_payloads(
         steal_misses: 0,
         tasks_transferred: 0,
         messages: 0,
+        resilience: ResilienceStats {
+            per_pe_dead_time: vec![0; p],
+            ..ResilienceStats::default()
+        },
     };
 
-    if let Some(pl) = payloads {
-        assert_eq!(pl.len(), n, "payload vector length mismatch");
-    }
     let mut sim = Sim {
         cfg,
+        fault,
         mesh: Mesh::new(p),
         costs: task_costs,
         payloads,
         initial_owner,
-        queues: assignment.iter().map(|q| q.iter().copied().collect()).collect(),
+        queues: assignment
+            .iter()
+            .map(|q| q.iter().copied().collect())
+            .collect(),
         state: vec![PeState::Retired; p],
         busy: vec![false; p],
+        alive: vec![true; p],
+        current: vec![None; p],
+        attempt: vec![0; p],
+        fail_rounds: vec![0; p],
+        pending_orphans: vec![Vec::new(); p],
+        crash_time: vec![0; p],
         lifelines: vec![VecDeque::new(); p],
         unstarted: n,
         events: BinaryHeap::new(),
         seq: 0,
+        msg_seq: 0,
         rng: StdRng::seed_from_u64(cfg.seed),
         report,
     };
+
+    // Schedule planned crashes (earliest instant per PE wins).
+    if let Some(plan) = fault {
+        for pe in 0..p {
+            if let Some(at) = plan.crash_time(pe) {
+                sim.push_event(at, Event::Crash { pe });
+            }
+        }
+    }
 
     // Boot: every PE dispatches at t = 0.
     for pe in 0..p {
@@ -486,12 +949,32 @@ pub fn simulate_with_payloads(
     let mut processed: u64 = 0;
     while let Some(QueuedEvent { time, event, .. }) = sim.events.pop() {
         processed += 1;
-        assert!(processed < 1_000_000_000, "event storm: simulator bug");
+        if processed >= 1_000_000_000 {
+            return Err(SimError::EventStorm { processed });
+        }
         sim.handle(event, time);
     }
 
-    debug_assert_eq!(sim.unstarted, 0);
-    sim.report
+    let missing = sim
+        .report
+        .executed_by
+        .iter()
+        .filter(|&&e| e == u32::MAX)
+        .count();
+    if missing > 0 {
+        return Err(if sim.alive.iter().any(|&a| a) {
+            SimError::IncompleteExecution { missing }
+        } else {
+            SimError::AllPesCrashed { missing }
+        });
+    }
+    for pe in 0..p {
+        if !sim.alive[pe] {
+            sim.report.resilience.per_pe_dead_time[pe] =
+                sim.report.makespan.saturating_sub(sim.crash_time[pe]);
+        }
+    }
+    Ok(sim.report)
 }
 
 #[cfg(test)]
@@ -530,7 +1013,7 @@ mod tests {
     #[test]
     fn static_balanced_perfect() {
         let costs = vec![100u64; 100];
-        let rep = simulate(&costs, &round_robin(100, 4), &static_cfg());
+        let rep = simulate(&costs, &round_robin(100, 4), &static_cfg()).unwrap();
         assert_eq!(rep.makespan, 2_500);
         assert!(rep.per_pe_busy.iter().all(|&b| b == 2_500));
         assert_eq!(rep.steal_attempts, 0);
@@ -542,7 +1025,7 @@ mod tests {
         let costs = vec![100u64; 40];
         let mut assignment = vec![Vec::new(); 4];
         assignment[0] = (0..40u32).collect();
-        let rep = simulate(&costs, &assignment, &static_cfg());
+        let rep = simulate(&costs, &assignment, &static_cfg()).unwrap();
         assert_eq!(rep.makespan, 4_000);
         assert_eq!(rep.per_pe_busy[0], 4_000);
         assert_eq!(rep.per_pe_busy[1], 0);
@@ -553,8 +1036,8 @@ mod tests {
         let costs = vec![50_000u64; 64];
         let mut assignment = vec![Vec::new(); 8];
         assignment[0] = (0..64u32).collect();
-        let stat = simulate(&costs, &assignment, &static_cfg());
-        let ws = simulate(&costs, &assignment, &ws_cfg(StealPolicyKind::rand8()));
+        let stat = simulate(&costs, &assignment, &static_cfg()).unwrap();
+        let ws = simulate(&costs, &assignment, &ws_cfg(StealPolicyKind::rand8())).unwrap();
         assert!(ws.steal_hits > 0);
         assert!(
             ws.makespan < stat.makespan / 2,
@@ -580,7 +1063,7 @@ mod tests {
         ] {
             let mut assignment = vec![Vec::new(); 6];
             assignment[1] = (0..97u32).collect();
-            let rep = simulate(&costs, &assignment, &cfg);
+            let rep = simulate(&costs, &assignment, &cfg).unwrap();
             assert!(rep.executed_by.iter().all(|&e| e != u32::MAX));
             let total: u32 = rep.per_pe_executed.iter().sum();
             assert_eq!(total, 97);
@@ -593,7 +1076,12 @@ mod tests {
     #[test]
     fn makespan_lower_bounds() {
         let costs = vec![10_000u64, 50_000, 10_000, 10_000];
-        let rep = simulate(&costs, &round_robin(4, 4), &ws_cfg(StealPolicyKind::rand8()));
+        let rep = simulate(
+            &costs,
+            &round_robin(4, 4),
+            &ws_cfg(StealPolicyKind::rand8()),
+        )
+        .unwrap();
         let total: u64 = costs.iter().sum();
         assert!(rep.makespan >= total / 4);
         assert!(rep.makespan >= 50_000); // longest task
@@ -601,7 +1089,7 @@ mod tests {
 
     #[test]
     fn empty_workload() {
-        let rep = simulate(&[], &vec![Vec::new(); 4], &static_cfg());
+        let rep = simulate(&[], &vec![Vec::new(); 4], &static_cfg()).unwrap();
         assert_eq!(rep.makespan, 0);
         assert_eq!(rep.per_pe_executed, vec![0; 4]);
     }
@@ -613,19 +1101,17 @@ mod tests {
         assignment[3] = (0..100u32).collect();
         assignment[7] = (100..200u32).collect();
         let cfg = ws_cfg(StealPolicyKind::Hybrid(8));
-        let a = simulate(&costs, &assignment, &cfg);
-        let b = simulate(&costs, &assignment, &cfg);
-        assert_eq!(a.makespan, b.makespan);
-        assert_eq!(a.executed_by, b.executed_by);
-        assert_eq!(a.steal_attempts, b.steal_attempts);
+        let a = simulate(&costs, &assignment, &cfg).unwrap();
+        let b = simulate(&costs, &assignment, &cfg).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]
     fn balanced_load_steals_little() {
         let costs = vec![100_000u64; 256];
         let assignment = round_robin(256, 16);
-        let ws = simulate(&costs, &assignment, &ws_cfg(StealPolicyKind::rand8()));
-        let stat = simulate(&costs, &assignment, &static_cfg());
+        let ws = simulate(&costs, &assignment, &ws_cfg(StealPolicyKind::rand8())).unwrap();
+        let stat = simulate(&costs, &assignment, &static_cfg()).unwrap();
         // balanced: stealing cannot help, and must not hurt much
         assert!(ws.makespan <= stat.makespan + stat.makespan / 10);
         assert_eq!(ws.tasks_transferred, 0, "nothing to steal when balanced");
@@ -644,7 +1130,7 @@ mod tests {
             }),
             seed: 3,
         };
-        let rep = simulate(&costs, &assignment, &cfg);
+        let rep = simulate(&costs, &assignment, &cfg).unwrap();
         // every hit moved exactly one task
         assert_eq!(rep.tasks_transferred, rep.steal_hits);
     }
@@ -652,23 +1138,44 @@ mod tests {
     #[test]
     fn single_pe_static_equals_total() {
         let costs = vec![123u64, 456, 789];
-        let rep = simulate(&costs, &[vec![0, 1, 2]], &ws_cfg(StealPolicyKind::rand8()));
+        let rep = simulate(&costs, &[vec![0, 1, 2]], &ws_cfg(StealPolicyKind::rand8())).unwrap();
         assert_eq!(rep.makespan, 123 + 456 + 789);
         assert_eq!(rep.steal_attempts, 0);
     }
 
     #[test]
-    #[should_panic(expected = "assigned twice")]
-    fn duplicate_assignment_panics() {
+    fn duplicate_assignment_is_error() {
         let costs = vec![1u64, 2];
-        let _ = simulate(&costs, &[vec![0, 0], vec![1]], &static_cfg());
+        let err = simulate(&costs, &[vec![0, 0], vec![1]], &static_cfg()).unwrap_err();
+        assert_eq!(err, SimError::DuplicateAssignment { task: 0 });
     }
 
     #[test]
-    #[should_panic(expected = "must be assigned")]
-    fn missing_assignment_panics() {
+    fn missing_assignment_is_error() {
         let costs = vec![1u64, 2];
-        let _ = simulate(&costs, &[vec![0], vec![]], &static_cfg());
+        let err = simulate(&costs, &[vec![0], vec![]], &static_cfg()).unwrap_err();
+        assert_eq!(err, SimError::UnassignedTask { task: 1 });
+    }
+
+    #[test]
+    fn out_of_range_and_no_pes_are_errors() {
+        let err = simulate(&[1u64], &[vec![0, 7]], &static_cfg()).unwrap_err();
+        assert_eq!(err, SimError::TaskOutOfRange { task: 7, n: 1 });
+        let err = simulate(&[1u64], &[], &static_cfg()).unwrap_err();
+        assert_eq!(err, SimError::NoPes);
+    }
+
+    #[test]
+    fn payload_mismatch_is_error() {
+        let err = simulate_with_payloads(&[1u64, 2], Some(&[5]), &[vec![0, 1]], &static_cfg())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::PayloadLenMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -676,9 +1183,9 @@ mod tests {
         let costs = vec![60_000u64; 64];
         let mut assignment = vec![Vec::new(); 8];
         assignment[0] = (0..64u32).collect();
-        let stat = simulate(&costs, &assignment, &static_cfg());
+        let stat = simulate(&costs, &assignment, &static_cfg()).unwrap();
         let cfg = ws_cfg(StealPolicyKind::Lifeline);
-        let rep = simulate(&costs, &assignment, &cfg);
+        let rep = simulate(&costs, &assignment, &cfg).unwrap();
         assert!(rep.steal_hits > 0, "lifeline pushes should deliver work");
         assert!(
             rep.makespan < stat.makespan / 2,
@@ -694,7 +1201,7 @@ mod tests {
     fn lifeline_balanced_load_is_quiet() {
         let costs = vec![50_000u64; 128];
         let assignment = round_robin(128, 8);
-        let rep = simulate(&costs, &assignment, &ws_cfg(StealPolicyKind::Lifeline));
+        let rep = simulate(&costs, &assignment, &ws_cfg(StealPolicyKind::Lifeline)).unwrap();
         assert_eq!(rep.tasks_transferred, 0);
         // dormant thieves generate no retry storms
         assert!(rep.steal_attempts <= 8 * 4);
@@ -707,9 +1214,199 @@ mod tests {
         assignment[2] = (0..50u32).collect();
         assignment[9] = (50..100u32).collect();
         let cfg = ws_cfg(StealPolicyKind::Lifeline);
-        let a = simulate(&costs, &assignment, &cfg);
-        let b = simulate(&costs, &assignment, &cfg);
+        let a = simulate(&costs, &assignment, &cfg).unwrap();
+        let b = simulate(&costs, &assignment, &cfg).unwrap();
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.executed_by, b.executed_by);
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical() {
+        let costs: Vec<u64> = (0..150).map(|i| 5_000 + (i * 41) % 60_000).collect();
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[0] = (0..150u32).collect();
+        for cfg in [
+            static_cfg(),
+            ws_cfg(StealPolicyKind::rand8()),
+            ws_cfg(StealPolicyKind::Lifeline),
+        ] {
+            let plain = simulate(&costs, &assignment, &cfg).unwrap();
+            let zero = FaultPlan::new(99);
+            let faulted = simulate_faulted(&costs, None, &assignment, &cfg, Some(&zero)).unwrap();
+            assert_eq!(plain, faulted, "zero-fault plan must change nothing");
+        }
+    }
+
+    #[test]
+    fn straggler_slows_the_run() {
+        let costs = vec![50_000u64; 64];
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[0] = (0..64u32).collect();
+        let cfg = ws_cfg(StealPolicyKind::rand8());
+        let clean = simulate(&costs, &assignment, &cfg).unwrap();
+        // PE 0 (the owner of all work) runs 8x slow for the whole phase
+        let plan = FaultPlan::new(1).with_straggler(0, 0, u64::MAX, 8.0);
+        let hurt = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan)).unwrap();
+        assert!(hurt.makespan > clean.makespan);
+        assert!(hurt.degradation_ratio(clean.makespan) > 1.0);
+        // work stealing still moves tasks off the straggler, every task runs
+        assert_eq!(hurt.per_pe_executed.iter().sum::<u32>(), 64);
+        assert!(hurt.per_pe_stolen_executed.iter().sum::<u32>() > 0);
+    }
+
+    #[test]
+    fn crash_with_stealing_runs_every_task_once() {
+        let costs = vec![50_000u64; 64];
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[0] = (0..64u32).collect();
+        let cfg = ws_cfg(StealPolicyKind::rand8());
+        // kill the loaded PE mid-phase
+        let plan = FaultPlan::new(2).with_crash(0, 200_000);
+        let rep = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan)).unwrap();
+        assert_eq!(rep.resilience.crashes, 1);
+        assert!(rep.executed_by.iter().all(|&e| e != u32::MAX));
+        assert_eq!(rep.per_pe_executed.iter().sum::<u32>(), 64);
+        assert_eq!(rep.per_pe_executed[0] as usize, {
+            // PE 0 can only have finished what it completed before dying
+            rep.executed_by.iter().filter(|&&e| e == 0).count()
+        });
+        assert!(rep.resilience.tasks_recovered > 0, "orphans re-assigned");
+        assert!(rep.resilience.per_pe_dead_time[0] > 0);
+        assert_eq!(rep.resilience.per_pe_dead_time[1], 0);
+    }
+
+    #[test]
+    fn crash_under_static_schedule_recovers_via_reassignment() {
+        let costs = vec![40_000u64; 40];
+        let assignment = round_robin(40, 4);
+        let plan = FaultPlan::new(3).with_crash(2, 100_000);
+        let rep = simulate_faulted(&costs, None, &assignment, &static_cfg(), Some(&plan)).unwrap();
+        assert_eq!(rep.resilience.crashes, 1);
+        assert!(rep.executed_by.iter().all(|&e| e != u32::MAX));
+        assert_eq!(rep.per_pe_executed.iter().sum::<u32>(), 40);
+        // dead PE executed nothing after the crash; survivors absorbed it
+        assert!(rep.resilience.tasks_recovered > 0);
+        assert!(rep.executed_by.iter().filter(|&&e| e == 2).count() < 10);
+    }
+
+    #[test]
+    fn mid_task_crash_wastes_and_reexecutes() {
+        let costs = vec![1_000_000u64; 4];
+        let assignment = round_robin(4, 4);
+        // crash PE 1 halfway through its (only) task
+        let plan = FaultPlan::new(4).with_crash(1, 500_000);
+        let rep = simulate_faulted(&costs, None, &assignment, &static_cfg(), Some(&plan)).unwrap();
+        assert_eq!(rep.resilience.tasks_reexecuted, 1);
+        assert_eq!(rep.resilience.wasted_work, 500_000);
+        assert!(rep.executed_by.iter().all(|&e| e != u32::MAX));
+        assert_ne!(rep.executed_by[1], 1, "task 1 re-ran on a survivor");
+    }
+
+    #[test]
+    fn all_pes_crashed_is_an_error() {
+        let costs = vec![100_000u64; 8];
+        let assignment = round_robin(8, 2);
+        let plan = FaultPlan::new(5).with_crash(0, 10).with_crash(1, 10);
+        let err =
+            simulate_faulted(&costs, None, &assignment, &static_cfg(), Some(&plan)).unwrap_err();
+        assert!(matches!(err, SimError::AllPesCrashed { missing } if missing > 0));
+    }
+
+    #[test]
+    fn total_message_loss_does_not_livelock() {
+        // long enough that thieves exhaust full steal rounds (5 victims x
+        // steal_timeout) and reach the backoff path while work remains
+        let costs = vec![200_000u64; 48];
+        let mut assignment = vec![Vec::new(); 6];
+        assignment[0] = (0..48u32).collect();
+        let cfg = ws_cfg(StealPolicyKind::rand8());
+        let plan = FaultPlan::new(6).with_message_loss(1.0);
+        let rep = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan)).unwrap();
+        // no steal request ever arrives, so the owner does everything —
+        // but the run terminates and every task executes
+        assert!(rep.executed_by.iter().all(|&e| e == 0));
+        assert_eq!(rep.makespan, 200_000 * 48);
+        assert!(rep.resilience.timeouts_fired > 0, "timeouts drove recovery");
+        assert!(rep.resilience.retries > 0, "backoff rounds were scheduled");
+        assert!(rep.resilience.messages_dropped > 0);
+    }
+
+    #[test]
+    fn partial_message_loss_still_exactly_once() {
+        let costs: Vec<u64> = (0..96).map(|i| 10_000 + (i * 13) % 40_000).collect();
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[0] = (0..96u32).collect();
+        for policy in [
+            StealPolicyKind::rand8(),
+            StealPolicyKind::Diffusive,
+            StealPolicyKind::Hybrid(8),
+            StealPolicyKind::Lifeline,
+        ] {
+            let cfg = ws_cfg(policy);
+            let plan = FaultPlan::new(7)
+                .with_message_loss(0.3)
+                .with_message_jitter(0.3, 50_000);
+            let rep = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan)).unwrap();
+            assert!(
+                rep.executed_by.iter().all(|&e| e != u32::MAX),
+                "{policy:?}: task lost under message faults"
+            );
+            assert_eq!(rep.per_pe_executed.iter().sum::<u32>(), 96);
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let costs: Vec<u64> = (0..120).map(|i| 2_000 + (i * 29) % 30_000).collect();
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[2] = (0..120u32).collect();
+        let cfg = ws_cfg(StealPolicyKind::Hybrid(8));
+        let plan = FaultPlan::new(11)
+            .with_message_loss(0.2)
+            .with_message_jitter(0.2, 25_000)
+            .with_straggler(2, 0, 2_000_000, 3.0)
+            .with_crash(3, 400_000);
+        let a = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan)).unwrap();
+        let b = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected() {
+        let costs = vec![1_000u64; 4];
+        let assignment = round_robin(4, 2);
+        let bad = FaultPlan::new(0).with_message_loss(1.5);
+        let err =
+            simulate_faulted(&costs, None, &assignment, &static_cfg(), Some(&bad)).unwrap_err();
+        assert!(matches!(err, SimError::InvalidFaultPlan(_)));
+        let bad = FaultPlan::new(0).with_crash(9, 0);
+        let err =
+            simulate_faulted(&costs, None, &assignment, &static_cfg(), Some(&bad)).unwrap_err();
+        assert!(matches!(err, SimError::InvalidFaultPlan(_)));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        // indirect check: with no work to steal anywhere (balanced, all
+        // busy on long tasks), thieves' retry count stays small because the
+        // interval doubles; a constant-backoff loop would retry far more
+        let costs = vec![4_000_000u64; 4];
+        let mut assignment = vec![Vec::new(); 4];
+        assignment[0] = vec![0, 1, 2, 3];
+        let rep = simulate(&costs, &assignment, &ws_cfg(StealPolicyKind::rand8())).unwrap();
+        let lat = machine().lat;
+        // worst case: all three thieves retry until the ~16M ns run ends at
+        // the capped interval
+        let cap_retries = 3 * (rep.makespan / lat.steal_backoff_cap.max(1) + 2)
+            + 3 * u64::from(
+                u64::BITS - (lat.steal_backoff_cap / lat.steal_backoff).leading_zeros(),
+            );
+        assert!(
+            rep.resilience.retries <= cap_retries,
+            "retries {} vs bound {cap_retries}",
+            rep.resilience.retries
+        );
     }
 }

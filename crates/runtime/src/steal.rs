@@ -87,23 +87,23 @@ impl StealPolicyKind {
     }
 }
 
-/// Up to `k` distinct random PEs different from `thief`.
+/// Exactly `min(k, p - 1)` distinct random PEs different from `thief`.
+///
+/// A partial Fisher–Yates shuffle over the candidate pool: unlike rejection
+/// sampling it cannot fall short of `k` victims, draws exactly `k` values
+/// from the RNG, and stays O(p) with no retry loop.
 fn random_victims(thief: usize, p: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
     if p <= 1 {
         return Vec::new();
     }
     let k = k.min(p - 1);
-    let mut out = Vec::with_capacity(k);
-    // rejection sampling over a small k; deterministic given the rng
-    let mut guard = 0;
-    while out.len() < k && guard < 64 * k {
-        guard += 1;
-        let v = rng.random_range(0..p);
-        if v != thief && !out.contains(&v) {
-            out.push(v);
-        }
+    let mut pool: Vec<usize> = (0..p).filter(|&v| v != thief).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
     }
-    out
+    pool.truncate(k);
+    pool
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -18,7 +19,26 @@ pub struct WorkerStats {
     pub executed: usize,
     /// Tasks obtained by stealing from sibling workers.
     pub stolen: usize,
+    /// Tasks that panicked on this worker (isolated, not propagated).
+    pub panicked: usize,
 }
+
+/// A task that panicked inside [`WorkStealingPool::try_run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Input index of the failed task.
+    pub index: usize,
+    /// Panic payload, if it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
 
 /// A simple fork-free work-stealing pool: submit a batch of independent
 /// tasks, run them to completion, collect results in input order.
@@ -50,7 +70,36 @@ impl WorkStealingPool {
 
     /// Execute `f(i, &items[i])` for every item across the pool, returning
     /// results in input order plus per-worker stats.
+    ///
+    /// A panicking task aborts the batch with that panic — but only after
+    /// every other task has run, because panics are isolated per task (see
+    /// [`WorkStealingPool::try_run`]); one bad task can no longer wedge the
+    /// other workers in an endless steal loop.
     pub fn run<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, Vec<WorkerStats>)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let (results, stats) = self.try_run(items, f);
+        let out = results
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(p) => panic!("{p}"),
+            })
+            .collect();
+        (out, stats)
+    }
+
+    /// Like [`WorkStealingPool::run`], but a panicking task yields an
+    /// `Err(TaskPanic)` in its slot instead of poisoning the whole batch.
+    /// Every non-panicking task still executes exactly once.
+    pub fn try_run<T, R, F>(
+        &self,
+        items: &[T],
+        f: F,
+    ) -> (Vec<Result<R, TaskPanic>>, Vec<WorkerStats>)
     where
         T: Sync,
         R: Send,
@@ -63,10 +112,12 @@ impl WorkStealingPool {
         }
         let workers: Vec<Worker<usize>> = (0..self.threads).map(|_| Worker::new_lifo()).collect();
         let stealers: Vec<Stealer<usize>> = workers.iter().map(|w| w.stealer()).collect();
-        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<Result<R, TaskPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         let remaining = Arc::new(AtomicUsize::new(n));
-        let stats: Vec<Mutex<WorkerStats>> =
-            (0..self.threads).map(|_| Mutex::new(WorkerStats::default())).collect();
+        let stats: Vec<Mutex<WorkerStats>> = (0..self.threads)
+            .map(|_| Mutex::new(WorkerStats::default()))
+            .collect();
 
         std::thread::scope(|scope| {
             for (wid, worker) in workers.into_iter().enumerate() {
@@ -110,9 +161,24 @@ impl WorkStealingPool {
                         });
                         match task {
                             Some(i) => {
-                                let r = f(i, &items[i]);
-                                *results[i].lock() = Some(r);
-                                local.executed += 1;
+                                // isolate per-task panics: the slot records
+                                // the failure and the batch keeps draining
+                                let r = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+                                *results[i].lock() = Some(match r {
+                                    Ok(v) => {
+                                        local.executed += 1;
+                                        Ok(v)
+                                    }
+                                    Err(payload) => {
+                                        local.panicked += 1;
+                                        Err(TaskPanic {
+                                            index: i,
+                                            // &*: coerce to the payload, not
+                                            // the Box-as-Any
+                                            message: panic_message(&*payload),
+                                        })
+                                    }
+                                });
                                 remaining.fetch_sub(1, Ordering::AcqRel);
                             }
                             None => std::thread::yield_now(),
@@ -123,12 +189,23 @@ impl WorkStealingPool {
             }
         });
 
-        let out: Vec<R> = results
+        let out: Vec<Result<R, TaskPanic>> = results
             .into_iter()
             .map(|m| m.into_inner().expect("task not executed"))
             .collect();
         let st: Vec<WorkerStats> = stats.into_iter().map(|m| m.into_inner()).collect();
         (out, st)
+    }
+}
+
+/// Best-effort string form of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -183,7 +260,9 @@ mod tests {
         // tasks with very different durations: the pool should still finish
         // and multiple workers should execute something
         let pool = WorkStealingPool::new(4);
-        let items: Vec<u64> = (0..64).map(|i| if i == 0 { 2_000_000 } else { 1_000 }).collect();
+        let items: Vec<u64> = (0..64)
+            .map(|i| if i == 0 { 2_000_000 } else { 1_000 })
+            .collect();
         let (out, stats) = pool.run(&items, |_, &spin| {
             // busy loop proportional to the value
             let mut acc = 0u64;
@@ -201,5 +280,56 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let pool = WorkStealingPool::new(0);
         assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn panicking_task_is_isolated() {
+        // silence the default panic hook for the intentional panics below
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let pool = WorkStealingPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let (out, stats) = pool.try_run(&items, |_, &x| {
+            if x == 37 {
+                panic!("bad task {x}");
+            }
+            x * 2
+        });
+        std::panic::set_hook(prev);
+        assert_eq!(out.len(), 100);
+        for (i, r) in out.iter().enumerate() {
+            if i == 37 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.index, 37);
+                assert!(p.message.contains("bad task 37"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2);
+            }
+        }
+        assert_eq!(stats.iter().map(|s| s.panicked).sum::<usize>(), 1);
+        assert_eq!(stats.iter().map(|s| s.executed).sum::<usize>(), 99);
+    }
+
+    #[test]
+    fn run_propagates_panic_after_batch_completes() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let pool = WorkStealingPool::new(2);
+        let items: Vec<usize> = (0..16).collect();
+        let executed = Arc::new(AtomicUsize::new(0));
+        let exec2 = Arc::clone(&executed);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&items, |_, &x| {
+                if x == 3 {
+                    panic!("boom");
+                }
+                exec2.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        std::panic::set_hook(prev);
+        assert!(caught.is_err(), "run must surface the task panic");
+        // the other 15 tasks all still ran — no wedged workers
+        assert_eq!(executed.load(Ordering::Relaxed), 15);
     }
 }

@@ -22,7 +22,7 @@ impl Mesh {
     pub fn new(p: usize) -> Self {
         assert!(p > 0, "mesh needs at least one PE");
         let mut rows = (p as f64).sqrt().floor() as usize;
-        while rows > 1 && p % rows != 0 {
+        while rows > 1 && !p.is_multiple_of(rows) {
             rows -= 1;
         }
         Mesh {

@@ -1,0 +1,83 @@
+//! Fault-tolerance demo: the same workload, the same strategies, but the
+//! virtual machine misbehaves — PE 0 runs 4× slow for the whole
+//! node-connection phase, 10% of steal-protocol messages vanish, and PE 1
+//! crashes a quarter of the way in.
+//!
+//! Every task still executes exactly once: crashed queues are reassigned,
+//! in-flight steal grants are re-routed, and thieves whose requests are lost
+//! time out and back off exponentially. What differs per strategy is the
+//! *price* — the degradation ratio of the faulted makespan over the
+//! fault-free one.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use smp::core::{
+    build_prm_workload, run_parallel_prm, run_parallel_prm_faulted, ParallelPrmConfig, Strategy,
+    WeightKind,
+};
+use smp::geom::envs;
+use smp::runtime::{FaultPlan, MachineModel, StealConfig, StealPolicyKind};
+
+fn main() {
+    let env = envs::med_cube();
+    let cfg = ParallelPrmConfig {
+        regions_target: 2048,
+        attempts_per_region: 12,
+        k_neighbors: 6,
+        lp_resolution: 0.004,
+        robot_radius: 0.12,
+        connect_max_pairs: 1,
+        connect_stop_after: 1,
+        ..ParallelPrmConfig::new(&env)
+    };
+    println!(
+        "measuring workload once ({} regions)...",
+        cfg.regions_target
+    );
+    let workload = build_prm_workload(&cfg);
+    let machine = MachineModel::hopper();
+    let p = 48;
+
+    let strategies = [
+        Strategy::NoLb,
+        Strategy::Repartition(WeightKind::SampleCount),
+        Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8))),
+        Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Lifeline)),
+    ];
+
+    println!(
+        "\n{:>15} {:>12} {:>12} {:>12} {:>9} {:>10} {:>9}",
+        "strategy", "clean (s)", "faulted (s)", "degradation", "timeouts", "recovered", "re-exec"
+    );
+    for strategy in &strategies {
+        let clean = run_parallel_prm(&workload, &machine, p, strategy).expect("clean sim failed");
+        // straggler + message loss + a crash, all in one deterministic plan
+        let crash_at = (clean.construction.makespan / 4).max(1);
+        let plan = FaultPlan::new(7)
+            .with_straggler(0, 0, u64::MAX, 4.0)
+            .with_message_loss(0.10)
+            .with_crash(1, crash_at);
+        let faulted = run_parallel_prm_faulted(&workload, &machine, p, strategy, None, Some(&plan))
+            .expect("faulted sim failed");
+        let r = &faulted.construction.resilience;
+        println!(
+            "{:>15} {:>12.4} {:>12.4} {:>11.2}x {:>9} {:>10} {:>9}",
+            strategy.label(),
+            clean.construction.makespan as f64 / 1e9,
+            faulted.construction.makespan as f64 / 1e9,
+            faulted
+                .construction
+                .degradation_ratio(clean.construction.makespan),
+            r.timeouts_fired,
+            r.tasks_recovered,
+            r.tasks_reexecuted,
+        );
+    }
+    println!(
+        "\nWork stealing routes around the straggler and the crash, so its\n\
+         degradation stays well below the static mappings', which pay the\n\
+         full 4x on the slow PE plus the re-execution of the dead PE's queue."
+    );
+}

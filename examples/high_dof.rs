@@ -10,11 +10,11 @@
 //! cargo run --release --example high_dof
 //! ```
 
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use smp::cspace::{BoxSampler, EnvValidity, StraightLinePlanner, WorkCounters};
 use smp::geom::{Aabb, Environment, Obstacle, Point};
 use smp::plan::{build_prm, path_length, shortcut_smooth, solve_query, PrmParams};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 const D: usize = 6;
 

@@ -18,8 +18,7 @@ use std::time::Instant;
 
 fn main() {
     let env = envs::med_cube();
-    let grid: GridSubdivision<3> =
-        GridSubdivision::with_target_regions(*env.bounds(), 4096, 0.004);
+    let grid: GridSubdivision<3> = GridSubdivision::with_target_regions(*env.bounds(), 4096, 0.004);
     let regions: Vec<u32> = grid.region_ids().collect();
     let params = PrmParams {
         num_samples: 40,
@@ -63,6 +62,9 @@ fn main() {
         t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9)
     );
     for (i, s) in stats.iter().enumerate() {
-        println!("  worker {i}: executed {:>5}, stolen {:>4}", s.executed, s.stolen);
+        println!(
+            "  worker {i}: executed {:>5}, stolen {:>4}",
+            s.executed, s.stolen
+        );
     }
 }

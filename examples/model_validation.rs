@@ -43,13 +43,14 @@ fn main() {
     );
     for p in [2usize, 4, 8, 16, 32, 64] {
         let row = model.analyze_p(p);
-        let no_lb = run_parallel_prm(&workload, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_prm(&workload, &machine, p, &Strategy::NoLb).expect("sim failed");
         let repart = run_parallel_prm(
             &workload,
             &machine,
             p,
             &Strategy::Repartition(WeightKind::SampleCount),
-        );
+        )
+        .expect("sim failed");
         let max_before = no_lb.node_load_initial.iter().max().copied().unwrap_or(0) as f64;
         let max_after = repart.node_load_final.iter().max().copied().unwrap_or(0) as f64;
         let meas_pct = if max_before > 0.0 {
@@ -57,8 +58,7 @@ fn main() {
         } else {
             0.0
         };
-        let rt_pct = (no_lb.phases.node_connection as f64
-            - repart.phases.node_connection as f64)
+        let rt_pct = (no_lb.phases.node_connection as f64 - repart.phases.node_connection as f64)
             / no_lb.phases.node_connection.max(1) as f64
             * 100.0;
         println!(

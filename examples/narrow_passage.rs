@@ -34,13 +34,13 @@ fn study(env: &Environment<3>, p: usize) {
     let workload = build_prm_workload(&cfg);
     let machine = MachineModel::opteron();
 
-    let baseline = run_parallel_prm(&workload, &machine, p, &Strategy::NoLb);
+    let baseline = run_parallel_prm(&workload, &machine, p, &Strategy::NoLb).expect("sim failed");
     println!(
         "{:<16} {:>9} {:>8} {:>10} {:>8} {:>9}",
         "strategy", "time(s)", "speedup", "imbalance", "steals", "migrated"
     );
     for strategy in Strategy::prm_set() {
-        let run = run_parallel_prm(&workload, &machine, p, &strategy);
+        let run = run_parallel_prm(&workload, &machine, p, &strategy).expect("sim failed");
         println!(
             "{:<16} {:>9.3} {:>7.2}x {:>10.3} {:>8} {:>9}",
             run.strategy_label,

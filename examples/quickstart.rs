@@ -48,7 +48,7 @@ fn main() {
         Strategy::NoLb,
         Strategy::Repartition(WeightKind::SampleCount),
     ] {
-        let run = run_parallel_prm(&workload, &machine, 96, &strategy);
+        let run = run_parallel_prm(&workload, &machine, 96, &strategy).expect("sim failed");
         println!(
             "{:<16} virtual time {:>8.3} s   (node-connection CoV {:.3})",
             run.strategy_label,

@@ -47,12 +47,12 @@ fn main() {
 
     let machine = MachineModel::opteron();
     let p = 32;
-    let baseline = run_parallel_rrt(&workload, &machine, p, &Strategy::NoLb);
+    let baseline = run_parallel_rrt(&workload, &machine, p, &Strategy::NoLb).expect("sim failed");
     let mut strategies = Strategy::rrt_set();
     strategies.push(Strategy::Repartition(WeightKind::KRays(4)));
     println!("\n{:<22} {:>9} {:>8}", "strategy", "time(s)", "speedup");
     for s in strategies {
-        let run = run_parallel_rrt(&workload, &machine, p, &s);
+        let run = run_parallel_rrt(&workload, &machine, p, &s).expect("sim failed");
         let label = match s {
             Strategy::Repartition(_) => "Repartitioning(k-rays)".to_string(),
             _ => run.strategy_label.clone(),

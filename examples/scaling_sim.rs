@@ -22,7 +22,10 @@ fn main() {
         connect_stop_after: 1,
         ..ParallelPrmConfig::new(&env)
     };
-    println!("measuring workload once ({} regions)...", cfg.regions_target);
+    println!(
+        "measuring workload once ({} regions)...",
+        cfg.regions_target
+    );
     let workload = build_prm_workload(&cfg);
     let machine = MachineModel::hopper();
 
@@ -31,13 +34,14 @@ fn main() {
         "PEs", "no-LB (s)", "repart (s)", "benefit", "no-LB CoV", "repart CoV"
     );
     for p in [96usize, 192, 384, 768, 1536, 3072] {
-        let no_lb = run_parallel_prm(&workload, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_prm(&workload, &machine, p, &Strategy::NoLb).expect("sim failed");
         let repart = run_parallel_prm(
             &workload,
             &machine,
             p,
             &Strategy::Repartition(WeightKind::SampleCount),
-        );
+        )
+        .expect("sim failed");
         println!(
             "{:>6} {:>12.4} {:>14.4} {:>8.2}x {:>12.3} {:>12.3}",
             p,

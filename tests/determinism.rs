@@ -5,8 +5,8 @@
 //! figure harness itself must be bit-stable across invocations.
 
 use smp::core::{
-    build_prm_workload, build_rrt_workload, run_parallel_prm, run_parallel_rrt,
-    ParallelPrmConfig, ParallelRrtConfig, Strategy, WeightKind,
+    build_prm_workload, build_rrt_workload, run_parallel_prm, run_parallel_rrt, ParallelPrmConfig,
+    ParallelRrtConfig, Strategy, WeightKind,
 };
 use smp::geom::envs;
 use smp::runtime::{MachineModel, StealConfig, StealPolicyKind};
@@ -64,7 +64,10 @@ fn seed_changes_everything() {
         attempts_per_region: 6,
         ..ParallelPrmConfig::new(&env)
     };
-    let other = ParallelPrmConfig { seed: base.seed + 1, ..base };
+    let other = ParallelPrmConfig {
+        seed: base.seed + 1,
+        ..base
+    };
     let a = build_prm_workload(&base);
     let b = build_prm_workload(&other);
     assert_ne!(
@@ -89,9 +92,9 @@ fn strategy_replays_bit_stable_across_strategy_order() {
     let ws = Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8)));
     let rp = Strategy::Repartition(WeightKind::SampleCount);
 
-    let ws_first = run_parallel_prm(&w, &machine, 12, &ws);
-    let _ = run_parallel_prm(&w, &machine, 12, &rp);
-    let ws_second = run_parallel_prm(&w, &machine, 12, &ws);
+    let ws_first = run_parallel_prm(&w, &machine, 12, &ws).expect("sim failed");
+    let _ = run_parallel_prm(&w, &machine, 12, &rp).expect("sim failed");
+    let ws_second = run_parallel_prm(&w, &machine, 12, &ws).expect("sim failed");
     assert_eq!(ws_first.total_time, ws_second.total_time);
     assert_eq!(
         ws_first.construction.executed_by,
@@ -116,8 +119,8 @@ fn rrt_replay_stable() {
         Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Diffusive)),
         Strategy::Repartition(WeightKind::KRays(4)),
     ] {
-        let a = run_parallel_rrt(&w, &machine, 8, &s);
-        let b = run_parallel_rrt(&w, &machine, 8, &s);
+        let a = run_parallel_rrt(&w, &machine, 8, &s).expect("sim failed");
+        let b = run_parallel_rrt(&w, &machine, 8, &s).expect("sim failed");
         assert_eq!(a.total_time, b.total_time, "{}", s.label());
     }
 }

@@ -61,7 +61,7 @@ fn strategies_agree_on_planning_output() {
     let g = assemble_prm_roadmap(&w);
     let (_, ncomp) = connected_components(&g);
     for s in Strategy::prm_set() {
-        let run = run_parallel_prm(&w, &machine, 16, &s);
+        let run = run_parallel_prm(&w, &machine, 16, &s).expect("sim failed");
         // the run reports loads over the same totals
         let total: u64 = run.node_load_final.iter().sum();
         assert_eq!(total as usize, w.total_vertices(), "{}", s.label());
@@ -75,13 +75,14 @@ fn repartitioning_improves_both_cov_and_makespan() {
     let w = workload();
     let machine = MachineModel::hopper();
     for p in [8usize, 32, 64] {
-        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb).expect("sim failed");
         let repart = run_parallel_prm(
             &w,
             &machine,
             p,
             &Strategy::Repartition(WeightKind::SampleCount),
-        );
+        )
+        .expect("sim failed");
         assert!(
             repart.construction.busy_cov() <= no_lb.construction.busy_cov() + 1e-9,
             "p={p}: CoV should not get worse"
@@ -105,8 +106,10 @@ fn vfree_weight_close_to_sample_weight() {
         &machine,
         p,
         &Strategy::Repartition(WeightKind::SampleCount),
-    );
-    let by_vfree = run_parallel_prm(&w, &machine, p, &Strategy::Repartition(WeightKind::Vfree));
+    )
+    .expect("sim failed");
+    let by_vfree = run_parallel_prm(&w, &machine, p, &Strategy::Repartition(WeightKind::Vfree))
+        .expect("sim failed");
     let a = by_samples.phases.node_connection as f64;
     let b = by_vfree.phases.node_connection as f64;
     assert!(
@@ -122,7 +125,7 @@ fn strong_scaling_monotone() {
     let machine = MachineModel::hopper();
     let mut last = u64::MAX;
     for p in [4usize, 8, 16, 32] {
-        let run = run_parallel_prm(&w, &machine, p, &Strategy::NoLb);
+        let run = run_parallel_prm(&w, &machine, p, &Strategy::NoLb).expect("sim failed");
         assert!(
             run.total_time < last,
             "p={p}: time {} did not improve on {last}",

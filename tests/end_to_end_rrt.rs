@@ -60,9 +60,9 @@ fn work_stealing_never_loses_big_and_usually_wins() {
     let w = workload();
     let machine = MachineModel::opteron();
     for p in [8usize, 16, 32] {
-        let no_lb = run_parallel_rrt(&w, &machine, p, &Strategy::NoLb);
+        let no_lb = run_parallel_rrt(&w, &machine, p, &Strategy::NoLb).expect("sim failed");
         for s in Strategy::rrt_set().into_iter().skip(1) {
-            let run = run_parallel_rrt(&w, &machine, p, &s);
+            let run = run_parallel_rrt(&w, &machine, p, &s).expect("sim failed");
             assert!(
                 run.total_time <= no_lb.total_time + no_lb.total_time / 10,
                 "p={p} {}: {} vs {}",
@@ -95,10 +95,7 @@ fn krays_weight_quality_is_poor() {
 
 fn pearson(a: &[f64], b: &[f64]) -> f64 {
     let n = a.len() as f64;
-    let (ma, mb) = (
-        a.iter().sum::<f64>() / n,
-        b.iter().sum::<f64>() / n,
-    );
+    let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
     let mut cov = 0.0;
     let mut va = 0.0;
     let mut vb = 0.0;
@@ -120,7 +117,7 @@ fn all_regions_execute_exactly_once_under_every_strategy() {
     let mut strategies = Strategy::rrt_set();
     strategies.push(Strategy::Repartition(WeightKind::KRays(4)));
     for s in strategies {
-        let run = run_parallel_rrt(&w, &machine, 16, &s);
+        let run = run_parallel_rrt(&w, &machine, 16, &s).expect("sim failed");
         let executed: u32 = run.construction.per_pe_executed.iter().sum();
         assert_eq!(executed as usize, w.num_regions(), "{}", s.label());
         assert!(run.construction.executed_by.iter().all(|&e| e != u32::MAX));

@@ -75,7 +75,10 @@ fn figure_shape_claims_hold_at_quick_scale() {
         let no_lb: f64 = row[1].parse().unwrap();
         for cell in &row[2..] {
             let v: f64 = cell.parse().unwrap();
-            assert!(v <= no_lb * 1.25, "fig8c: overhead too high ({v} vs {no_lb})");
+            assert!(
+                v <= no_lb * 1.25,
+                "fig8c: overhead too high ({v} vs {no_lb})"
+            );
         }
     }
 }

@@ -5,7 +5,9 @@ use smp::core::partition::{greedy_lpt, loads, naive_block, spatial_bisection};
 use smp::geom::{Aabb, GridSubdivision, Point};
 use smp::graph::search::dijkstra;
 use smp::graph::{Graph, KdTree, UnionFind};
-use smp::runtime::{simulate, MachineModel, SimConfig, StealConfig, StealPolicyKind};
+use smp::runtime::{
+    simulate, simulate_faulted, FaultPlan, MachineModel, SimConfig, StealConfig, StealPolicyKind,
+};
 
 /// Floyd–Warshall reference for shortest-path verification.
 fn floyd_warshall(g: &Graph<(), f64>) -> Vec<Vec<f64>> {
@@ -159,7 +161,7 @@ proptest! {
             steal: steal.then(|| StealConfig::new(StealPolicyKind::rand8())),
             seed: 42,
         };
-        let rep = simulate(&costs, &assignment, &cfg);
+        let rep = simulate(&costs, &assignment, &cfg).expect("sim failed");
         let total: u64 = costs.iter().sum();
         prop_assert_eq!(rep.per_pe_busy.iter().sum::<u64>(), total);
         prop_assert_eq!(rep.per_pe_executed.iter().map(|&x| x as usize).sum::<usize>(), n);
@@ -226,10 +228,123 @@ proptest! {
             steal: Some(StealConfig::new(StealPolicyKind::Hybrid(4))),
             seed,
         };
-        let a = simulate(&costs, &assignment, &cfg);
-        let b = simulate(&costs, &assignment, &cfg);
+        let a = simulate(&costs, &assignment, &cfg).expect("sim failed");
+        let b = simulate(&costs, &assignment, &cfg).expect("sim failed");
         prop_assert_eq!(a.makespan, b.makespan);
         prop_assert_eq!(a.executed_by, b.executed_by);
         prop_assert_eq!(a.steal_attempts, b.steal_attempts);
+    }
+
+    /// A zero-fault plan is indistinguishable from no plan at all: the whole
+    /// report (makespan, executors, messages, resilience counters) matches
+    /// bit for bit.
+    #[test]
+    fn des_zero_fault_plan_is_identity(
+        costs in prop::collection::vec(1u64..100_000, 1..100),
+        p in 1usize..10,
+        plan_seed in 0u64..1000,
+        steal in prop::bool::ANY,
+    ) {
+        let n = costs.len();
+        let mut assignment = vec![Vec::new(); p];
+        for t in 0..n { assignment[t % p].push(t as u32); }
+        let cfg = SimConfig {
+            machine: MachineModel::hopper(),
+            steal: steal.then(|| StealConfig::new(StealPolicyKind::Hybrid(4))),
+            seed: 7,
+        };
+        let plain = simulate(&costs, &assignment, &cfg).expect("sim failed");
+        let plan = FaultPlan::new(plan_seed);
+        let faulted = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan))
+            .expect("sim failed");
+        prop_assert_eq!(plain, faulted);
+    }
+
+    /// Exactly-once under a PE crash: the dead PE's queue is recovered and
+    /// every task still executes once, with the crash visible in the
+    /// resilience counters.
+    #[test]
+    fn des_crash_preserves_exactly_once(
+        costs in prop::collection::vec(1u64..100_000, 2..100),
+        p in 2usize..10,
+        victim in 0usize..10,
+        crash_at in 1u64..2_000_000,
+        steal in prop::bool::ANY,
+    ) {
+        let n = costs.len();
+        let victim = victim % p;
+        let mut assignment = vec![Vec::new(); p];
+        for t in 0..n { assignment[t % p].push(t as u32); }
+        let cfg = SimConfig {
+            machine: MachineModel::hopper(),
+            steal: steal.then(|| StealConfig::new(StealPolicyKind::rand8())),
+            seed: 11,
+        };
+        let plan = FaultPlan::new(3).with_crash(victim, crash_at);
+        let rep = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan))
+            .expect("sim failed");
+        let total: u64 = costs.iter().sum();
+        prop_assert_eq!(rep.per_pe_executed.iter().map(|&x| x as usize).sum::<usize>(), n);
+        prop_assert_eq!(rep.per_pe_busy.iter().sum::<u64>(), total);
+        prop_assert!(rep.executed_by.iter().all(|&e| (e as usize) < p));
+        if crash_at <= rep.makespan {
+            prop_assert_eq!(rep.resilience.crashes, 1);
+            // once dead, the victim executes nothing after the crash instant
+            prop_assert!(rep.resilience.per_pe_dead_time[victim] > 0
+                || rep.makespan == crash_at);
+        }
+    }
+
+    /// Faulted runs are deterministic: the same (inputs, seed, plan) gives
+    /// the same report, including every resilience counter.
+    #[test]
+    fn des_faulted_runs_deterministic(
+        costs in prop::collection::vec(1u64..50_000, 1..80),
+        seed in 0u64..1000,
+        loss in 0.0f64..0.5,
+        factor in 1.0f64..8.0,
+    ) {
+        let p = 6;
+        let mut assignment = vec![Vec::new(); p];
+        assignment[0] = (0..costs.len() as u32).collect();
+        let cfg = SimConfig {
+            machine: MachineModel::opteron(),
+            steal: Some(StealConfig::new(StealPolicyKind::Hybrid(4))),
+            seed,
+        };
+        let plan = FaultPlan::new(seed ^ 0xABCD)
+            .with_straggler(0, 0, u64::MAX, factor)
+            .with_message_loss(loss)
+            .with_message_jitter(0.2, 40_000);
+        let a = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan)).expect("sim failed");
+        let b = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan)).expect("sim failed");
+        prop_assert_eq!(a, b);
+    }
+
+    /// No livelock under arbitrary message loss: steal timeouts and capped
+    /// exponential backoff always drive the run to completion with every
+    /// task executed exactly once.
+    #[test]
+    fn des_message_loss_terminates_exactly_once(
+        costs in prop::collection::vec(1u64..100_000, 1..100),
+        p in 2usize..10,
+        loss in 0.0f64..1.0,
+        total_loss in prop::bool::ANY,
+    ) {
+        let n = costs.len();
+        let mut assignment = vec![Vec::new(); p];
+        for t in 0..n { assignment[t % p].push(t as u32); }
+        let cfg = SimConfig {
+            machine: MachineModel::hopper(),
+            steal: Some(StealConfig::new(StealPolicyKind::Hybrid(4))),
+            seed: 5,
+        };
+        let loss = if total_loss { 1.0 } else { loss };
+        let plan = FaultPlan::new(17).with_message_loss(loss);
+        let rep = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan))
+            .expect("message loss must never livelock the simulation");
+        let total: u64 = costs.iter().sum();
+        prop_assert_eq!(rep.per_pe_executed.iter().map(|&x| x as usize).sum::<usize>(), n);
+        prop_assert_eq!(rep.per_pe_busy.iter().sum::<u64>(), total);
     }
 }

@@ -1,0 +1,191 @@
+//! Vendored stand-in for `crossbeam`.
+//!
+//! Provides the `deque` module subset the thread pool uses: a per-worker
+//! deque with stealers and a global injector. The real crate is lock-free;
+//! this stub is mutex-based, which is slower under contention but has the
+//! identical ownership semantics (each task is taken exactly once), which is
+//! what the pool's correctness and its tests rely on.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt (mirrors crossbeam's API: lock contention
+    /// maps to `Retry`).
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A worker-owned deque. LIFO for the owner; stealers take the opposite
+    /// end (oldest task), like the Chase–Lev deque.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        pub fn new_fifo() -> Self {
+            Self::new_lifo()
+        }
+
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Owner pop: newest task (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("deque poisoned").pop_back()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle that steals the oldest task from a sibling worker.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.try_lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+                Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+                Err(std::sync::TryLockError::Poisoned(_)) => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// Global FIFO injector queue.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Move a batch of tasks into `worker`'s deque and pop one of them.
+        pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+            let mut q = match self.queue.try_lock() {
+                Ok(q) => q,
+                Err(std::sync::TryLockError::WouldBlock) => return Steal::Retry,
+                Err(std::sync::TryLockError::Poisoned(_)) => return Steal::Empty,
+            };
+            let n = q.len();
+            if n == 0 {
+                return Steal::Empty;
+            }
+            // take up to half the queue (at least one), like crossbeam
+            let batch = (n / 2).clamp(1, 32);
+            let first = q.pop_front().expect("len checked");
+            let mut dst = worker.queue.lock().expect("deque poisoned");
+            for _ in 1..batch {
+                if let Some(t) = q.pop_front() {
+                    dst.push_back(t);
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_lifo_stealer_fifo() {
+            let w = Worker::new_lifo();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            let s = w.stealer();
+            assert_eq!(s.steal().success(), Some(1)); // oldest
+            assert_eq!(w.pop(), Some(3)); // newest
+            assert_eq!(w.pop(), Some(2));
+            assert!(w.pop().is_none());
+        }
+
+        #[test]
+        fn injector_batch_refill() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_lifo();
+            let first = inj.steal_batch_and_pop(&w).success();
+            assert_eq!(first, Some(0));
+            // a batch landed in the worker deque
+            assert!(!w.is_empty());
+        }
+
+        #[test]
+        fn empty_injector_reports_empty() {
+            let inj: Injector<u32> = Injector::new();
+            let w = Worker::new_lifo();
+            assert!(inj.steal_batch_and_pop(&w).is_empty());
+        }
+    }
+}

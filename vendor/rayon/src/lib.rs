@@ -1,0 +1,167 @@
+//! Vendored stand-in for `rayon`.
+//!
+//! The workspace uses rayon only for order-preserving `par_iter().map(f)
+//! .collect()` fan-outs over slices and ranges (one-pass workload
+//! measurement). This stub reproduces that subset with `std::thread::scope`:
+//! items are chunked evenly across the host's available parallelism, each
+//! chunk is mapped on its own scoped thread, and results are concatenated in
+//! input order. Panics in the closure propagate to the caller, like rayon.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// A materialized "parallel" iterator: the full item list, pending a `map`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator, pending `collect`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Execute the map across scoped threads, preserving input order.
+    pub fn collect<C: FromParResults<R>>(self) -> C {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let f = &self.f;
+        let results: Vec<R> = if threads <= 1 {
+            self.items.into_iter().map(f).collect()
+        } else {
+            let chunk_len = n.div_ceil(threads);
+            let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+            let mut items = self.items;
+            while !items.is_empty() {
+                let rest = items.split_off(items.len().min(chunk_len));
+                chunks.push(std::mem::replace(&mut items, rest));
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("parallel map worker panicked"))
+                    .collect()
+            })
+        };
+        C::from_par_results(results)
+    }
+}
+
+/// Collection target of [`ParMap::collect`].
+pub trait FromParResults<R> {
+    fn from_par_results(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParResults<R> for Vec<R> {
+    fn from_par_results(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+/// By-reference entry point (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// By-value entry point (`range.into_par_iter()`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn order_preserved() {
+        let v: Vec<u64> = (0..10_000u64).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out.len(), 10_000);
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<u32> = (0..100u32).into_par_iter().map(|r| r + 1).collect();
+        assert_eq!(out[0], 1);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

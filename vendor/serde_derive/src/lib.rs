@@ -1,0 +1,20 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for API-documentation
+//! purposes but never runs a real serializer (there is no `serde_json` or
+//! binary format dependency, and the build environment has no registry
+//! access). The vendored `serde` crate implements both traits as blanket
+//! markers, so these derives only need to *accept* the derive position and
+//! its `#[serde(...)]` helper attributes and emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
