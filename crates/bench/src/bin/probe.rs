@@ -1,11 +1,18 @@
 //! Developer probe: detailed phase/balance diagnostics for one workload.
 //!
-//! `cargo run --release -p smp-bench --bin probe -- [p ...]`
+//! `cargo run --release -p smp-bench --bin probe -- [p ...] [--trace-out FILE] [--metrics-out FILE]`
+//!
+//! `--trace-out FILE` records the first PRM run of the sweep with the
+//! observability tracer and writes Chrome `trace_event` JSON to `FILE`
+//! (load it in `chrome://tracing` or <https://ui.perfetto.dev>).
+//! `--metrics-out FILE` writes that run's flat metrics snapshot as CSV.
 
 use smp_bench::figures::Suite;
 use smp_bench::HarnessConfig;
-use smp_core::{run_parallel_prm, run_parallel_rrt, work_cost, Strategy, WeightKind};
-use smp_runtime::MachineModel;
+use smp_core::{
+    run_parallel_prm, run_parallel_prm_observed, run_parallel_rrt, work_cost, Strategy, WeightKind,
+};
+use smp_runtime::{MachineModel, Tracer};
 
 fn rrt_probe() {
     let mut suite = Suite::new(HarnessConfig::default());
@@ -77,10 +84,21 @@ fn main() {
         rrt_probe();
         return;
     }
-    let ps: Vec<usize> = std::env::args()
-        .skip(1)
-        .filter_map(|a| a.parse().ok())
-        .collect();
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut ps: Vec<usize> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => trace_out = args.next(),
+            "--metrics-out" => metrics_out = args.next(),
+            other => {
+                if let Ok(p) = other.parse() {
+                    ps.push(p);
+                }
+            }
+        }
+    }
     let ps = if ps.is_empty() {
         vec![96, 192, 384]
     } else {
@@ -88,6 +106,7 @@ fn main() {
     };
     let mut suite = Suite::new(HarnessConfig::default());
     let machine = MachineModel::hopper();
+    let mut first_run = true;
     for p in ps {
         for s in [
             Strategy::NoLb,
@@ -100,7 +119,25 @@ fn main() {
             )),
         ] {
             let w = suite.hopper_medcube();
-            let r = run_parallel_prm(w, &machine, p, &s).expect("sim failed");
+            // observe the first run of the sweep when a dump was requested
+            let observe = first_run && (trace_out.is_some() || metrics_out.is_some());
+            first_run = false;
+            let r = if observe {
+                let mut tr = Tracer::new();
+                let r = run_parallel_prm_observed(w, &machine, p, &s, None, None, Some(&mut tr))
+                    .expect("sim failed");
+                if let Some(path) = &trace_out {
+                    std::fs::write(path, tr.to_chrome_json()).expect("write trace");
+                    eprintln!("wrote Chrome trace ({} events) to {path}", tr.len());
+                }
+                if let Some(path) = &metrics_out {
+                    std::fs::write(path, r.metrics.to_csv()).expect("write metrics");
+                    eprintln!("wrote {} metrics rows to {path}", r.metrics.samples.len());
+                }
+                r
+            } else {
+                run_parallel_prm(w, &machine, p, &s).expect("sim failed")
+            };
             let busy_max = r.construction.per_pe_busy.iter().max().unwrap();
             let busy_sum: u64 = r.construction.per_pe_busy.iter().sum();
             println!(

@@ -39,11 +39,12 @@ pub mod weights;
 pub use cost::work_cost;
 pub use parallel_prm::{
     build_prm_workload, build_prm_workload_on_grid, run_parallel_prm, run_parallel_prm_faulted,
-    run_parallel_prm_with_weights, ParallelPrmConfig, PrmRun, PrmWorkload,
+    run_parallel_prm_observed, run_parallel_prm_with_weights, ParallelPrmConfig, PrmRun,
+    PrmWorkload,
 };
 pub use parallel_rrt::{
-    build_rrt_workload, run_parallel_rrt, run_parallel_rrt_faulted, ParallelRrtConfig, RrtRun,
-    RrtWorkload,
+    build_rrt_workload, run_parallel_rrt, run_parallel_rrt_faulted, run_parallel_rrt_observed,
+    ParallelRrtConfig, RrtRun, RrtWorkload,
 };
 pub use phases::PhaseBreakdown;
 pub use strategy::{Strategy, WeightKind};

@@ -35,10 +35,9 @@ use smp_cspace::{derive_seed, BoxSampler, Cfg, EnvValidity, StraightLinePlanner,
 use smp_cspace::{LocalPlanner, Sampler, ValidityChecker};
 use smp_geom::{Environment, GridSubdivision};
 use smp_graph::{KdTree, OwnerMap, RegionGraph, RemoteAccessCounter};
+use smp_obs::{cat, MetricsRegistry, MetricsSnapshot, Tracer};
 use smp_plan::connect::{connect_roadmaps, CandidateEdge};
-use smp_runtime::{
-    simulate, simulate_faulted, FaultPlan, MachineModel, SimConfig, SimError, SimReport,
-};
+use smp_runtime::{simulate_observed, FaultPlan, MachineModel, SimConfig, SimError, SimReport};
 
 /// Parameters of a parallel PRM experiment (strategy-independent).
 #[derive(Debug, Clone, Copy)]
@@ -276,6 +275,9 @@ pub struct PrmRun {
     pub edge_cut: usize,
     /// Regions that changed owner during repartitioning.
     pub migrations: usize,
+    /// Flat metrics: planner-level `prm.*` rows merged with the
+    /// node-connection phase's `des.*` rows (DESIGN.md §9).
+    pub metrics: MetricsSnapshot,
 }
 
 impl PrmRun {
@@ -351,11 +353,29 @@ pub fn run_parallel_prm_faulted<const D: usize>(
     custom_weights: Option<&[f64]>,
     fault: Option<&FaultPlan>,
 ) -> Result<PrmRun, SimError> {
+    run_parallel_prm_observed(workload, machine, p, strategy, custom_weights, fault, None)
+}
+
+/// As [`run_parallel_prm_faulted`] with an optional [`Tracer`]: all four
+/// phases are spliced onto one timeline — per-PE tracks carry the DES
+/// events of the simulated phases, and a dedicated `"phases"` track (id
+/// `p`) carries one span per planner phase. Tracing never perturbs the
+/// run; replaying the same inputs yields byte-identical traces.
+pub fn run_parallel_prm_observed<const D: usize>(
+    workload: &PrmWorkload<D>,
+    machine: &MachineModel,
+    p: usize,
+    strategy: &Strategy,
+    custom_weights: Option<&[f64]>,
+    fault: Option<&FaultPlan>,
+    mut tracer: Option<&mut Tracer>,
+) -> Result<PrmRun, SimError> {
     if p == 0 {
         return Err(SimError::NoPes);
     }
     let nr = workload.num_regions();
     let ops = &machine.ops;
+    let phase_track = p as u32;
 
     let gen_costs: Vec<u64> = workload
         .regions
@@ -377,7 +397,21 @@ pub fn run_parallel_prm_faulted<const D: usize>(
         steal: None,
         seed: derive_seed(workload.seed, p as u64, 1),
     };
-    let gen_sim = simulate(&gen_costs, &naive_queues, &gen_cfg)?;
+    if let Some(tr) = tracer.as_deref_mut() {
+        tr.name_track(phase_track, "phases");
+        tr.begin(0, phase_track, cat::PHASE, "generation");
+    }
+    let gen_sim = simulate_observed(
+        &gen_costs,
+        None,
+        &naive_queues,
+        &gen_cfg,
+        None,
+        tracer.as_deref_mut(),
+    )?;
+    if let Some(tr) = tracer.as_deref_mut() {
+        tr.end(gen_sim.makespan, phase_track, cat::PHASE);
+    }
 
     // Phase 2: load balancing.
     let mut lb_time: u64 = 0;
@@ -435,6 +469,24 @@ pub fn run_parallel_prm_faulted<const D: usize>(
         }
     };
 
+    // Splice the remaining phases onto one trace timeline.
+    let mut offset = gen_sim.makespan;
+    if let Some(tr) = tracer.as_deref_mut() {
+        tr.set_base(offset);
+        tr.begin(0, phase_track, cat::PHASE, "load_balance");
+        if migrations > 0 {
+            tr.instant(
+                0,
+                phase_track,
+                cat::PHASE,
+                "repartition",
+                &[("migrations", migrations as u64)],
+            );
+        }
+        tr.end(lb_time, phase_track, cat::PHASE);
+    }
+    offset += lb_time;
+
     // Phase 3: node connection (the balanced phase). Stolen regions carry
     // their samples (ownership transfer), so steals pay per-vertex payload.
     let payloads: Vec<u64> = workload
@@ -447,13 +499,22 @@ pub fn run_parallel_prm_faulted<const D: usize>(
         steal,
         seed: derive_seed(workload.seed, p as u64, 2),
     };
-    let con_sim = simulate_faulted(
+    if let Some(tr) = tracer.as_deref_mut() {
+        tr.set_base(offset);
+        tr.begin(0, phase_track, cat::PHASE, "node_connection");
+    }
+    let con_sim = simulate_observed(
         &con_costs,
         Some(&payloads),
         &connect_queues,
         &con_cfg,
         fault,
+        tracer.as_deref_mut(),
     )?;
+    if let Some(tr) = tracer.as_deref_mut() {
+        tr.end(con_sim.makespan, phase_track, cat::PHASE);
+    }
+    offset += con_sim.makespan;
     let final_owner: Vec<u32> = con_sim.executed_by.clone();
 
     // Phase 4: region connection, charged to the owner of each edge's first
@@ -477,6 +538,12 @@ pub fn run_parallel_prm_faulted<const D: usize>(
         }
     }
     let regconn_max = regconn_time.iter().copied().max().unwrap_or(0);
+    if let Some(tr) = tracer {
+        tr.set_base(offset);
+        tr.begin(0, phase_track, cat::PHASE, "region_connection");
+        tr.end(regconn_max, phase_track, cat::PHASE);
+        tr.set_base(offset + regconn_max);
+    }
 
     // Loads and cut under final ownership.
     let counts = workload.sample_counts();
@@ -496,6 +563,21 @@ pub fn run_parallel_prm_faulted<const D: usize>(
         region_connection: regconn_max,
     };
 
+    let mut reg = MetricsRegistry::new();
+    reg.set_gauge("prm.p", p as u64);
+    reg.set_gauge("prm.regions", nr as u64);
+    reg.set_gauge("prm.vertices", workload.total_vertices() as u64);
+    reg.inc("prm.migrations", migrations as u64);
+    reg.set_gauge("prm.edge_cut", edge_cut as u64);
+    reg.inc("prm.remote.accesses", remote.total_remote());
+    reg.inc("prm.remote.local", remote.local);
+    reg.set_gauge("prm.time.total_ns", phases.total());
+    reg.set_gauge("prm.time.generation_ns", gen_sim.makespan);
+    reg.set_gauge("prm.time.load_balance_ns", lb_time);
+    reg.set_gauge("prm.time.node_connection_ns", con_sim.makespan);
+    reg.set_gauge("prm.time.region_connection_ns", regconn_max);
+    let metrics = reg.snapshot().merged_with(&con_sim.metrics);
+
     Ok(PrmRun {
         strategy_label: strategy.label(),
         p,
@@ -507,6 +589,7 @@ pub fn run_parallel_prm_faulted<const D: usize>(
         remote,
         edge_cut,
         migrations,
+        metrics,
     })
 }
 
@@ -636,6 +719,49 @@ mod tests {
         let b = run_parallel_prm(&w, &machine, 24, &s).unwrap();
         assert_eq!(a.total_time, b.total_time);
         assert_eq!(a.construction.executed_by, b.construction.executed_by);
+    }
+
+    #[test]
+    fn observed_prm_trace_is_well_formed_and_does_not_perturb() {
+        let w = small_workload();
+        let machine = MachineModel::hopper();
+        let s = Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8)));
+        let mut tr = Tracer::new();
+        let observed =
+            run_parallel_prm_observed(&w, &machine, 16, &s, None, None, Some(&mut tr)).unwrap();
+        tr.check_well_formed().expect("planner trace well-formed");
+        // all four phase spans present on the phases track
+        for name in [
+            "generation",
+            "load_balance",
+            "node_connection",
+            "region_connection",
+        ] {
+            assert!(
+                tr.events()
+                    .iter()
+                    .any(|e| e.track == 16 && e.cat == cat::PHASE && e.name == name),
+                "missing phase span {name}"
+            );
+        }
+        // observation must not change the result
+        let plain = run_parallel_prm(&w, &machine, 16, &s).unwrap();
+        assert_eq!(observed.total_time, plain.total_time);
+        assert_eq!(observed.construction, plain.construction);
+        // planner + DES metrics merged into one flat snapshot
+        assert_eq!(observed.metrics.expect("prm.p"), 16);
+        assert_eq!(
+            observed.metrics.expect("prm.regions") as usize,
+            w.num_regions()
+        );
+        assert_eq!(
+            observed.metrics.expect("des.tasks.executed") as usize,
+            w.num_regions()
+        );
+        assert_eq!(
+            observed.metrics.expect("prm.time.total_ns"),
+            observed.total_time
+        );
     }
 
     #[test]

@@ -21,9 +21,10 @@ use serde::{Deserialize, Serialize};
 use smp_cspace::{derive_seed, Cfg, ConeSampler, EnvValidity, StraightLinePlanner, WorkCounters};
 use smp_geom::{Environment, RadialSubdivision};
 use smp_graph::{OwnerMap, RegionGraph, RemoteAccessCounter};
+use smp_obs::{cat, MetricsRegistry, MetricsSnapshot, Tracer};
 use smp_plan::connect::{connect_roadmaps, CandidateEdge};
 use smp_plan::rrt::{grow_rrt, RrtParams};
-use smp_runtime::{simulate_faulted, FaultPlan, MachineModel, SimConfig, SimError, SimReport};
+use smp_runtime::{simulate_observed, FaultPlan, MachineModel, SimConfig, SimError, SimReport};
 
 /// Parameters of a parallel radial-RRT experiment.
 #[derive(Debug, Clone, Copy)]
@@ -230,6 +231,9 @@ pub struct RrtRun {
     pub remote: RemoteAccessCounter,
     pub edge_cut: usize,
     pub migrations: usize,
+    /// Flat metrics: planner-level `rrt.*` rows merged with the
+    /// construction phase's `des.*` rows (DESIGN.md §9).
+    pub metrics: MetricsSnapshot,
 }
 
 impl RrtRun {
@@ -267,11 +271,27 @@ pub fn run_parallel_rrt_faulted<const D: usize>(
     strategy: &Strategy,
     fault: Option<&FaultPlan>,
 ) -> Result<RrtRun, SimError> {
+    run_parallel_rrt_observed(workload, machine, p, strategy, fault, None)
+}
+
+/// As [`run_parallel_rrt_faulted`] with an optional [`Tracer`]: per-PE
+/// tracks carry the construction DES events and a dedicated `"phases"`
+/// track (id `p`) carries one span per planner phase, spliced onto one
+/// timeline. Tracing never perturbs the run and replays byte-identically.
+pub fn run_parallel_rrt_observed<const D: usize>(
+    workload: &RrtWorkload<D>,
+    machine: &MachineModel,
+    p: usize,
+    strategy: &Strategy,
+    fault: Option<&FaultPlan>,
+    mut tracer: Option<&mut Tracer>,
+) -> Result<RrtRun, SimError> {
     if p == 0 {
         return Err(SimError::NoPes);
     }
     let nr = workload.num_regions();
     let ops = &machine.ops;
+    let phase_track = p as u32;
     let costs: Vec<u64> = workload
         .regions
         .iter()
@@ -319,7 +339,34 @@ pub fn run_parallel_rrt_faulted<const D: usize>(
         steal,
         seed: derive_seed(workload.seed, p as u64, 3),
     };
-    let con_sim = simulate_faulted(&costs, None, &queues, &con_cfg, fault)?;
+    if let Some(tr) = tracer.as_deref_mut() {
+        tr.name_track(phase_track, "phases");
+        tr.begin(0, phase_track, cat::PHASE, "load_balance");
+        if migrations > 0 {
+            tr.instant(
+                0,
+                phase_track,
+                cat::PHASE,
+                "repartition",
+                &[("migrations", migrations as u64)],
+            );
+        }
+        tr.end(lb_time, phase_track, cat::PHASE);
+        tr.set_base(lb_time);
+        tr.begin(0, phase_track, cat::PHASE, "construction");
+    }
+    let con_sim = simulate_observed(
+        &costs,
+        None,
+        &queues,
+        &con_cfg,
+        fault,
+        tracer.as_deref_mut(),
+    )?;
+    if let Some(tr) = tracer.as_deref_mut() {
+        tr.end(con_sim.makespan, phase_track, cat::PHASE);
+    }
+    let mut offset = lb_time + con_sim.makespan;
     let final_owner = con_sim.executed_by.clone();
 
     // region connection (with cycle pruning happening at assembly; the
@@ -342,6 +389,13 @@ pub fn run_parallel_rrt_faulted<const D: usize>(
         }
     }
     let regconn_max = regconn_time.iter().copied().max().unwrap_or(0);
+    if let Some(tr) = tracer {
+        tr.set_base(offset);
+        tr.begin(0, phase_track, cat::PHASE, "region_connection");
+        tr.end(regconn_max, phase_track, cat::PHASE);
+        offset += regconn_max;
+        tr.set_base(offset);
+    }
 
     let counts = workload.node_counts();
     let mut node_load_initial = vec![0u64; p];
@@ -360,6 +414,19 @@ pub fn run_parallel_rrt_faulted<const D: usize>(
         region_connection: regconn_max,
     };
 
+    let mut reg = MetricsRegistry::new();
+    reg.set_gauge("rrt.p", p as u64);
+    reg.set_gauge("rrt.regions", nr as u64);
+    reg.inc("rrt.migrations", migrations as u64);
+    reg.set_gauge("rrt.edge_cut", edge_cut as u64);
+    reg.inc("rrt.remote.accesses", remote.total_remote());
+    reg.inc("rrt.remote.local", remote.local);
+    reg.set_gauge("rrt.time.total_ns", phases.total());
+    reg.set_gauge("rrt.time.load_balance_ns", lb_time);
+    reg.set_gauge("rrt.time.construction_ns", con_sim.makespan);
+    reg.set_gauge("rrt.time.region_connection_ns", regconn_max);
+    let metrics = reg.snapshot().merged_with(&con_sim.metrics);
+
     Ok(RrtRun {
         strategy_label: strategy.label(),
         p,
@@ -371,6 +438,7 @@ pub fn run_parallel_rrt_faulted<const D: usize>(
         remote,
         edge_cut,
         migrations,
+        metrics,
     })
 }
 
@@ -494,6 +562,33 @@ mod tests {
         let a = run_parallel_rrt(&w1, &machine, 8, &s).unwrap();
         let b = run_parallel_rrt(&w2, &machine, 8, &s).unwrap();
         assert_eq!(a.total_time, b.total_time);
+    }
+
+    #[test]
+    fn observed_rrt_trace_is_well_formed_and_does_not_perturb() {
+        let w = mixed_workload();
+        let machine = MachineModel::opteron();
+        let s = Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Diffusive));
+        let mut tr = Tracer::new();
+        let observed =
+            run_parallel_rrt_observed(&w, &machine, 16, &s, None, Some(&mut tr)).unwrap();
+        tr.check_well_formed().expect("planner trace well-formed");
+        for name in ["load_balance", "construction", "region_connection"] {
+            assert!(
+                tr.events()
+                    .iter()
+                    .any(|e| e.track == 16 && e.cat == cat::PHASE && e.name == name),
+                "missing phase span {name}"
+            );
+        }
+        let plain = run_parallel_rrt(&w, &machine, 16, &s).unwrap();
+        assert_eq!(observed.total_time, plain.total_time);
+        assert_eq!(observed.construction, plain.construction);
+        assert_eq!(observed.metrics.expect("rrt.p"), 16);
+        assert_eq!(
+            observed.metrics.expect("des.tasks.executed") as usize,
+            w.num_regions()
+        );
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the JSON-object flavour of the format (an object with a
+//! `traceEvents` array), loadable in `chrome://tracing` and
+//! <https://ui.perfetto.dev>. One event per line, keys in a fixed order,
+//! integers only — identical event streams render byte-identically, which
+//! the golden-trace suite relies on.
+//!
+//! Timestamps are written raw in **virtual nanoseconds** with
+//! `"displayTimeUnit": "ns"`. Viewers that assume microseconds will show
+//! durations 1000× long; relative shape — which is what traces are for —
+//! is unaffected.
+
+use crate::trace::{EventPhase, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Escape a string for a JSON value (names here are identifiers, but the
+/// track labels are caller-supplied).
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_args(args: &[(&'static str, u64)], out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape(k, out);
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+}
+
+/// Render `events` (with optional track labels) as Chrome trace JSON.
+pub fn to_chrome_json(events: &[TraceEvent], track_names: &BTreeMap<u32, String>) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+    };
+
+    // Metadata: process name once, thread (track) names sorted by id.
+    push_sep(&mut out, &mut first);
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"smp\"}}",
+    );
+    for (&track, name) in track_names {
+        push_sep(&mut out, &mut first);
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{track},\"args\":{{\"name\":\""
+        ));
+        escape(name, &mut out);
+        out.push_str("\"}}");
+    }
+
+    for e in events {
+        push_sep(&mut out, &mut first);
+        let ph = match e.phase {
+            EventPhase::Begin => "B",
+            EventPhase::End => "E",
+            EventPhase::Instant => "i",
+            EventPhase::Counter => "C",
+        };
+        out.push_str("{\"name\":\"");
+        escape(e.name, &mut out);
+        out.push_str("\",\"cat\":\"");
+        escape(e.cat, &mut out);
+        out.push_str(&format!(
+            "\",\"ph\":\"{ph}\",\"pid\":0,\"tid\":{},\"ts\":{}",
+            e.track, e.ts
+        ));
+        if e.phase == EventPhase::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !e.args.is_empty() || e.phase == EventPhase::Counter {
+            out.push_str(",\"args\":");
+            push_args(&e.args, &mut out);
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cat;
+    use crate::trace::Tracer;
+
+    fn sample_tracer() -> Tracer {
+        let mut t = Tracer::new();
+        t.name_track(0, "PE 0");
+        t.name_track(1, "PE 1");
+        t.begin_args(0, 0, cat::TASK, "task", &[("task", 3), ("cost", 250)]);
+        t.instant(40, 1, cat::STEAL, "steal_req_sent", &[("victim", 0)]);
+        t.counter(100, 0, "unstarted", 7);
+        t.end(250, 0, cat::TASK);
+        t
+    }
+
+    #[test]
+    fn renders_expected_shape() {
+        let json = sample_tracer().to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"));
+        assert!(json.ends_with("\n]}\n"));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"name\":\"PE 1\""));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"i\",") || json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"task\":3,\"cost\":250}"));
+        // every event line is a complete object: rough brace balance
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn identical_streams_are_byte_identical() {
+        assert_eq!(
+            sample_tracer().to_chrome_json(),
+            sample_tracer().to_chrome_json()
+        );
+    }
+
+    #[test]
+    fn escapes_hostile_track_names() {
+        let mut t = Tracer::new();
+        t.name_track(0, "a\"b\\c\nd");
+        let json = t.to_chrome_json();
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+}

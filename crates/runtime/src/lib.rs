@@ -31,11 +31,12 @@ pub mod topology;
 pub use fault::{Crash, FaultPlan, Straggler};
 pub use machine::{LatencyModel, MachineModel, OpCosts};
 pub use sim::{
-    simulate, simulate_faulted, simulate_with_payloads, ResilienceStats, SimConfig, SimError,
-    SimReport, StealAmount, StealConfig,
+    simulate, simulate_faulted, simulate_observed, simulate_with_payloads, ResilienceStats,
+    SimConfig, SimError, SimReport, StealAmount, StealConfig,
 };
+pub use smp_obs::{MetricsRegistry, MetricsSnapshot, Tracer};
 pub use steal::StealPolicyKind;
-pub use threadpool::{TaskPanic, WorkStealingPool, WorkerStats};
+pub use threadpool::{pool_metrics, TaskPanic, WorkStealingPool, WorkerStats};
 pub use topology::Mesh;
 
 /// Virtual time in nanoseconds.

@@ -36,6 +36,7 @@ use crate::VTime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use smp_obs::{cat, MetricSample, MetricsRegistry, MetricsSnapshot, Tracer};
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Ways a simulation can fail (malformed input or unrecoverable faults).
@@ -149,11 +150,17 @@ pub struct ResilienceStats {
     pub timeouts_fired: u64,
     /// Steal rounds re-entered after exponential backoff.
     pub retries: u64,
-    /// Messages dropped by the fault plan.
+    /// *Control* messages (steal requests/denials) truly lost to the fault
+    /// plan. A dropped task-carrying message is never lost — it surfaces
+    /// in [`ResilienceStats::retransmissions`] instead, so the two
+    /// counters partition dropped messages by channel and never count the
+    /// same message twice.
     pub messages_dropped: u64,
     /// Messages delivered late by the fault plan.
     pub messages_delayed: u64,
-    /// Task-carrying messages that needed a retransmission after a drop.
+    /// Task-carrying messages (grants, lifeline pushes) that needed a
+    /// retransmission after a drop — counted once per message, regardless
+    /// of how the retransmit is realised, never per delivery attempt.
     pub retransmissions: u64,
     /// Orphaned tasks re-assigned after a crash (queued tasks plus
     /// re-enqueued in-flight grants).
@@ -197,6 +204,10 @@ pub struct SimReport {
     pub messages: u64,
     /// Fault-handling counters.
     pub resilience: ResilienceStats,
+    /// Flat, deterministic metrics snapshot (`des.*` taxonomy, DESIGN.md
+    /// §9): every counter above plus derived totals and fixed-bucket
+    /// histograms, byte-stable for golden-file comparison and CSV dumps.
+    pub metrics: MetricsSnapshot,
 }
 
 impl SimReport {
@@ -338,6 +349,16 @@ struct Sim<'a> {
     msg_seq: u64,
     rng: StdRng,
     report: SimReport,
+    /// Optional event recorder; `None` costs one branch per site.
+    tracer: Option<&'a mut Tracer>,
+    /// Event-loop metric accumulators — plain integers during the run,
+    /// folded into `report.metrics` once by [`Sim::build_metrics`].
+    dispatches: u64,
+    requests_sent: u64,
+    lifeline_pushes: u64,
+    grants_rerouted: u64,
+    exec_hist: MiniHist,
+    batch_hist: MiniHist,
 }
 
 fn mix64(mut x: u64) -> u64 {
@@ -347,6 +368,76 @@ fn mix64(mut x: u64) -> u64 {
     x ^= x >> 27;
     x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// Bucket bounds of `des.tasks.exec_ns`: decades from 1 µs to 100 ms.
+const COST_BOUNDS: [u64; 6] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+/// Bucket bounds of `des.steal.batch_size`: powers of two up to 32 tasks.
+const BATCH_BOUNDS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Fixed-bucket histogram accumulator for the event-loop hot path: plain
+/// array increments during the run, flattened into the same
+/// `name/le_<bound>` rows as [`MetricsRegistry::snapshot`] once at the end.
+struct MiniHist {
+    bounds: &'static [u64; 6],
+    counts: [u64; 7],
+    count: u64,
+    sum: u64,
+}
+
+impl MiniHist {
+    fn new(bounds: &'static [u64; 6]) -> Self {
+        MiniHist {
+            bounds,
+            counts: [0; 7],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    #[inline]
+    fn observe(&mut self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    fn flatten(&self, name: &str, out: &mut Vec<MetricSample>) {
+        for (i, &b) in self.bounds.iter().enumerate() {
+            out.push(MetricSample {
+                name: format!("{name}/le_{b}"),
+                value: self.counts[i],
+            });
+        }
+        out.push(MetricSample {
+            name: format!("{name}/le_inf"),
+            value: self.counts[self.bounds.len()],
+        });
+        out.push(MetricSample {
+            name: format!("{name}/count"),
+            value: self.count,
+        });
+        out.push(MetricSample {
+            name: format!("{name}/sum"),
+            value: self.sum,
+        });
+    }
+}
+
+/// Record a trace event iff a tracer is attached. The untraced path is a
+/// single `Option` branch — argument expressions are never evaluated —
+/// which is what keeps the `des` benchmark inside its overhead budget.
+macro_rules! trace_ev {
+    ($s:expr, $m:ident($($a:expr),* $(,)?)) => {
+        if let Some(tr) = $s.tracer.as_mut() {
+            tr.$m($($a),*);
+        }
+    };
 }
 
 impl Sim<'_> {
@@ -361,18 +452,39 @@ impl Sim<'_> {
 
     /// Delivery time of a *control* message (steal request / denial), or
     /// `None` if the fault plan drops it — the sender's timeout recovers.
-    fn control_delivery(&mut self, t: VTime, lat: VTime) -> Option<VTime> {
+    /// `from` attributes the fault events to the sender's track.
+    fn control_delivery(&mut self, t: VTime, lat: VTime, from: usize) -> Option<VTime> {
         self.msg_seq += 1;
         let Some(plan) = self.fault else {
             return Some(t + lat);
         };
         if plan.drops_message(self.msg_seq) {
             self.report.resilience.messages_dropped += 1;
+            trace_ev!(
+                self,
+                instant(
+                    t,
+                    from as u32,
+                    cat::FAULT,
+                    "msg_dropped",
+                    &[("msg", self.msg_seq)]
+                )
+            );
             return None;
         }
         let extra = plan.extra_delay(self.msg_seq);
         if extra > 0 {
             self.report.resilience.messages_delayed += 1;
+            trace_ev!(
+                self,
+                instant(
+                    t,
+                    from as u32,
+                    cat::FAULT,
+                    "msg_delayed",
+                    &[("msg", self.msg_seq), ("extra", extra)]
+                )
+            );
         }
         Some(t + lat + extra)
     }
@@ -380,21 +492,44 @@ impl Sim<'_> {
     /// Delivery time of a *task-carrying* message (grant / lifeline push).
     /// These ride a reliable channel: a drop costs a detection + retransmit
     /// delay instead of losing the payload, preserving exactly-once.
-    fn grant_delivery(&mut self, t: VTime, lat: VTime) -> VTime {
+    fn grant_delivery(&mut self, t: VTime, lat: VTime, from: usize) -> VTime {
         self.msg_seq += 1;
         let Some(plan) = self.fault else {
             return t + lat;
         };
         let mut at = t + lat;
         if plan.drops_message(self.msg_seq) {
-            self.report.resilience.messages_dropped += 1;
+            // counted only as a retransmission: the payload is never lost,
+            // so this is not a drop in the `messages_dropped`
+            // (control-loss) sense — the two counters partition drops by
+            // channel and must not double-count one message
             self.report.resilience.retransmissions += 1;
             at += self.cfg.machine.lat.steal_timeout + lat;
+            trace_ev!(
+                self,
+                instant(
+                    t,
+                    from as u32,
+                    cat::FAULT,
+                    "msg_retransmit",
+                    &[("msg", self.msg_seq)]
+                )
+            );
         }
         let extra = plan.extra_delay(self.msg_seq);
         if extra > 0 {
             self.report.resilience.messages_delayed += 1;
             at += extra;
+            trace_ev!(
+                self,
+                instant(
+                    t,
+                    from as u32,
+                    cat::FAULT,
+                    "msg_delayed",
+                    &[("msg", self.msg_seq), ("extra", extra)]
+                )
+            );
         }
         at
     }
@@ -406,6 +541,7 @@ impl Sim<'_> {
         }
         if let Some(task) = self.queues[pe].pop_front() {
             self.unstarted -= 1;
+            self.dispatches += 1;
             self.fail_rounds[pe] = 0;
             // invalidate any outstanding steal request of this PE
             self.attempt[pe] += 1;
@@ -414,6 +550,28 @@ impl Sim<'_> {
                 Some(plan) => plan.scaled_cost(pe, t, base),
                 None => base,
             };
+            if cost != base {
+                trace_ev!(
+                    self,
+                    instant(
+                        t,
+                        pe as u32,
+                        cat::FAULT,
+                        "straggler_scaled",
+                        &[("task", u64::from(task)), ("base", base), ("scaled", cost)]
+                    )
+                );
+            }
+            trace_ev!(
+                self,
+                begin_args(
+                    t,
+                    pe as u32,
+                    cat::TASK,
+                    "task",
+                    &[("task", u64::from(task)), ("cost", cost)]
+                )
+            );
             let end = t + cost;
             self.current[pe] = Some(CurTask {
                 task,
@@ -448,14 +606,26 @@ impl Sim<'_> {
             // work to a busy PE is harmless (it queues), but prefer the
             // dormant ones
             let task = self.queues[pe].pop_back().expect("len checked");
+            self.lifeline_pushes += 1;
+            self.batch_hist.observe(1);
             self.report.steal_hits += 1;
             self.report.messages += 1;
             self.report.tasks_transferred += 1;
+            trace_ev!(
+                self,
+                instant(
+                    t,
+                    pe as u32,
+                    cat::STEAL,
+                    "lifeline_push",
+                    &[("thief", thief as u64)]
+                )
+            );
             let payload: u64 = self.payloads.map_or(0, |p| p[task as usize]);
             let lat = self.cfg.machine.msg_latency(pe, thief)
                 + self.cfg.machine.lat.per_task_transfer
                 + self.cfg.machine.lat.per_vertex_transfer * payload;
-            let at = self.grant_delivery(t, lat);
+            let at = self.grant_delivery(t, lat, pe);
             self.push_event(
                 at,
                 Event::StealGrant {
@@ -483,9 +653,20 @@ impl Sim<'_> {
                 tasks.push(self.queues[victim].pop_back().expect("avail checked"));
             }
             tasks.reverse();
+            self.batch_hist.observe(n as u64);
             self.report.steal_hits += 1;
             self.report.messages += 1;
             self.report.tasks_transferred += n as u64;
+            trace_ev!(
+                self,
+                instant(
+                    t,
+                    victim as u32,
+                    cat::STEAL,
+                    "steal_grant",
+                    &[("thief", thief as u64), ("tasks", n as u64)]
+                )
+            );
             let payload: u64 = match self.payloads {
                 Some(p) => tasks.iter().map(|&tk| p[tk as usize]).sum(),
                 None => 0,
@@ -493,7 +674,7 @@ impl Sim<'_> {
             let lat = self.cfg.machine.msg_latency(victim, thief)
                 + self.cfg.machine.lat.per_task_transfer * n as u64
                 + self.cfg.machine.lat.per_vertex_transfer * payload;
-            let at = self.grant_delivery(t, lat);
+            let at = self.grant_delivery(t, lat, victim);
             self.push_event(
                 at,
                 Event::StealGrant {
@@ -505,12 +686,22 @@ impl Sim<'_> {
         } else {
             self.report.steal_misses += 1;
             self.report.messages += 1;
+            trace_ev!(
+                self,
+                instant(
+                    t,
+                    victim as u32,
+                    cat::STEAL,
+                    "steal_deny",
+                    &[("thief", thief as u64)]
+                )
+            );
             // lifeline policy: a denied thief becomes this PE's lifeline
             if steal.policy.uses_lifelines() && !self.lifelines[victim].contains(&thief) {
                 self.lifelines[victim].push_back(thief);
             }
             let lat = self.cfg.machine.msg_latency(victim, thief);
-            if let Some(at) = self.control_delivery(t, lat) {
+            if let Some(at) = self.control_delivery(t, lat, victim) {
                 self.push_event(at, Event::StealDeny { thief, attempt });
             }
         }
@@ -549,10 +740,21 @@ impl Sim<'_> {
         match victim {
             Some(v) => {
                 self.report.messages += 1;
+                self.requests_sent += 1;
                 self.attempt[pe] += 1;
                 let a = self.attempt[pe];
+                trace_ev!(
+                    self,
+                    instant(
+                        t,
+                        pe as u32,
+                        cat::STEAL,
+                        "steal_req_sent",
+                        &[("victim", v as u64), ("attempt", a)]
+                    )
+                );
                 let lat = self.cfg.machine.msg_latency(pe, v);
-                if let Some(at) = self.control_delivery(t, lat) {
+                if let Some(at) = self.control_delivery(t, lat, pe) {
                     self.push_event(
                         at,
                         Event::StealReq {
@@ -578,6 +780,10 @@ impl Sim<'_> {
                 } else if self.cfg.steal.is_some_and(|s| s.policy.uses_lifelines()) {
                     // lifeline: no retry traffic — wait to be woken
                     self.state[pe] = PeState::Dormant;
+                    trace_ev!(
+                        self,
+                        instant(t, pe as u32, cat::STEAL, "lifeline_dormant", &[])
+                    );
                 } else {
                     let lat = &self.cfg.machine.lat;
                     let cap = lat.steal_backoff_cap.max(lat.steal_backoff);
@@ -593,6 +799,16 @@ impl Sim<'_> {
                             % span;
                     self.fail_rounds[pe] = self.fail_rounds[pe].saturating_add(1);
                     self.report.resilience.retries += 1;
+                    trace_ev!(
+                        self,
+                        instant(
+                            t,
+                            pe as u32,
+                            cat::STEAL,
+                            "steal_backoff",
+                            &[("round", u64::from(self.fail_rounds[pe]))]
+                        )
+                    );
                     self.push_event(t + backoff + jitter, Event::NewRound { thief: pe });
                 }
             }
@@ -608,12 +824,22 @@ impl Sim<'_> {
         self.alive[pe] = false;
         self.crash_time[pe] = t;
         self.report.resilience.crashes += 1;
+        trace_ev!(self, instant(t, pe as u32, cat::FAULT, "crash", &[]));
         let mut orphans: Vec<u32> = self.queues[pe].drain(..).collect();
         if let Some(cur) = self.current[pe].take() {
             // partial execution is lost; the task must run again elsewhere
             self.report.resilience.wasted_work += t.saturating_sub(cur.start);
             self.report.resilience.tasks_reexecuted += 1;
             self.unstarted += 1;
+            trace_ev!(
+                self,
+                end_args(
+                    t,
+                    pe as u32,
+                    cat::TASK,
+                    &[("task", u64::from(cur.task)), ("aborted", 1)]
+                )
+            );
             orphans.insert(0, cur.task);
         }
         self.busy[pe] = false;
@@ -637,6 +863,16 @@ impl Sim<'_> {
             return;
         }
         self.report.resilience.tasks_recovered += orphans.len() as u64;
+        trace_ev!(
+            self,
+            instant(
+                t,
+                pe as u32,
+                cat::FAULT,
+                "recover",
+                &[("orphans", orphans.len() as u64)]
+            )
+        );
         match self.cfg.steal {
             None => {
                 // static schedule: no stealing will spread the work, so
@@ -683,6 +919,15 @@ impl Sim<'_> {
                 }
                 self.report.per_pe_finish[pe] = t;
                 self.report.makespan = self.report.makespan.max(t);
+                self.exec_hist.observe(cur.end - cur.start);
+                trace_ev!(
+                    self,
+                    end_args(t, pe as u32, cat::TASK, &[("task", u64::from(cur.task))])
+                );
+                trace_ev!(
+                    self,
+                    counter(t, pe as u32, "queue_len", self.queues[pe].len() as u64)
+                );
                 self.busy[pe] = false;
                 self.push_to_lifelines(pe, t);
                 self.dispatch(pe, t);
@@ -698,6 +943,16 @@ impl Sim<'_> {
                 if self.busy[victim] {
                     // victim is mid-task: the request is serviced at the
                     // victim's next RMI poll point
+                    trace_ev!(
+                        self,
+                        instant(
+                            t,
+                            victim as u32,
+                            cat::STEAL,
+                            "steal_req_deferred",
+                            &[("thief", thief as u64)]
+                        )
+                    );
                     let poll = self.cfg.machine.lat.poll_delay;
                     self.push_event(
                         t + poll,
@@ -733,7 +988,18 @@ impl Sim<'_> {
                             .find(|&q| self.alive[q])
                     };
                     let Some(dst) = dst else { return };
+                    self.grants_rerouted += 1;
                     self.report.resilience.tasks_recovered += tasks.len() as u64;
+                    trace_ev!(
+                        self,
+                        instant(
+                            t,
+                            dst as u32,
+                            cat::FAULT,
+                            "grant_rerouted",
+                            &[("tasks", tasks.len() as u64)]
+                        )
+                    );
                     for task in tasks {
                         self.queues[dst].push_back(task);
                     }
@@ -742,9 +1008,20 @@ impl Sim<'_> {
                     }
                     return;
                 }
+                let n = tasks.len() as u64;
                 for task in tasks {
                     self.queues[thief].push_back(task);
                 }
+                trace_ev!(
+                    self,
+                    instant(
+                        t,
+                        thief as u32,
+                        cat::STEAL,
+                        "steal_recv",
+                        &[("from", from as u64), ("tasks", n)]
+                    )
+                );
                 // unsolicited lifeline pushes can reach a thief that is
                 // already running again; the tasks just queue
                 if !self.busy[thief] {
@@ -770,12 +1047,72 @@ impl Sim<'_> {
                 }
                 if matches!(self.state[thief], PeState::Stealing { .. }) {
                     self.report.resilience.timeouts_fired += 1;
+                    trace_ev!(
+                        self,
+                        instant(
+                            t,
+                            thief as u32,
+                            cat::STEAL,
+                            "steal_timeout",
+                            &[("attempt", attempt)]
+                        )
+                    );
                     self.next_request(thief, t);
                 }
             }
             Event::Crash { pe } => self.crash(pe, t),
             Event::Recover { pe } => self.recover(pe, t),
         }
+    }
+
+    /// Fold the run's counters into the canonical `des.*` snapshot
+    /// (taxonomy in DESIGN.md §9). Called once at end-of-run, so nothing
+    /// here is on the event-loop hot path.
+    fn build_metrics(&self) -> MetricsSnapshot {
+        let r = &self.report;
+        let mut reg = MetricsRegistry::new();
+        reg.set_gauge("des.pes", self.queues.len() as u64);
+        reg.set_gauge("des.time.makespan_ns", r.makespan);
+        let busy: u64 = r.per_pe_busy.iter().sum();
+        reg.set_gauge("des.time.busy_ns", busy);
+        let idle: u64 = r
+            .per_pe_busy
+            .iter()
+            .map(|&b| r.makespan.saturating_sub(b))
+            .sum();
+        reg.set_gauge("des.time.idle_ns", idle);
+        reg.inc("des.tasks.spawned", r.executed_by.len() as u64);
+        reg.inc(
+            "des.tasks.executed",
+            r.per_pe_executed.iter().map(|&e| u64::from(e)).sum(),
+        );
+        reg.inc("des.tasks.dispatched", self.dispatches);
+        reg.inc("des.tasks.reexecuted", r.resilience.tasks_reexecuted);
+        reg.inc("des.tasks.recovered", r.resilience.tasks_recovered);
+        reg.inc("des.tasks.transferred", r.tasks_transferred);
+        reg.inc("des.steal.requests_sent", self.requests_sent);
+        reg.inc("des.steal.requests_serviced", r.steal_attempts);
+        reg.inc("des.steal.grants", r.steal_hits - self.lifeline_pushes);
+        reg.inc("des.steal.denials", r.steal_misses);
+        reg.inc("des.steal.lifeline_pushes", self.lifeline_pushes);
+        reg.inc("des.steal.grants_rerouted", self.grants_rerouted);
+        reg.inc("des.steal.timeouts", r.resilience.timeouts_fired);
+        reg.inc("des.steal.backoff_rounds", r.resilience.retries);
+        reg.inc("des.msg.sent", r.messages);
+        reg.inc("des.msg.dropped", r.resilience.messages_dropped);
+        reg.inc("des.msg.delayed", r.resilience.messages_delayed);
+        reg.inc("des.msg.retransmitted", r.resilience.retransmissions);
+        reg.inc("des.fault.crashes", r.resilience.crashes);
+        reg.inc("des.fault.wasted_work_ns", r.resilience.wasted_work);
+        reg.inc(
+            "des.fault.dead_time_ns",
+            r.resilience.per_pe_dead_time.iter().sum(),
+        );
+        let mut hist = Vec::new();
+        self.exec_hist.flatten("des.tasks.exec_ns", &mut hist);
+        self.batch_hist.flatten("des.steal.batch_size", &mut hist);
+        reg.snapshot()
+            .merged_with(&MetricsSnapshot { samples: hist })
     }
 }
 
@@ -852,6 +1189,29 @@ pub fn simulate_faulted(
     cfg: &SimConfig,
     fault: Option<&FaultPlan>,
 ) -> Result<SimReport, SimError> {
+    simulate_observed(task_costs, payloads, assignment, cfg, fault, None)
+}
+
+/// Run one simulated phase with full observability: an optional
+/// [`Tracer`] records the structured event stream (task spans, steal
+/// traffic, fault instants, queue-depth counters — one track per PE), and
+/// the returned report's [`SimReport::metrics`] snapshot is populated
+/// either way.
+///
+/// `tracer = None` is the zero-overhead path [`simulate_faulted`] uses:
+/// every instrumentation site reduces to one branch on the `Option`.
+/// Observation never perturbs the simulation — the same
+/// `(costs, assignment, cfg, fault)` yields the same report traced or
+/// untraced, and tracing twice yields byte-identical Chrome JSON (the
+/// golden-trace suite pins both properties).
+pub fn simulate_observed(
+    task_costs: &[VTime],
+    payloads: Option<&[u64]>,
+    assignment: &[Vec<u32>],
+    cfg: &SimConfig,
+    fault: Option<&FaultPlan>,
+    tracer: Option<&mut Tracer>,
+) -> Result<SimReport, SimError> {
     let p = assignment.len();
     if p == 0 {
         return Err(SimError::NoPes);
@@ -900,6 +1260,7 @@ pub fn simulate_faulted(
             per_pe_dead_time: vec![0; p],
             ..ResilienceStats::default()
         },
+        metrics: MetricsSnapshot::default(),
     };
 
     let mut sim = Sim {
@@ -928,7 +1289,20 @@ pub fn simulate_faulted(
         msg_seq: 0,
         rng: StdRng::seed_from_u64(cfg.seed),
         report,
+        tracer,
+        dispatches: 0,
+        requests_sent: 0,
+        lifeline_pushes: 0,
+        grants_rerouted: 0,
+        exec_hist: MiniHist::new(&COST_BOUNDS),
+        batch_hist: MiniHist::new(&BATCH_BOUNDS),
     };
+
+    if let Some(tr) = sim.tracer.as_mut() {
+        for pe in 0..p {
+            tr.name_track(pe as u32, &format!("PE {pe}"));
+        }
+    }
 
     // Schedule planned crashes (earliest instant per PE wins).
     if let Some(plan) = fault {
@@ -974,6 +1348,7 @@ pub fn simulate_faulted(
                 sim.report.makespan.saturating_sub(sim.crash_time[pe]);
         }
     }
+    sim.report.metrics = sim.build_metrics();
     Ok(sim.report)
 }
 
@@ -1408,5 +1783,135 @@ mod tests {
             "retries {} vs bound {cap_retries}",
             rep.resilience.retries
         );
+    }
+
+    // ---- observability ---------------------------------------------------
+
+    /// Pins the reconciled drop semantics: a dropped *task-carrying*
+    /// message counts once as a retransmission and never as a dropped
+    /// message; a dropped *control* message counts once as dropped and
+    /// never as a retransmission.
+    #[test]
+    fn dropped_grant_counts_once_as_retransmission() {
+        // 2 PEs, all work on PE 0: PE 1's first steal request is msg_seq 1
+        // (control) and the resulting grant is msg_seq 2 (task-carrying)
+        let costs = vec![100_000u64; 8];
+        let assignment = vec![(0..8u32).collect(), vec![]];
+        let cfg = ws_cfg(StealPolicyKind::rand8());
+
+        let plan = FaultPlan::new(0).with_dropped_message(2);
+        let rep = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan)).unwrap();
+        assert_eq!(
+            rep.resilience.retransmissions, 1,
+            "grant drop = 1 retransmit"
+        );
+        assert_eq!(
+            rep.resilience.messages_dropped, 0,
+            "grant drop is not a loss"
+        );
+        assert_eq!(rep.metrics.expect("des.msg.retransmitted"), 1);
+        assert_eq!(rep.metrics.expect("des.msg.dropped"), 0);
+        assert_eq!(rep.per_pe_executed.iter().sum::<u32>(), 8);
+
+        let plan = FaultPlan::new(0).with_dropped_message(1);
+        let rep = simulate_faulted(&costs, None, &assignment, &cfg, Some(&plan)).unwrap();
+        assert_eq!(rep.resilience.messages_dropped, 1, "request drop = 1 loss");
+        assert_eq!(rep.resilience.retransmissions, 0);
+        assert!(
+            rep.resilience.timeouts_fired >= 1,
+            "timeout recovers the loss"
+        );
+        assert_eq!(rep.per_pe_executed.iter().sum::<u32>(), 8);
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_report_counters() {
+        let costs: Vec<u64> = (0..120).map(|i| 5_000 + (i * 37) % 70_000).collect();
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[0] = (0..120u32).collect();
+        for cfg in [
+            static_cfg(),
+            ws_cfg(StealPolicyKind::rand8()),
+            ws_cfg(StealPolicyKind::Diffusive),
+            ws_cfg(StealPolicyKind::Hybrid(8)),
+            ws_cfg(StealPolicyKind::Lifeline),
+        ] {
+            let rep = simulate(&costs, &assignment, &cfg).unwrap();
+            let m = &rep.metrics;
+            assert_eq!(m.expect("des.pes"), 8);
+            assert_eq!(m.expect("des.tasks.spawned"), 120);
+            assert_eq!(m.expect("des.tasks.executed"), 120);
+            assert_eq!(m.expect("des.tasks.transferred"), rep.tasks_transferred);
+            assert_eq!(m.expect("des.steal.requests_serviced"), rep.steal_attempts);
+            assert_eq!(m.expect("des.steal.denials"), rep.steal_misses);
+            assert_eq!(
+                m.expect("des.steal.grants") + m.expect("des.steal.lifeline_pushes"),
+                rep.steal_hits
+            );
+            assert_eq!(m.expect("des.msg.sent"), rep.messages);
+            assert_eq!(m.expect("des.time.makespan_ns"), rep.makespan);
+            assert_eq!(
+                m.expect("des.time.busy_ns"),
+                rep.per_pe_busy.iter().sum::<u64>()
+            );
+            // conservation: fault-free, every dispatch commits exactly once
+            assert_eq!(m.expect("des.tasks.dispatched"), 120);
+            assert_eq!(m.expect("des.tasks.reexecuted"), 0);
+            assert_eq!(m.expect("des.tasks.exec_ns/count"), 120);
+            assert_eq!(m.expect("des.tasks.exec_ns/sum"), costs.iter().sum::<u64>());
+            // serviced requests all originate from sent requests
+            assert!(m.expect("des.steal.requests_serviced") <= m.expect("des.steal.requests_sent"));
+        }
+    }
+
+    #[test]
+    fn trace_is_well_formed_and_byte_deterministic() {
+        let costs: Vec<u64> = (0..80).map(|i| 4_000 + (i * 41) % 50_000).collect();
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[0] = (0..80u32).collect();
+        let cfg = ws_cfg(StealPolicyKind::Hybrid(8));
+        let run = || {
+            let mut tr = Tracer::new();
+            let rep =
+                simulate_observed(&costs, None, &assignment, &cfg, None, Some(&mut tr)).unwrap();
+            (rep, tr)
+        };
+        let (rep_a, tr_a) = run();
+        let (rep_b, tr_b) = run();
+        tr_a.check_well_formed().expect("trace well-formed");
+        assert!(!tr_a.is_empty());
+        assert_eq!(tr_a.to_chrome_json(), tr_b.to_chrome_json());
+        assert_eq!(rep_a, rep_b);
+        // no fault plan: zero fault-category events
+        assert_eq!(tr_a.count_category(smp_obs::cat::FAULT), 0);
+        // observation must not perturb the simulation
+        let untraced = simulate(&costs, &assignment, &cfg).unwrap();
+        assert_eq!(rep_a, untraced);
+    }
+
+    #[test]
+    fn faulted_trace_records_fault_events() {
+        let costs = vec![50_000u64; 64];
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[0] = (0..64u32).collect();
+        let cfg = ws_cfg(StealPolicyKind::rand8());
+        let plan = FaultPlan::new(2)
+            .with_crash(0, 200_000)
+            .with_straggler(1, 0, u64::MAX, 4.0);
+        let mut tr = Tracer::new();
+        let rep =
+            simulate_observed(&costs, None, &assignment, &cfg, Some(&plan), Some(&mut tr)).unwrap();
+        tr.check_well_formed().expect("aborted spans still balance");
+        assert!(tr.count_category(smp_obs::cat::FAULT) > 0);
+        assert!(tr
+            .events()
+            .iter()
+            .any(|e| e.cat == smp_obs::cat::FAULT && e.name == "crash"));
+        assert!(tr
+            .events()
+            .iter()
+            .any(|e| e.cat == smp_obs::cat::FAULT && e.name == "straggler_scaled"));
+        assert_eq!(rep.metrics.expect("des.fault.crashes"), 1);
+        assert!(rep.metrics.expect("des.fault.dead_time_ns") > 0);
     }
 }

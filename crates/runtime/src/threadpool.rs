@@ -8,6 +8,7 @@
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use parking_lot::Mutex;
+use smp_obs::{MetricsRegistry, MetricsSnapshot};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -198,6 +199,41 @@ impl WorkStealingPool {
     }
 }
 
+/// Fold per-worker stats into the canonical `pool.*` metrics snapshot
+/// (DESIGN.md §9) — the host-side counterpart of `SimReport::metrics`.
+///
+/// Beyond the totals, `pool.workers.idle` counts workers that executed
+/// nothing (a load-imbalance signal) and `pool.tasks.executed_max` the
+/// busiest worker's share.
+pub fn pool_metrics(stats: &[WorkerStats]) -> MetricsSnapshot {
+    let mut reg = MetricsRegistry::new();
+    reg.set_gauge("pool.workers", stats.len() as u64);
+    reg.set_gauge(
+        "pool.workers.idle",
+        stats
+            .iter()
+            .filter(|s| s.executed == 0 && s.panicked == 0)
+            .count() as u64,
+    );
+    reg.inc(
+        "pool.tasks.executed",
+        stats.iter().map(|s| s.executed as u64).sum(),
+    );
+    reg.set_gauge(
+        "pool.tasks.executed_max",
+        stats.iter().map(|s| s.executed as u64).max().unwrap_or(0),
+    );
+    reg.inc(
+        "pool.tasks.stolen",
+        stats.iter().map(|s| s.stolen as u64).sum(),
+    );
+    reg.inc(
+        "pool.tasks.panicked",
+        stats.iter().map(|s| s.panicked as u64).sum(),
+    );
+    reg.snapshot()
+}
+
 /// Best-effort string form of a panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -280,6 +316,22 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let pool = WorkStealingPool::new(0);
         assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn pool_metrics_totals_match_stats() {
+        let pool = WorkStealingPool::new(4);
+        let items: Vec<u64> = (0..200).collect();
+        let (_, stats) = pool.run(&items, |_, &x| x);
+        let m = pool_metrics(&stats);
+        assert_eq!(m.expect("pool.workers"), 4);
+        assert_eq!(m.expect("pool.tasks.executed"), 200);
+        assert_eq!(m.expect("pool.tasks.panicked"), 0);
+        assert_eq!(
+            m.expect("pool.tasks.stolen"),
+            stats.iter().map(|s| s.stolen as u64).sum::<u64>()
+        );
+        assert!(m.expect("pool.tasks.executed_max") <= 200);
     }
 
     #[test]

@@ -14,5 +14,6 @@ pub use smp_core as core;
 pub use smp_cspace as cspace;
 pub use smp_geom as geom;
 pub use smp_graph as graph;
+pub use smp_obs as obs;
 pub use smp_plan as plan;
 pub use smp_runtime as runtime;
