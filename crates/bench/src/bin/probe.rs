@@ -6,6 +6,11 @@
 //! observability tracer and writes Chrome `trace_event` JSON to `FILE`
 //! (load it in `chrome://tracing` or <https://ui.perfetto.dev>).
 //! `--metrics-out FILE` writes that run's flat metrics snapshot as CSV.
+//!
+//! `probe --replay FILE` re-executes a shrunk smp-check repro file (see
+//! `crates/check`): it runs the case twice, asserts the two runs are
+//! bit-identical, and prints the oracle verdicts. Exit status 0 means
+//! every invariant held.
 
 use smp_bench::figures::Suite;
 use smp_bench::HarnessConfig;
@@ -79,6 +84,43 @@ fn rrt_probe() {
     }
 }
 
+/// Re-execute a shrunk smp-check repro deterministically: run it twice,
+/// require bit-identical reports, and report the oracle verdicts.
+fn replay_probe(path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read repro {path}: {e}"));
+    let spec =
+        smp_check::repro::parse(&text).unwrap_or_else(|e| panic!("cannot parse repro {path}: {e}"));
+    println!(
+        "replaying {path}: {} tasks on {} PEs ({}, steal {})",
+        spec.num_tasks(),
+        spec.num_pes(),
+        spec.machine.name(),
+        if spec.steal.is_some() { "on" } else { "off" },
+    );
+    let first = spec.run();
+    let second = spec.run();
+    match (&first, &second) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "replay is not deterministic"),
+        (Err(a), Err(b)) => assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "replay is not deterministic"
+        ),
+        _ => panic!("replay is not deterministic: one run failed, one succeeded"),
+    }
+    println!("determinism: two runs bit-identical");
+    let violations = smp_check::check_case(&spec);
+    if violations.is_empty() {
+        println!("oracles: all satisfied");
+    } else {
+        for v in &violations {
+            eprintln!("oracle violation: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("rrt") {
         rrt_probe();
@@ -90,6 +132,11 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--replay" => {
+                let path = args.next().expect("--replay needs a repro file");
+                replay_probe(&path);
+                return;
+            }
             "--trace-out" => trace_out = args.next(),
             "--metrics-out" => metrics_out = args.next(),
             other => {

@@ -1,0 +1,41 @@
+//! # smp-check — schedule-exploration fuzzing for the DES
+//!
+//! The simulator promises determinism *given* an event order, but many
+//! legal orders exist whenever events tie on virtual time. This crate
+//! explores that space: it fuzzes the DES across thousands of randomized
+//! `(workload, placement, steal config, fault plan, schedule seed)`
+//! cases, perturbing equal-time tie-breaking through the runtime's
+//! [`ScheduleOracle`](smp_runtime::ScheduleOracle) hook, and checks an
+//! invariant-oracle catalog after every run:
+//!
+//! - **exactly_once** — every task executes exactly once, by a real PE
+//! - **ownership_at_quiescence** — queues drained, per-PE counters match
+//!   final ownership, crash accounting closes
+//! - **message_conservation** — sent = delivered + dropped + in-flight at
+//!   a crash
+//! - **monotone_time** — no event scheduled into the past; final time
+//!   covers the makespan
+//! - **differential_vs_sequential** — final counts match a 1-PE
+//!   no-fault FIFO baseline run
+//! - **steal_accounting** — steal traffic bookkeeping closes and batch
+//!   bounds hold
+//!
+//! Failures shrink greedily to a locally-minimal case and serialize to a
+//! line-oriented replay file (see [`repro`]) that both
+//! `smp-check --replay` and `probe --replay` re-execute
+//! deterministically.
+//!
+//! Run it: `cargo run -p smp-check -- --runs 1000`.
+
+pub mod case;
+pub mod gen;
+pub mod harness;
+pub mod oracles;
+pub mod repro;
+pub mod shrink;
+
+pub use case::{CaseSpec, MachineKind, SchedulePlan};
+pub use harness::{fuzz, FuzzConfig, FuzzOutcome};
+pub use oracles::{check_case, check_outcome, Violation};
+pub use repro::{parse, serialize};
+pub use shrink::shrink;

@@ -1,0 +1,144 @@
+//! `smp-check` CLI — fuzz the DES or replay a shrunk failure.
+//!
+//! ```text
+//! smp-check [--runs N] [--seed S] [--out DIR] [--fail-fast]
+//! smp-check --replay FILE
+//! ```
+//!
+//! Exit status is 0 only if every run satisfied every oracle.
+
+use smp_check::harness::{fuzz, FuzzConfig};
+use smp_check::{oracles, repro};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg = FuzzConfig {
+        runs: 1000,
+        base_seed: 0,
+        out_dir: Some(PathBuf::from("target/smp-check")),
+        fail_fast: false,
+    };
+    let mut replay: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("smp-check: {arg} needs {what}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--runs" => {
+                let v = take("a count");
+                cfg.runs = v.parse().unwrap_or_else(|e| {
+                    eprintln!("smp-check: bad --runs {v:?}: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                let v = take("a seed");
+                cfg.base_seed = v.parse().unwrap_or_else(|e| {
+                    eprintln!("smp-check: bad --seed {v:?}: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => cfg.out_dir = Some(PathBuf::from(take("a directory"))),
+            "--no-out" => cfg.out_dir = None,
+            "--fail-fast" => cfg.fail_fast = true,
+            "--replay" => replay = Some(PathBuf::from(take("a repro file"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: smp-check [--runs N] [--seed S] [--out DIR | --no-out] [--fail-fast]\n\
+                     \x20      smp-check --replay FILE"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("smp-check: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = replay {
+        return run_replay(&path);
+    }
+
+    println!(
+        "smp-check: fuzzing {} runs from seed {}",
+        cfg.runs, cfg.base_seed
+    );
+    let stride = (cfg.runs / 20).max(1);
+    let outcome = fuzz(&cfg, |done, total, fails| {
+        if done % stride == 0 || done == total {
+            println!("  {done}/{total} runs, {fails} failure(s)");
+        }
+    });
+    if outcome.ok() {
+        println!(
+            "smp-check: OK — {} runs, all oracles satisfied",
+            outcome.runs_executed
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &outcome.failures {
+            eprintln!(
+                "smp-check: seed {} FAILED (shrunk to {} tasks / {} PEs):",
+                f.seed,
+                f.shrunk.num_tasks(),
+                f.shrunk.num_pes()
+            );
+            for v in &f.violations {
+                eprintln!("  {v}");
+            }
+            if let Some(p) = &f.repro_path {
+                eprintln!("  repro: {} (replay with --replay)", p.display());
+            }
+        }
+        eprintln!(
+            "smp-check: {} of {} runs violated an oracle",
+            outcome.failures.len(),
+            outcome.runs_executed
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_replay(path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("smp-check: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match repro::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smp-check: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "smp-check: replaying {} ({} tasks, {} PEs)",
+        path.display(),
+        spec.num_tasks(),
+        spec.num_pes()
+    );
+    let violations = oracles::check_case(&spec);
+    if violations.is_empty() {
+        println!("smp-check: replay PASSED — all oracles satisfied");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        eprintln!(
+            "smp-check: replay still violates {} oracle(s)",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

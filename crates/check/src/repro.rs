@@ -1,0 +1,267 @@
+//! The replay-file format.
+//!
+//! A shrunk failure serializes to a small, line-oriented text file that
+//! `smp-check --replay` and `probe --replay` re-execute deterministically.
+//! The format is versioned, order-insensitive past the header, and
+//! self-describing (DESIGN.md §10):
+//!
+//! ```text
+//! smp-check-repro v1
+//! # free-text context lines
+//! machine hopper
+//! sim_seed 42
+//! schedule seeded 17
+//! steal randk 8 one
+//! costs 100 200 300
+//! queue 0 2
+//! queue 1
+//! fault_seed 7
+//! msg_loss 0.25
+//! msg_jitter 0.1 50000
+//! straggler 0 0 1000000 4.0
+//! crash 2 300000
+//! drop 17
+//! delay 9 4000
+//! ```
+//!
+//! One `queue` line per PE (possibly empty); every other fault line is
+//! optional. Floats round-trip through Rust's shortest-representation
+//! formatting, so parse(serialize(c)) == c exactly.
+
+use crate::case::{CaseSpec, MachineKind, SchedulePlan};
+use smp_runtime::{FaultPlan, StealAmount, StealConfig, StealPolicyKind};
+
+const HEADER: &str = "smp-check-repro v1";
+
+/// Serialize a case (plus optional context comment lines).
+pub fn serialize(spec: &CaseSpec, context: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for line in context {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&format!("machine {}\n", spec.machine.name()));
+    out.push_str(&format!("sim_seed {}\n", spec.sim_seed));
+    match spec.schedule {
+        SchedulePlan::Fifo => out.push_str("schedule fifo\n"),
+        SchedulePlan::Seeded(s) => out.push_str(&format!("schedule seeded {s}\n")),
+    }
+    match spec.steal {
+        None => out.push_str("steal none\n"),
+        Some(cfg) => {
+            let policy = match cfg.policy {
+                StealPolicyKind::RandK(k) => format!("randk {k}"),
+                StealPolicyKind::Diffusive => "diffusive".to_string(),
+                StealPolicyKind::Hybrid(k) => format!("hybrid {k}"),
+                StealPolicyKind::Lifeline => "lifeline".to_string(),
+            };
+            let amount = match cfg.amount {
+                StealAmount::One => "one".to_string(),
+                StealAmount::Half => "half".to_string(),
+                StealAmount::Fixed(k) => format!("fixed {k}"),
+            };
+            out.push_str(&format!("steal {policy} {amount}\n"));
+        }
+    }
+    out.push_str("costs");
+    for c in &spec.costs {
+        out.push_str(&format!(" {c}"));
+    }
+    out.push('\n');
+    for q in &spec.assignment {
+        out.push_str("queue");
+        for t in q {
+            out.push_str(&format!(" {t}"));
+        }
+        out.push('\n');
+    }
+    let f = &spec.fault;
+    out.push_str(&format!("fault_seed {}\n", f.seed));
+    if f.msg_loss > 0.0 {
+        out.push_str(&format!("msg_loss {}\n", f.msg_loss));
+    }
+    if f.msg_jitter > 0.0 {
+        out.push_str(&format!("msg_jitter {} {}\n", f.msg_jitter, f.jitter_max));
+    }
+    for s in &f.stragglers {
+        out.push_str(&format!(
+            "straggler {} {} {} {}\n",
+            s.pe, s.from, s.until, s.factor
+        ));
+    }
+    for c in &f.crashes {
+        out.push_str(&format!("crash {} {}\n", c.pe, c.at));
+    }
+    for &s in &f.drop_seqs {
+        out.push_str(&format!("drop {s}\n"));
+    }
+    for &(s, extra) in &f.jitter_seqs {
+        out.push_str(&format!("delay {s} {extra}\n"));
+    }
+    out
+}
+
+/// Parse a replay file. Errors carry the offending line.
+pub fn parse(text: &str) -> Result<CaseSpec, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty replay file")?.trim();
+    if header != HEADER {
+        return Err(format!("bad header {header:?}, expected {HEADER:?}"));
+    }
+    let mut machine = None;
+    let mut sim_seed = None;
+    let mut schedule = None;
+    let mut steal: Option<Option<StealConfig>> = None;
+    let mut costs: Option<Vec<u64>> = None;
+    let mut queues: Vec<Vec<u32>> = Vec::new();
+    let mut fault = FaultPlan::new(0);
+
+    for raw in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let key = it.next().ok_or_else(|| format!("blank key in {line:?}"))?;
+        let rest: Vec<&str> = it.collect();
+        let num = |i: usize, what: &str| -> Result<u64, String> {
+            rest.get(i)
+                .ok_or_else(|| format!("{line:?}: missing {what}"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{line:?}: bad {what}: {e}"))
+        };
+        let flt = |i: usize, what: &str| -> Result<f64, String> {
+            rest.get(i)
+                .ok_or_else(|| format!("{line:?}: missing {what}"))?
+                .parse::<f64>()
+                .map_err(|e| format!("{line:?}: bad {what}: {e}"))
+        };
+        match key {
+            "machine" => {
+                let name = rest
+                    .first()
+                    .ok_or_else(|| format!("{line:?}: no machine"))?;
+                machine = Some(
+                    MachineKind::parse(name)
+                        .ok_or_else(|| format!("{line:?}: unknown machine {name:?}"))?,
+                );
+            }
+            "sim_seed" => sim_seed = Some(num(0, "seed")?),
+            "schedule" => {
+                schedule = Some(match rest.first().copied() {
+                    Some("fifo") => SchedulePlan::Fifo,
+                    Some("seeded") => SchedulePlan::Seeded(num(1, "schedule seed")?),
+                    other => return Err(format!("{line:?}: unknown schedule {other:?}")),
+                });
+            }
+            "steal" => {
+                steal = Some(match rest.first().copied() {
+                    Some("none") => None,
+                    Some(kind) => {
+                        let (policy, amount_at) = match kind {
+                            "randk" => (StealPolicyKind::RandK(num(1, "k")? as usize), 2),
+                            "hybrid" => (StealPolicyKind::Hybrid(num(1, "k")? as usize), 2),
+                            "diffusive" => (StealPolicyKind::Diffusive, 1),
+                            "lifeline" => (StealPolicyKind::Lifeline, 1),
+                            _ => return Err(format!("{line:?}: unknown policy {kind:?}")),
+                        };
+                        let amount = match rest.get(amount_at).copied() {
+                            Some("one") => StealAmount::One,
+                            Some("half") => StealAmount::Half,
+                            Some("fixed") => {
+                                StealAmount::Fixed(num(amount_at + 1, "fixed amount")? as usize)
+                            }
+                            other => return Err(format!("{line:?}: unknown amount {other:?}")),
+                        };
+                        Some(StealConfig { policy, amount })
+                    }
+                    None => return Err(format!("{line:?}: empty steal")),
+                });
+            }
+            "costs" => {
+                costs = Some(
+                    rest.iter()
+                        .map(|c| {
+                            c.parse::<u64>()
+                                .map_err(|e| format!("{line:?}: bad cost {c:?}: {e}"))
+                        })
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "queue" => {
+                queues.push(
+                    rest.iter()
+                        .map(|t| {
+                            t.parse::<u32>()
+                                .map_err(|e| format!("{line:?}: bad task {t:?}: {e}"))
+                        })
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "fault_seed" => fault.seed = num(0, "fault seed")?,
+            "msg_loss" => fault.msg_loss = flt(0, "loss rate")?,
+            "msg_jitter" => {
+                fault.msg_jitter = flt(0, "jitter rate")?;
+                fault.jitter_max = num(1, "jitter max")?;
+            }
+            "straggler" => {
+                fault = fault.with_straggler(
+                    num(0, "pe")? as usize,
+                    num(1, "from")?,
+                    num(2, "until")?,
+                    flt(3, "factor")?,
+                );
+            }
+            "crash" => fault = fault.with_crash(num(0, "pe")? as usize, num(1, "at")?),
+            "drop" => fault = fault.with_dropped_message(num(0, "seq")?),
+            "delay" => fault = fault.with_delayed_message(num(0, "seq")?, num(1, "extra")?),
+            _ => return Err(format!("unknown key {key:?} in {line:?}")),
+        }
+    }
+
+    let spec = CaseSpec {
+        costs: costs.ok_or("missing costs line")?,
+        assignment: queues,
+        machine: machine.ok_or("missing machine line")?,
+        steal: steal.ok_or("missing steal line")?,
+        sim_seed: sim_seed.ok_or("missing sim_seed line")?,
+        fault,
+        schedule: schedule.ok_or("missing schedule line")?,
+    };
+    if spec.assignment.is_empty() {
+        return Err("missing queue lines (need at least one PE)".to_string());
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_case;
+
+    #[test]
+    fn round_trips_exactly() {
+        for seed in 0..120 {
+            let case = generate_case(seed);
+            let text = serialize(&case, &["context".to_string()]);
+            let back = parse(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(case, back, "seed {seed} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("").is_err());
+        assert!(parse("not-a-repro").is_err());
+        assert!(parse("smp-check-repro v1\nmachine pdp11\n").is_err());
+        assert!(
+            parse("smp-check-repro v1\nmachine hopper\n").is_err(),
+            "missing fields"
+        );
+        let text = "smp-check-repro v1\nmachine hopper\nsim_seed 1\nschedule fifo\nsteal none\ncosts 5\nqueue 0\nbogus 1\n";
+        assert!(parse(text).is_err(), "unknown key must be rejected");
+    }
+}

@@ -110,10 +110,8 @@ impl<const D: usize> KdTree<D> {
             &mut heap,
             examined,
         );
-        let mut out: Vec<(usize, f64)> = heap
-            .into_iter()
-            .map(|h| (self.original[h.idx as usize] as usize, h.dist))
-            .collect();
+        let mut out: Vec<(usize, f64)> =
+            heap.into_iter().map(|h| (h.idx as usize, h.dist)).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -144,22 +142,17 @@ impl<const D: usize> KdTree<D> {
         *examined += 1;
         if Some(self.original[mid]) != exclude {
             let d = p.dist(query);
-            // Tie-stability: prefer the smaller original index on equal
-            // distance so results match the brute-force oracle exactly.
+            // Tie-stability: the heap orders by (distance, original index),
+            // so the top is the worst member under the exact total order the
+            // brute-force oracle uses and eviction keeps the two in lockstep.
+            let cand = HeapItem {
+                dist: d,
+                idx: self.original[mid],
+            };
             if heap.len() < k {
-                heap.push(HeapItem {
-                    dist: d,
-                    idx: mid as u32,
-                });
+                heap.push(cand);
             } else if let Some(top) = heap.peek() {
-                let cand = HeapItem {
-                    dist: d,
-                    idx: mid as u32,
-                };
-                let better = d < top.dist
-                    || (d == top.dist
-                        && self.original[cand.idx as usize] < self.original[top.idx as usize]);
-                if better {
+                if cand.cmp(top) == std::cmp::Ordering::Less {
                     heap.pop();
                     heap.push(cand);
                 }

@@ -31,8 +31,9 @@ pub mod topology;
 pub use fault::{Crash, FaultPlan, Straggler};
 pub use machine::{LatencyModel, MachineModel, OpCosts};
 pub use sim::{
-    simulate, simulate_faulted, simulate_observed, simulate_with_payloads, ResilienceStats,
-    SimConfig, SimError, SimReport, StealAmount, StealConfig,
+    simulate, simulate_explored, simulate_faulted, simulate_observed, simulate_with_payloads,
+    Quiescence, ResilienceStats, ScheduleOracle, SeededSchedule, SimConfig, SimError, SimReport,
+    StealAmount, StealConfig,
 };
 pub use smp_obs::{MetricsRegistry, MetricsSnapshot, Tracer};
 pub use steal::StealPolicyKind;

@@ -234,6 +234,77 @@ impl SimReport {
     }
 }
 
+/// Hook perturbing the delivery order of *simultaneous* events.
+///
+/// The event queue orders by `(time, tie, seq)`: virtual time first, then
+/// the oracle's tie key, then push order. Without an oracle every event
+/// gets `tie = 0`, so equal-time events run in push (FIFO) order — the
+/// ordering every golden trace and report pins. An oracle returning
+/// varied keys explores the *other* legal schedules of the same run:
+/// any permutation of equal-time events is a valid execution of the
+/// modelled machine, so every invariant (exactly-once, conservation,
+/// quiescence consistency) must hold under all of them. `smp-check`
+/// drives thousands of such schedules through [`simulate_explored`].
+pub trait ScheduleOracle {
+    /// Tie-break key for the event pushed as `seq` at virtual `time`.
+    /// Must be deterministic for a given oracle state to keep replays
+    /// exact.
+    fn tie_key(&mut self, time: VTime, seq: u64) -> u64;
+}
+
+/// The canonical [`ScheduleOracle`]: a stateless hash of `(seed, seq)`,
+/// so one `u64` seed fully describes the explored schedule — that seed is
+/// the "schedule trace" a shrunk repro file records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeededSchedule {
+    pub seed: u64,
+}
+
+impl ScheduleOracle for SeededSchedule {
+    fn tie_key(&mut self, _time: VTime, seq: u64) -> u64 {
+        mix64(self.seed ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// End-of-run scheduler state snapshot, exposed by [`simulate_explored`]
+/// for invariant oracles that need more than the [`SimReport`]: message
+/// accounting in conservation form, residual queue contents, liveness,
+/// and event-loop sanity counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quiescence {
+    /// Events popped from the queue over the whole run.
+    pub events_processed: u64,
+    /// Virtual time of the last processed event (>= makespan: timeouts
+    /// and backoff wake-ups may outlive the last task).
+    pub final_time: VTime,
+    /// Tasks still sitting in PE queues or un-recovered orphan sets when
+    /// the event queue drained — nonzero only when the run errors or a
+    /// scheduler bug leaks work.
+    pub queued_leftover: usize,
+    /// Per-PE liveness at quiescence.
+    pub live: Vec<bool>,
+    /// Messages sent (mirror of [`SimReport::messages`]).
+    pub msgs_sent: u64,
+    /// Messages whose arrival event was handled with a live destination.
+    pub msgs_delivered: u64,
+    /// Control messages truly dropped by the fault plan.
+    pub msgs_dropped: u64,
+    /// Messages that arrived at a PE that had crashed by delivery time
+    /// (in-flight at crash).
+    pub msgs_dead_dest: u64,
+    /// Events pushed at a virtual time earlier than the event being
+    /// processed — always zero unless the scheduler itself is broken.
+    pub time_regressions: u64,
+}
+
+impl Quiescence {
+    /// Message conservation: every sent message is delivered, dropped, or
+    /// was in flight to a PE that crashed.
+    pub fn messages_conserved(&self) -> bool {
+        self.msgs_sent == self.msgs_delivered + self.msgs_dropped + self.msgs_dead_dest
+    }
+}
+
 #[derive(Debug)]
 enum Event {
     /// PE finished its current task.
@@ -271,13 +342,15 @@ enum Event {
 
 struct QueuedEvent {
     time: VTime,
+    /// Schedule-oracle tie key; 0 (FIFO order) without an oracle.
+    tie: u64,
     seq: u64,
     event: Event,
 }
 
 impl PartialEq for QueuedEvent {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.tie == other.tie && self.seq == other.seq
     }
 }
 impl Eq for QueuedEvent {}
@@ -288,8 +361,12 @@ impl PartialOrd for QueuedEvent {
 }
 impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // min-heap by (time, seq)
-        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+        // min-heap by (time, tie, seq)
+        other
+            .time
+            .cmp(&self.time)
+            .then(other.tie.cmp(&self.tie))
+            .then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -351,6 +428,19 @@ struct Sim<'a> {
     report: SimReport,
     /// Optional event recorder; `None` costs one branch per site.
     tracer: Option<&'a mut Tracer>,
+    /// Optional schedule-exploration hook; `None` = FIFO tie-breaking.
+    oracle: Option<&'a mut (dyn ScheduleOracle + 'a)>,
+    /// Virtual time of the event currently being processed.
+    now: VTime,
+    /// Quiescence accounting (message conservation + loop sanity).
+    delivered_msgs: u64,
+    msgs_dead_dest: u64,
+    time_regressions: u64,
+    /// Planted double-execution bug, armed once per run (see the mutation
+    /// canary in `crates/check`): a granted task is "forgotten" in the
+    /// victim's queue, so it executes on both sides of the steal.
+    #[cfg(smp_check_canary)]
+    canary_armed: bool,
     /// Event-loop metric accumulators — plain integers during the run,
     /// folded into `report.metrics` once by [`Sim::build_metrics`].
     dispatches: u64,
@@ -443,8 +533,16 @@ macro_rules! trace_ev {
 impl Sim<'_> {
     fn push_event(&mut self, time: VTime, event: Event) {
         self.seq += 1;
+        if time < self.now {
+            self.time_regressions += 1;
+        }
+        let tie = match self.oracle.as_mut() {
+            Some(o) => o.tie_key(time, self.seq),
+            None => 0,
+        };
         self.events.push(QueuedEvent {
             time,
+            tie,
             seq: self.seq,
             event,
         });
@@ -653,6 +751,16 @@ impl Sim<'_> {
                 tasks.push(self.queues[victim].pop_back().expect("avail checked"));
             }
             tasks.reverse();
+            // Mutation canary (compile-time test flag, never in normal
+            // builds): "forget" to remove the last granted task from the
+            // victim's queue, so it executes on both sides of the steal.
+            // The smp-check invariant oracles must flag this run.
+            #[cfg(smp_check_canary)]
+            if self.canary_armed {
+                self.canary_armed = false;
+                self.queues[victim].push_back(*tasks.last().expect("granted batch is non-empty"));
+                self.unstarted += 1;
+            }
             self.batch_hist.observe(n as u64);
             self.report.steal_hits += 1;
             self.report.messages += 1;
@@ -938,8 +1046,11 @@ impl Sim<'_> {
                 attempt,
             } => {
                 if !self.alive[victim] {
-                    return; // request dies with the victim; thief times out
+                    // request dies with the victim; thief times out
+                    self.msgs_dead_dest += 1;
+                    return;
                 }
+                self.delivered_msgs += 1;
                 if self.busy[victim] {
                     // victim is mid-task: the request is serviced at the
                     // victim's next RMI poll point
@@ -987,7 +1098,11 @@ impl Sim<'_> {
                             .map(|i| (from + 1 + i) % self.queues.len())
                             .find(|&q| self.alive[q])
                     };
-                    let Some(dst) = dst else { return };
+                    let Some(dst) = dst else {
+                        self.msgs_dead_dest += 1;
+                        return;
+                    };
+                    self.delivered_msgs += 1;
                     self.grants_rerouted += 1;
                     self.report.resilience.tasks_recovered += tasks.len() as u64;
                     trace_ev!(
@@ -1008,6 +1123,7 @@ impl Sim<'_> {
                     }
                     return;
                 }
+                self.delivered_msgs += 1;
                 let n = tasks.len() as u64;
                 for task in tasks {
                     self.queues[thief].push_back(task);
@@ -1029,8 +1145,13 @@ impl Sim<'_> {
                 }
             }
             Event::StealDeny { thief, attempt } => {
-                if !self.alive[thief] || attempt != self.attempt[thief] {
-                    return; // dead, or stale (a timeout already moved on)
+                if !self.alive[thief] {
+                    self.msgs_dead_dest += 1;
+                    return;
+                }
+                self.delivered_msgs += 1;
+                if attempt != self.attempt[thief] {
+                    return; // stale (a timeout already moved on)
                 }
                 if matches!(self.state[thief], PeState::Stealing { .. }) {
                     self.next_request(thief, t);
@@ -1212,6 +1333,28 @@ pub fn simulate_observed(
     fault: Option<&FaultPlan>,
     tracer: Option<&mut Tracer>,
 ) -> Result<SimReport, SimError> {
+    simulate_explored(task_costs, payloads, assignment, cfg, fault, tracer, None)
+        .map(|(report, _)| report)
+}
+
+/// Run one simulated phase with every hook exposed: observability
+/// ([`simulate_observed`]), an optional [`ScheduleOracle`] perturbing the
+/// delivery order of simultaneous events, and a [`Quiescence`] snapshot of
+/// end-of-run scheduler state for invariant checking.
+///
+/// With `oracle = None` this is exactly [`simulate_observed`] — tie-broken
+/// FIFO, bit-identical reports. With an oracle, the run explores a
+/// different legal schedule of the same virtual execution; `smp-check`
+/// asserts the correctness invariants hold across thousands of them.
+pub fn simulate_explored<'a>(
+    task_costs: &'a [VTime],
+    payloads: Option<&'a [u64]>,
+    assignment: &[Vec<u32>],
+    cfg: &'a SimConfig,
+    fault: Option<&'a FaultPlan>,
+    tracer: Option<&'a mut Tracer>,
+    oracle: Option<&'a mut (dyn ScheduleOracle + 'a)>,
+) -> Result<(SimReport, Quiescence), SimError> {
     let p = assignment.len();
     if p == 0 {
         return Err(SimError::NoPes);
@@ -1290,6 +1433,13 @@ pub fn simulate_observed(
         rng: StdRng::seed_from_u64(cfg.seed),
         report,
         tracer,
+        oracle,
+        now: 0,
+        delivered_msgs: 0,
+        msgs_dead_dest: 0,
+        time_regressions: 0,
+        #[cfg(smp_check_canary)]
+        canary_armed: true,
         dispatches: 0,
         requests_sent: 0,
         lifeline_pushes: 0,
@@ -1326,6 +1476,7 @@ pub fn simulate_observed(
         if processed >= 1_000_000_000 {
             return Err(SimError::EventStorm { processed });
         }
+        sim.now = time;
         sim.handle(event, time);
     }
 
@@ -1349,7 +1500,19 @@ pub fn simulate_observed(
         }
     }
     sim.report.metrics = sim.build_metrics();
-    Ok(sim.report)
+    let quiescence = Quiescence {
+        events_processed: processed,
+        final_time: sim.now,
+        queued_leftover: sim.queues.iter().map(|q| q.len()).sum::<usize>()
+            + sim.pending_orphans.iter().map(|o| o.len()).sum::<usize>(),
+        live: sim.alive,
+        msgs_sent: sim.report.messages,
+        msgs_delivered: sim.delivered_msgs,
+        msgs_dropped: sim.report.resilience.messages_dropped,
+        msgs_dead_dest: sim.msgs_dead_dest,
+        time_regressions: sim.time_regressions,
+    };
+    Ok((sim.report, quiescence))
 }
 
 #[cfg(test)]
@@ -1887,6 +2050,134 @@ mod tests {
         // observation must not perturb the simulation
         let untraced = simulate(&costs, &assignment, &cfg).unwrap();
         assert_eq!(rep_a, untraced);
+    }
+
+    // ---- schedule exploration --------------------------------------------
+
+    #[test]
+    fn explored_without_oracle_matches_observed() {
+        let costs: Vec<u64> = (0..90).map(|i| 3_000 + (i * 23) % 40_000).collect();
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[0] = (0..90u32).collect();
+        let cfg = ws_cfg(StealPolicyKind::rand8());
+        let plain = simulate(&costs, &assignment, &cfg).expect("plain sim");
+        let (explored, q) =
+            simulate_explored(&costs, None, &assignment, &cfg, None, None, None).expect("explored");
+        assert_eq!(plain, explored, "no oracle = FIFO tie-break, bit-identical");
+        assert!(q.messages_conserved(), "{q:?}");
+        assert_eq!(q.time_regressions, 0);
+        assert_eq!(q.queued_leftover, 0);
+        assert!(q.final_time >= explored.makespan);
+        assert!(q.live.iter().all(|&a| a));
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic_per_seed() {
+        let costs = vec![20_000u64; 48];
+        let mut assignment = vec![Vec::new(); 6];
+        assignment[0] = (0..48u32).collect();
+        let cfg = ws_cfg(StealPolicyKind::rand8());
+        let run = |seed: u64| {
+            let mut oracle = SeededSchedule { seed };
+            simulate_explored(
+                &costs,
+                None,
+                &assignment,
+                &cfg,
+                None,
+                None,
+                Some(&mut oracle),
+            )
+            .expect("explored sim")
+        };
+        let (a, qa) = run(5);
+        let (b, _) = run(5);
+        assert_eq!(a, b, "same schedule seed must replay bit-identically");
+        assert!(qa.messages_conserved());
+        // invariants hold on every explored schedule even when the
+        // schedule itself changes outcomes
+        for seed in 0..20 {
+            let (r, q) = run(seed);
+            assert!(r.executed_by.iter().all(|&e| e != u32::MAX));
+            assert_eq!(r.per_pe_executed.iter().sum::<u32>(), 48);
+            assert!(q.messages_conserved(), "seed {seed}: {q:?}");
+            assert_eq!(q.time_regressions, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seeded_schedule_actually_perturbs_ties() {
+        // heavy contention: every thief fires at the same boot instant, so
+        // equal-time events abound and at least one of a handful of seeds
+        // must land a different steal interleaving than FIFO
+        let costs = vec![10_000u64; 64];
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[0] = (0..64u32).collect();
+        let cfg = ws_cfg(StealPolicyKind::rand8());
+        let fifo = simulate(&costs, &assignment, &cfg).expect("fifo sim");
+        let mut any_diff = false;
+        for seed in 0..16 {
+            let mut oracle = SeededSchedule { seed };
+            let (r, _) = simulate_explored(
+                &costs,
+                None,
+                &assignment,
+                &cfg,
+                None,
+                None,
+                Some(&mut oracle),
+            )
+            .expect("explored sim");
+            if r.executed_by != fifo.executed_by || r.makespan != fifo.makespan {
+                any_diff = true;
+            }
+        }
+        assert!(
+            any_diff,
+            "16 schedule seeds never changed the interleaving — oracle not wired in"
+        );
+    }
+
+    #[test]
+    fn message_conservation_under_faults_and_schedules() {
+        let costs: Vec<u64> = (0..80).map(|i| 8_000 + (i * 17) % 50_000).collect();
+        let mut assignment = vec![Vec::new(); 8];
+        assignment[1] = (0..80u32).collect();
+        let plan = FaultPlan::new(13)
+            .with_message_loss(0.25)
+            .with_message_jitter(0.25, 40_000)
+            .with_crash(1, 300_000)
+            .with_straggler(2, 0, 1_000_000, 3.0);
+        for policy in [
+            StealPolicyKind::rand8(),
+            StealPolicyKind::Diffusive,
+            StealPolicyKind::Lifeline,
+        ] {
+            for seed in 0..8 {
+                let mut oracle = SeededSchedule { seed };
+                let cfg = ws_cfg(policy);
+                let (r, q) = simulate_explored(
+                    &costs,
+                    None,
+                    &assignment,
+                    &cfg,
+                    Some(&plan),
+                    None,
+                    Some(&mut oracle),
+                )
+                .expect("faulted explored sim");
+                assert!(
+                    q.messages_conserved(),
+                    "{policy:?} seed {seed}: sent {} != delivered {} + dropped {} + dead {}",
+                    q.msgs_sent,
+                    q.msgs_delivered,
+                    q.msgs_dropped,
+                    q.msgs_dead_dest
+                );
+                assert_eq!(r.per_pe_executed.iter().sum::<u32>(), 80);
+                assert!(!q.live[1], "crashed PE must be dead at quiescence");
+            }
+        }
     }
 
     #[test]

@@ -47,8 +47,14 @@ fn global_tree_is_valid_and_acyclic() {
 fn heterogeneous_growth_creates_imbalance() {
     let w = workload();
     let counts = w.node_counts();
-    let max = *counts.iter().max().unwrap();
-    let min = *counts.iter().min().unwrap();
+    let max = *counts
+        .iter()
+        .max()
+        .expect("workload has at least one region");
+    let min = *counts
+        .iter()
+        .min()
+        .expect("workload has at least one region");
     assert!(
         max >= min + 5,
         "mixed clutter should grow branches unevenly ({min}..{max})"

@@ -43,8 +43,10 @@ fn figure_shape_claims_hold_at_quick_scale() {
     // Fig 5(a): repartitioning beats NoLB at the lowest PE count
     let t = &run("fig5a", &mut suite)[0];
     let first = &t.rows[0];
-    let no_lb: f64 = first[1].parse().unwrap();
-    let repart: f64 = first[2].parse().unwrap();
+    let no_lb: f64 = first[1].parse().expect("fig5a no-LB cell must be numeric");
+    let repart: f64 = first[2]
+        .parse()
+        .expect("fig5a repartition cell must be numeric");
     assert!(
         repart < no_lb,
         "fig5a: repartitioning ({repart}) should beat no-LB ({no_lb})"
@@ -53,16 +55,20 @@ fn figure_shape_claims_hold_at_quick_scale() {
     // Fig 5(b): repartitioning reduces the CoV at every count
     let t = &run("fig5b", &mut suite)[0];
     for row in &t.rows {
-        let before: f64 = row[1].parse().unwrap();
-        let after: f64 = row[2].parse().unwrap();
+        let before: f64 = row[1]
+            .parse()
+            .expect("fig5b before-CoV cell must be numeric");
+        let after: f64 = row[2]
+            .parse()
+            .expect("fig5b after-CoV cell must be numeric");
         assert!(after <= before, "fig5b: CoV must not increase");
     }
 
     // Fig 4(b): experimental improvement tracks theory within a factor
     let t = &run("fig4b", &mut suite)[0];
     for row in &t.rows {
-        let theory: f64 = row[1].parse().unwrap();
-        let measured: f64 = row[2].parse().unwrap();
+        let theory: f64 = row[1].parse().expect("fig4b theory cell must be numeric");
+        let measured: f64 = row[2].parse().expect("fig4b measured cell must be numeric");
         assert!(
             (theory - measured).abs() <= theory.max(5.0),
             "fig4b: measured {measured}% far from theory {theory}%"
@@ -72,9 +78,9 @@ fn figure_shape_claims_hold_at_quick_scale() {
     // Fig 8(c): in the free environment no strategy is > 25% worse than NoLB
     let t = &run("fig8c", &mut suite)[0];
     for row in &t.rows {
-        let no_lb: f64 = row[1].parse().unwrap();
+        let no_lb: f64 = row[1].parse().expect("fig8c no-LB cell must be numeric");
         for cell in &row[2..] {
-            let v: f64 = cell.parse().unwrap();
+            let v: f64 = cell.parse().expect("fig8c strategy cell must be numeric");
             assert!(
                 v <= no_lb * 1.25,
                 "fig8c: overhead too high ({v} vs {no_lb})"

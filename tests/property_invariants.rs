@@ -72,7 +72,7 @@ proptest! {
     ) {
         let grid: GridSubdivision<2> = GridSubdivision::new(Aabb::unit(), dims, 0.0);
         let p = Point::new([px.min(0.999_999), py.min(0.999_999)]);
-        let r = grid.region_of(&p).unwrap();
+        let r = grid.region_of(&p).expect("in-bounds point must map to a region");
         prop_assert!(grid.core_cell(r).contains(&p));
         // cells tile the space exactly
         let total: f64 = grid.region_ids().map(|id| grid.core_cell(id).volume()).sum();
@@ -193,7 +193,7 @@ proptest! {
             Some((path, cost)) => {
                 prop_assert!((cost - reference[start as usize][goal as usize]).abs() < 1e-9);
                 prop_assert_eq!(path[0], start);
-                prop_assert_eq!(*path.last().unwrap(), goal);
+                prop_assert_eq!(*path.last().expect("path is non-empty"), goal);
                 // path cost re-derivable from consecutive edges
                 let mut sum = 0.0;
                 for w in path.windows(2) {

@@ -8,9 +8,26 @@
 //! input order. Panics in the closure propagate to the caller, like rayon.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Global worker-count override: 0 = use the host's available parallelism.
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap the worker threads used by [`ParMap::collect`]. `0` restores the
+/// default (host parallelism). Real rayon configures this through
+/// `ThreadPoolBuilder::num_threads`; the stand-in exposes a global knob so
+/// tests can check that results are identical for any thread count.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// The current worker-count override (`0` = host parallelism).
+pub fn max_threads() -> usize {
+    MAX_THREADS.load(Ordering::SeqCst)
 }
 
 /// A materialized "parallel" iterator: the full item list, pending a `map`.
@@ -46,10 +63,15 @@ where
     /// Execute the map across scoped threads, preserving input order.
     pub fn collect<C: FromParResults<R>>(self) -> C {
         let n = self.items.len();
-        let threads = std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1)
-            .min(n.max(1));
+        let configured = MAX_THREADS.load(Ordering::SeqCst);
+        let threads = if configured > 0 {
+            configured
+        } else {
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+        }
+        .min(n.max(1));
         let f = &self.f;
         let results: Vec<R> = if threads <= 1 {
             self.items.into_iter().map(f).collect()
@@ -156,6 +178,19 @@ mod tests {
         let out: Vec<u32> = (0..100u32).into_par_iter().map(|r| r + 1).collect();
         assert_eq!(out[0], 1);
         assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn thread_cap_preserves_results() {
+        let v: Vec<u64> = (0..5_000u64).collect();
+        let baseline: Vec<u64> = v.par_iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1usize, 2, 8] {
+            crate::set_max_threads(threads);
+            let out: Vec<u64> = v.par_iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, baseline, "results differ with {threads} threads");
+        }
+        crate::set_max_threads(0);
+        assert_eq!(crate::max_threads(), 0);
     }
 
     #[test]
