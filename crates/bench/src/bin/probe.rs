@@ -121,9 +121,62 @@ fn replay_probe(path: &str) {
     }
 }
 
+/// Kernel benchmark harness: `probe bench [--quick] [--out FILE] [--check FILE]`.
+///
+/// Runs the PR-4 hot-path kernels against their pre-overhaul baselines
+/// (smp_bench::kernels), prints per-kernel speedups, optionally writes
+/// `BENCH_kernels.json`, and optionally gates the run's deterministic work
+/// counters against a committed baseline (exit 1 on drift).
+fn bench_probe(args: impl Iterator<Item = String>) {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next(),
+            "--check" => check = args.next(),
+            other => panic!("unknown bench argument: {other}"),
+        }
+    }
+    let reports = smp_bench::kernels::run(quick);
+    for r in &reports {
+        println!(
+            "{:22} baseline={:>10.3}ms optimized={:>10.3}ms speedup={:.2}x",
+            r.name,
+            r.baseline_ns as f64 / 1e6,
+            r.optimized_ns as f64 / 1e6,
+            r.speedup()
+        );
+    }
+    if let Some(path) = &out {
+        std::fs::write(path, smp_bench::kernels::to_json(&reports, quick))
+            .expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &check {
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let drift = smp_bench::kernels::check_against(&reports, &committed);
+        if drift.is_empty() {
+            println!("gate: all counters match {path}");
+        } else {
+            for d in &drift {
+                eprintln!("gate: {d}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("rrt") {
         rrt_probe();
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("bench") {
+        bench_probe(std::env::args().skip(2));
         return;
     }
     let mut trace_out: Option<String> = None;

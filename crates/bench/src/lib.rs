@@ -9,9 +9,15 @@
 //! * **criterion micro-benchmarks** (`benches/`): substrate performance
 //!   (kd-tree, DES throughput, partitioners, planners, thread pool) plus
 //!   the design-choice ablations listed in DESIGN.md §6.
+//!
+//! A third piece, the **kernel benchmark harness** ([`kernels`], run as
+//! `probe bench`), measures the PR-4 hot-path kernels against their
+//! pre-overhaul implementations and emits `BENCH_kernels.json` with
+//! deterministic regression gates (see DESIGN.md §11).
 
 pub mod config;
 pub mod figures;
+pub mod kernels;
 pub mod table;
 
 pub use config::HarnessConfig;

@@ -162,15 +162,21 @@ fn build_region<const D: usize>(
     let mut edges = Vec::new();
     if cfgs.len() >= 2 && cfg.k_neighbors > 0 {
         let tree = KdTree::build(&cfgs);
+        // scratch + output buffers shared by every query against this
+        // region's tree: the connection loop performs no per-query allocation
+        let mut scratch = smp_graph::KnnScratch::new();
+        let mut nns: Vec<(usize, f64)> = Vec::new();
         for (i, q) in cfgs.iter().enumerate() {
             con_work.knn_queries += 1;
-            let nns = tree.k_nearest_counted(
+            tree.k_nearest_into(
                 q,
                 cfg.k_neighbors,
                 Some(i as u32),
                 &mut con_work.knn_candidates,
+                &mut scratch,
+                &mut nns,
             );
-            for (j, dist) in nns {
+            for &(j, dist) in &nns {
                 if j < i
                     && edges
                         .iter()

@@ -64,31 +64,60 @@ impl<const D: usize> LocalPlanner<D> for StraightLinePlanner {
         let dist = a.dist(b);
         let n = (dist / self.resolution).ceil() as u32;
         let mut steps = 0u32;
-        // Bisection order over the n-1 interior points: check the midpoint
-        // first, then quarter points, etc. A level-order traversal of the
-        // implicit binary tree gives exactly that ordering.
-        let mut queue = std::collections::VecDeque::new();
-        if n > 1 {
-            queue.push_back((1u32, n - 1)); // interior indices [1, n-1]
-        }
+        // Bisection ("van der Corput") order over the n-1 interior points:
+        // midpoint first, then quarter points, etc. — a level-order
+        // traversal of the implicit binary subdivision tree of [1, n-1].
+        //
+        // Instead of materialising the traversal with a queue (one VecDeque
+        // allocation per edge check — the hottest call in the whole
+        // system, §III-B), we enumerate implicit heap indices k = 1, 2, …
+        // and decode each node's interval by walking k's bits from the MSB:
+        // 0 descends into the left half, 1 into the right. A FIFO traversal
+        // visits nodes in (level, position) order, which is exactly
+        // ascending-k order restricted to non-empty nodes, so the visit
+        // sequence — and therefore every counter and early-exit outcome —
+        // is bit-identical to the queue version, with zero allocation.
         let mut ok = true;
-        while let Some((lo, hi)) = queue.pop_front() {
-            if lo > hi {
-                continue;
-            }
-            let mid = lo + (hi - lo) / 2;
-            let q = a.lerp(b, mid as f64 / n as f64);
-            steps += 1;
-            work.lp_steps += 1;
-            if !validity.is_valid(&q, work) {
-                ok = false;
-                break;
-            }
-            if mid > lo {
-                queue.push_back((lo, mid - 1));
-            }
-            if mid < hi {
-                queue.push_back((mid + 1, hi));
+        if n > 1 {
+            let total = n - 1;
+            let mut emitted = 0u32;
+            let mut k = 1u32;
+            'nodes: while emitted < total {
+                let mut lo = 1u32;
+                let mut hi = total;
+                let depth = 31 - k.leading_zeros();
+                let mut empty = false;
+                for level in (0..depth).rev() {
+                    let mid = lo + (hi - lo) / 2;
+                    if (k >> level) & 1 == 0 {
+                        // left child exists iff mid > lo (queue pushed
+                        // (lo, mid-1) only then)
+                        if mid == lo {
+                            empty = true;
+                            break;
+                        }
+                        hi = mid - 1;
+                    } else {
+                        if mid == hi {
+                            empty = true;
+                            break;
+                        }
+                        lo = mid + 1;
+                    }
+                }
+                k += 1;
+                if empty {
+                    continue 'nodes;
+                }
+                let mid = lo + (hi - lo) / 2;
+                let q = a.lerp(b, mid as f64 / n as f64);
+                steps += 1;
+                work.lp_steps += 1;
+                emitted += 1;
+                if !validity.is_valid(&q, work) {
+                    ok = false;
+                    break;
+                }
             }
         }
         LocalPlanOutcome { valid: ok, steps }

@@ -131,6 +131,13 @@ impl<const D: usize> Aabb<D> {
 
     /// Euclidean distance from `p` to the box (zero if inside).
     pub fn distance_to_point(&self, p: &Point<D>) -> f64 {
+        self.distance_sq_to_point(p).sqrt()
+    }
+
+    /// Squared Euclidean distance from `p` to the box (zero inside). The
+    /// sqrt-free form used by the collision broad-phase to reject far
+    /// obstacles cheaply.
+    pub fn distance_sq_to_point(&self, p: &Point<D>) -> f64 {
         let mut acc = 0.0;
         for i in 0..D {
             let d = if p[i] < self.lo[i] {
@@ -142,7 +149,7 @@ impl<const D: usize> Aabb<D> {
             };
             acc += d * d;
         }
-        acc.sqrt()
+        acc
     }
 
     /// Signed distance: negative inside (distance to the nearest face),

@@ -28,6 +28,59 @@ pub struct Environment<const D: usize> {
     /// True when the obstacles are known to be pairwise disjoint, enabling
     /// exact free-volume computation by summation.
     disjoint_obstacles: bool,
+    /// Broad-phase acceleration structure; see [`BroadEntry`].
+    broad: Vec<BroadEntry<D>>,
+}
+
+/// One broad-phase record, ordered by descending bounding-box volume (large
+/// obstacles are the likeliest to reject a sample, so checking them first
+/// makes `is_valid`'s early exit cheapest). Box and sphere obstacles carry
+/// their defining geometry inline, turning validity testing into a flat,
+/// cache-friendly scan that never dereferences the obstacle list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BroadEntry<const D: usize> {
+    idx: u32,
+    phase: BroadPhase<D>,
+}
+
+/// How an obstacle's validity contribution is decided.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum BroadPhase<const D: usize> {
+    /// A box: its exact Euclidean distance is the AABB distance, and
+    /// containment is exactly `distance == 0`, so one distance evaluation
+    /// settles both halves of the validity predicate.
+    Box(Aabb<D>),
+    /// A sphere: `(|p - center| - radius).max(0)` is the exact distance and
+    /// zero iff contained — again one evaluation.
+    Sphere { center: Point<D>, radius: f64 },
+    /// Convex polytopes always take the narrow phase: their `distance` is a
+    /// *conservative halfspace lower bound* that can undercut any bounding
+    /// geometry, so no precomputed test can stand in for it.
+    Narrow,
+}
+
+fn broad_phase<const D: usize>(obstacles: &[Obstacle<D>]) -> Vec<BroadEntry<D>> {
+    let mut order: Vec<(f64, u32)> = obstacles
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (o.bounding_box().volume(), i as u32))
+        .collect();
+    // deterministic order: volume descending, original index on ties
+    order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    order
+        .into_iter()
+        .map(|(_, idx)| {
+            let phase = match &obstacles[idx as usize] {
+                Obstacle::Box(bb) => BroadPhase::Box(*bb),
+                Obstacle::Sphere { center, radius } => BroadPhase::Sphere {
+                    center: *center,
+                    radius: *radius,
+                },
+                Obstacle::Convex(_) => BroadPhase::Narrow,
+            };
+            BroadEntry { idx, phase }
+        })
+        .collect()
 }
 
 impl<const D: usize> Environment<D> {
@@ -39,11 +92,13 @@ impl<const D: usize> Environment<D> {
         obstacles: Vec<Obstacle<D>>,
         disjoint: bool,
     ) -> Self {
+        let broad = broad_phase(&obstacles);
         Environment {
             name: name.into(),
             bounds,
             obstacles,
             disjoint_obstacles: disjoint,
+            broad,
         }
     }
 
@@ -71,22 +126,72 @@ impl<const D: usize> Environment<D> {
 
     /// Is the ball of radius `clearance` centered at `p` inside the bounds
     /// and collision-free?
+    ///
+    /// Broad-phase: boxes and spheres are decided by a single exact distance
+    /// evaluation over an inline, volume-descending entry array (their
+    /// containment test is exactly `distance == 0`); only convex polytopes
+    /// pay for the narrow phase. The result is identical to testing every
+    /// obstacle with `contains` + `distance`.
     pub fn is_valid(&self, p: &Point<D>, clearance: f64) -> bool {
         if !self.bounds.contains(p) {
             return false;
         }
-        self.obstacles
-            .iter()
-            .all(|o| !o.contains(p) && o.distance(p) >= clearance)
+        // Sqrt-free fast reject for boxes: if the squared distance strictly
+        // exceeds clearance² (inflated by one ulp so float rounding of the
+        // product cannot flip the comparison), the real distance strictly
+        // exceeds the clearance, and the correctly-rounded sqrt the exact
+        // predicate would compute is >= clearance — same verdict, no sqrt.
+        let c2 = clearance * clearance * (1.0 + 1e-15);
+        for e in &self.broad {
+            let invalid = match &e.phase {
+                BroadPhase::Box(bb) => {
+                    let sq = bb.distance_sq_to_point(p);
+                    if sq > c2 {
+                        false
+                    } else {
+                        let d = sq.sqrt();
+                        d == 0.0 || d < clearance
+                    }
+                }
+                BroadPhase::Sphere { center, radius } => {
+                    let d = (p.dist(center) - radius).max(0.0);
+                    d == 0.0 || d < clearance
+                }
+                BroadPhase::Narrow => {
+                    let o = &self.obstacles[e.idx as usize];
+                    o.contains(p) || o.distance(p) < clearance
+                }
+            };
+            if invalid {
+                return false;
+            }
+        }
+        true
     }
 
     /// Minimum distance from `p` to any obstacle surface (infinity when there
     /// are no obstacles). Zero inside an obstacle.
+    ///
+    /// Box and sphere distances come straight from the inline broad-phase
+    /// entries (they are exact), and the fold exits at 0.0 as soon as a
+    /// containing obstacle is found — the minimum of non-negative distances
+    /// cannot improve on zero.
     pub fn clearance(&self, p: &Point<D>) -> f64 {
-        self.obstacles
-            .iter()
-            .map(|o| o.distance(p))
-            .fold(f64::INFINITY, f64::min)
+        let mut best = f64::INFINITY;
+        for e in &self.broad {
+            let d = match &e.phase {
+                BroadPhase::Box(bb) => bb.distance_to_point(p),
+                BroadPhase::Sphere { center, radius } => (p.dist(center) - radius).max(0.0),
+                BroadPhase::Narrow => self.obstacles[e.idx as usize].distance(p),
+            };
+            if d < best {
+                best = d;
+                if best == 0.0 {
+                    return 0.0;
+                }
+            }
+        }
+        best
     }
 
     /// Distance along `ray` to the first obstacle hit, clipped at `max_t`.

@@ -1,0 +1,110 @@
+//! Broad-phase equivalence properties.
+//!
+//! `Environment::is_valid` / `Environment::clearance` gained an AABB
+//! broad-phase (PR 4). Culling must be *exact*: for random environments —
+//! boxes, spheres, convex polytopes, overlapping or not — and random
+//! query points and clearances, the accelerated queries must equal the
+//! all-obstacles scan they replaced, bit for bit.
+
+use proptest::prelude::*;
+use smp_geom::{Aabb, ConvexPolytope, Environment, Obstacle, Point};
+
+/// A diagonal slab (rotated wall) — the convex obstacle kind whose
+/// `distance` is a conservative lower bound, exercising the
+/// `cullable: false` path in the broad-phase.
+fn tilted_slab(center: Point<3>, side: f64) -> ConvexPolytope<3> {
+    let bbox = Aabb::cube(center, side * 2.0);
+    ConvexPolytope::slab(center, Point::new([1.0, 1.0, 0.3]), side, bbox)
+}
+
+/// The pre-broad-phase implementation, applied over the public obstacle
+/// list: the oracle.
+fn is_valid_scan<const D: usize>(env: &Environment<D>, p: &Point<D>, clearance: f64) -> bool {
+    if !env.bounds().contains(p) {
+        return false;
+    }
+    env.obstacles()
+        .iter()
+        .all(|o| !o.contains(p) && o.distance(p) >= clearance)
+}
+
+fn clearance_scan<const D: usize>(env: &Environment<D>, p: &Point<D>) -> f64 {
+    env.obstacles()
+        .iter()
+        .map(|o| o.distance(p))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Build a random environment from compact obstacle descriptors:
+/// `(kind, center, size)` with kind 0 = box, 1 = sphere, 2 = convex
+/// (axis-tilted square prism around the center).
+fn build_env(obs: Vec<(u8, [f64; 3], f64)>) -> Environment<3> {
+    let obstacles: Vec<Obstacle<3>> = obs
+        .into_iter()
+        .map(|(kind, c, s)| {
+            let center = Point::new(c);
+            let side = 0.02 + s * 0.3;
+            match kind % 3 {
+                0 => Obstacle::Box(Aabb::cube(center, side)),
+                1 => Obstacle::Sphere {
+                    center,
+                    radius: side / 2.0,
+                },
+                _ => Obstacle::Convex(tilted_slab(center, side)),
+            }
+        })
+        .collect();
+    Environment::new("prop", Aabb::unit(), obstacles, false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// is_valid with broad-phase == all-obstacle scan, for random mixed
+    /// environments, points (inside and outside bounds), and clearances.
+    #[test]
+    fn is_valid_equals_full_scan(
+        obs in prop::collection::vec(
+            (0u8..3, prop::array::uniform3(0.0f64..1.0), 0.0f64..1.0),
+            0..24,
+        ),
+        queries in prop::collection::vec(prop::array::uniform3(-0.2f64..1.2), 1..32),
+        clearance in 0.0f64..0.3,
+    ) {
+        let env = build_env(obs);
+        for q in queries {
+            let p = Point::new(q);
+            prop_assert_eq!(
+                env.is_valid(&p, clearance),
+                is_valid_scan(&env, &p, clearance),
+                "divergence at {:?} clearance {}",
+                p,
+                clearance
+            );
+        }
+    }
+
+    /// clearance with broad-phase + 0.0 early exit == full fold.
+    #[test]
+    fn clearance_equals_full_scan(
+        obs in prop::collection::vec(
+            (0u8..3, prop::array::uniform3(0.0f64..1.0), 0.0f64..1.0),
+            0..24,
+        ),
+        queries in prop::collection::vec(prop::array::uniform3(-0.2f64..1.2), 1..32),
+    ) {
+        let env = build_env(obs);
+        for q in queries {
+            let p = Point::new(q);
+            let got = env.clearance(&p);
+            let want = clearance_scan(&env, &p);
+            prop_assert!(
+                got == want,
+                "clearance divergence at {:?}: {} vs {}",
+                p,
+                got,
+                want
+            );
+        }
+    }
+}

@@ -7,7 +7,7 @@ use smp_geom::Point;
 use std::collections::BinaryHeap;
 
 /// A balanced kd-tree over an immutable point set.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct KdTree<const D: usize> {
     /// Points in tree order (in-place median partitioned).
     points: Vec<Point<D>>,
@@ -38,13 +38,44 @@ impl Ord for HeapItem {
     }
 }
 
+/// Reusable query state for [`KdTree::k_nearest_into`]. One scratch serves
+/// any number of queries; after the first query at a given `k` no further
+/// heap allocation occurs.
+#[derive(Default)]
+pub struct KnnScratch {
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl KnnScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl<const D: usize> KdTree<D> {
-    /// Build from a point set. `O(n log² n)` (median by sort per level).
+    /// Build from a point set. `O(n log n)`: median partition per level via
+    /// `select_nth_unstable_by` on one interleaved `(point, index)` buffer —
+    /// the only allocation is that single buffer, no per-level scratch.
+    ///
+    /// The resulting layout is bit-identical to a full-sort median build:
+    /// at every recursion range the element landing at `mid` is the unique
+    /// median under the strict total order `(coordinate, original index)`,
+    /// and the *sets* routed left/right are therefore identical no matter
+    /// how each half is ordered before its own recursive partition.
     pub fn build(points: &[Point<D>]) -> Self {
-        let mut original: Vec<u32> = (0..points.len() as u32).collect();
-        let mut pts: Vec<Point<D>> = points.to_vec();
-        if !pts.is_empty() {
-            Self::build_rec(&mut pts, &mut original, 0, 0, points.len());
+        let mut items: Vec<(Point<D>, u32)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u32))
+            .collect();
+        if !items.is_empty() {
+            Self::build_rec(&mut items, 0);
+        }
+        let mut pts = Vec::with_capacity(items.len());
+        let mut original = Vec::with_capacity(items.len());
+        for (p, i) in items {
+            pts.push(p);
+            original.push(i);
         }
         KdTree {
             points: pts,
@@ -52,29 +83,19 @@ impl<const D: usize> KdTree<D> {
         }
     }
 
-    fn build_rec(pts: &mut [Point<D>], orig: &mut [u32], axis: usize, lo: usize, hi: usize) {
-        if hi - lo <= 1 {
+    fn build_rec(items: &mut [(Point<D>, u32)], axis: usize) {
+        let n = items.len();
+        if n <= 1 {
             return;
         }
-        let mid = (lo + hi) / 2;
-        // median partition on `axis` via a simple index sort of the slice
-        let mut idx: Vec<usize> = (lo..hi).collect();
-        idx.sort_by(|&a, &b| {
-            pts[a][axis]
-                .total_cmp(&pts[b][axis])
-                .then(orig[a].cmp(&orig[b]))
+        let mid = n / 2;
+        items.select_nth_unstable_by(mid, |a, b| {
+            a.0[axis].total_cmp(&b.0[axis]).then(a.1.cmp(&b.1))
         });
-        let mut new_pts: Vec<Point<D>> = Vec::with_capacity(hi - lo);
-        let mut new_orig: Vec<u32> = Vec::with_capacity(hi - lo);
-        for &i in &idx {
-            new_pts.push(pts[i]);
-            new_orig.push(orig[i]);
-        }
-        pts[lo..hi].copy_from_slice(&new_pts);
-        orig[lo..hi].copy_from_slice(&new_orig);
         let next = (axis + 1) % D;
-        Self::build_rec(pts, orig, next, lo, mid);
-        Self::build_rec(pts, orig, next, mid + 1, hi);
+        let (lo, rest) = items.split_at_mut(mid);
+        Self::build_rec(lo, next);
+        Self::build_rec(&mut rest[1..], next);
     }
 
     /// Number of points.
@@ -82,8 +103,58 @@ impl<const D: usize> KdTree<D> {
         self.points.len()
     }
 
+    /// Tree-order layout as `(points, original indices)`. Exposed so
+    /// differential tests and the kernel benchmark can prove the median
+    /// partition produces the exact layout of the reference full-sort build.
+    pub fn layout(&self) -> (&[Point<D>], &[u32]) {
+        (&self.points, &self.original)
+    }
+
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
+    }
+
+    /// The `k` nearest points to `query`, ascending by distance, written
+    /// into `out` as `(original index, distance)`. Optionally excludes one
+    /// original index; the number of candidate points examined is added to
+    /// `examined`.
+    ///
+    /// This is the zero-allocation query path: `scratch` and `out` are
+    /// reused across calls (PRM issues one query per sample over the same
+    /// tree), so after the first call at a given `k` the query performs no
+    /// heap allocation. Results are identical to [`KdTree::k_nearest`].
+    pub fn k_nearest_into(
+        &self,
+        query: &Point<D>,
+        k: usize,
+        exclude: Option<u32>,
+        examined: &mut u64,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        out.clear();
+        if self.points.is_empty() || k == 0 {
+            return;
+        }
+        scratch.heap.clear();
+        let have = scratch.heap.capacity();
+        scratch.heap.reserve((k + 1).saturating_sub(have));
+        self.knn_rec(
+            query,
+            k,
+            exclude,
+            0,
+            0,
+            self.points.len(),
+            &mut scratch.heap,
+            examined,
+        );
+        out.reserve(scratch.heap.len());
+        out.extend(scratch.heap.drain().map(|h| (h.idx as usize, h.dist)));
+        // unstable sort: the (distance, index) key is a strict total order
+        // (indices are unique), so the result is deterministic and identical
+        // to a stable sort — and `sort_unstable_by` never allocates.
+        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     }
 
     /// The `k` nearest points to `query`, ascending by distance, as
@@ -96,23 +167,9 @@ impl<const D: usize> KdTree<D> {
         exclude: Option<u32>,
         examined: &mut u64,
     ) -> Vec<(usize, f64)> {
-        if self.points.is_empty() || k == 0 {
-            return Vec::new();
-        }
-        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
-        self.knn_rec(
-            query,
-            k,
-            exclude,
-            0,
-            0,
-            self.points.len(),
-            &mut heap,
-            examined,
-        );
-        let mut out: Vec<(usize, f64)> =
-            heap.into_iter().map(|h| (h.idx as usize, h.dist)).collect();
-        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let mut scratch = KnnScratch::new();
+        let mut out = Vec::new();
+        self.k_nearest_into(query, k, exclude, examined, &mut scratch, &mut out);
         out
     }
 
@@ -120,6 +177,52 @@ impl<const D: usize> KdTree<D> {
     pub fn k_nearest(&self, query: &Point<D>, k: usize, exclude: Option<u32>) -> Vec<(usize, f64)> {
         let mut n = 0;
         self.k_nearest_counted(query, k, exclude, &mut n)
+    }
+
+    /// The single nearest point to `query` as `(original index, distance)`,
+    /// with the exact `(distance, index)` tie-break of
+    /// [`crate::knn::nearest`]. Allocation-free.
+    pub fn nearest(&self, query: &Point<D>) -> Option<(usize, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut best: (f64, u32) = (f64::INFINITY, u32::MAX);
+        self.nearest_rec(query, 0, 0, self.points.len(), &mut best);
+        Some((best.1 as usize, best.0))
+    }
+
+    fn nearest_rec(
+        &self,
+        query: &Point<D>,
+        axis: usize,
+        lo: usize,
+        hi: usize,
+        best: &mut (f64, u32),
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let p = &self.points[mid];
+        let d = p.dist(query);
+        let cand = (d, self.original[mid]);
+        if cand.0.total_cmp(&best.0).then(cand.1.cmp(&best.1)) == std::cmp::Ordering::Less {
+            *best = cand;
+        }
+        let next = (axis + 1) % D;
+        let diff = query[axis] - p[axis];
+        let (first, second) = if diff <= 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
+        self.nearest_rec(query, next, first.0, first.1, best);
+        // `<=`: an equidistant point with a smaller original index may live
+        // on the far side of the splitting plane, and the total order must
+        // find it.
+        if diff.abs() <= best.0 {
+            self.nearest_rec(query, next, second.0, second.1, best);
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -280,6 +383,70 @@ mod tests {
             fast.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
             slow.iter().map(|&(i, _)| i).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = random_points(400, 23);
+        let tree = KdTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let q = Point::new([
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+            ]);
+            assert_eq!(tree.nearest(&q), knn::nearest(&pts, &q));
+        }
+        let empty: KdTree<3> = KdTree::build(&[]);
+        assert_eq!(empty.nearest(&Point::zero()), None);
+    }
+
+    #[test]
+    fn nearest_ties_break_to_lowest_index() {
+        // duplicates everywhere: the answer must be the lowest index
+        let p = Point::new([0.25, 0.75, 0.5]);
+        let pts = vec![p; 33];
+        let tree = KdTree::build(&pts);
+        assert_eq!(tree.nearest(&p), Some((0, 0.0)));
+        assert_eq!(tree.nearest(&Point::zero()).unwrap().0, 0);
+    }
+
+    #[test]
+    fn k_nearest_into_reuses_buffers() {
+        let pts = random_points(200, 31);
+        let tree = KdTree::build(&pts);
+        let mut scratch = KnnScratch::new();
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..40 {
+            let q = Point::new([
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+            ]);
+            let mut n1 = 0;
+            tree.k_nearest_into(&q, 6, Some(5), &mut n1, &mut scratch, &mut out);
+            let mut n2 = 0;
+            let fresh = tree.k_nearest_counted(&q, 6, Some(5), &mut n2);
+            assert_eq!(out, fresh);
+            assert_eq!(n1, n2);
+        }
+    }
+
+    #[test]
+    fn duplicates_in_build_keep_brute_force_order() {
+        // duplicated coordinates exercise the (coord, index) tie-break in
+        // the median partition
+        let mut pts = random_points(64, 11);
+        let dups: Vec<Point<3>> = pts.iter().take(32).copied().collect();
+        pts.extend(dups);
+        let tree = KdTree::build(&pts);
+        for q in pts.iter().take(20) {
+            let fast = tree.k_nearest(q, 9, None);
+            let slow = knn::k_nearest(&pts, q, 9, None);
+            assert_eq!(fast, slow);
+        }
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //!   edge payloads (the roadmap / tree representation);
 //! * [`UnionFind`] — connected-component tracking (cycle detection for RRT
 //!   region connection, CC queries for PRM);
-//! * [`KdTree`], the fixed-radius [`GridHash`], and brute-force [`knn`] —
-//!   nearest-neighbour search;
+//! * [`KdTree`], the incremental [`IncrementalNn`], the fixed-radius
+//!   [`GridHash`], and brute-force [`knn`] — nearest-neighbour search;
 //! * [`search`] — BFS / Dijkstra / A* for query resolution;
 //! * [`RegionGraph`] — the region adjacency graph of Algorithms 1 and 2;
 //! * [`partitioned`] — ownership maps and remote-access accounting that
@@ -18,6 +18,7 @@ pub mod graph;
 pub mod gridhash;
 pub mod kdtree;
 pub mod knn;
+pub mod nn_index;
 pub mod partitioned;
 pub mod region_graph;
 pub mod search;
@@ -25,7 +26,8 @@ pub mod union_find;
 
 pub use graph::{EdgeId, Graph, VertexId};
 pub use gridhash::GridHash;
-pub use kdtree::KdTree;
+pub use kdtree::{KdTree, KnnScratch};
+pub use nn_index::IncrementalNn;
 pub use partitioned::{OwnerMap, RemoteAccessCounter};
 pub use region_graph::RegionGraph;
 pub use union_find::UnionFind;

@@ -1,0 +1,156 @@
+//! Incremental exact nearest-neighbour index for RRT extension.
+//!
+//! RRT's access pattern is hostile to a static kd-tree: one insert after
+//! every query. The naive answer — a linear scan per extension — is exactly
+//! what makes radial RRT O(n²) per region tree. This index keeps the scan
+//! sublinear while returning **bit-identical** answers to
+//! [`crate::knn::nearest`] (same point, same `(distance, index)` tie-break),
+//! so planners that switch to it keep every golden trace and determinism
+//! digest unchanged.
+//!
+//! Structure: a balanced [`KdTree`] over a prefix of the points plus a small
+//! unindexed tail of recent inserts. A query searches the tree and scans the
+//! tail, then takes the minimum under the total order `(distance, insertion
+//! index)` — both halves report global insertion indices, so the combined
+//! answer equals the brute-force scan over the whole set. When the tail
+//! outgrows a fixed fraction of the indexed prefix the tree is rebuilt over
+//! everything (geometric rebuild ⇒ amortized O(log n) insert; the tail
+//! bound keeps the per-query scan at O(n / [`REBUILD_DIVISOR`] ) worst case,
+//! in practice a few dozen points).
+
+use crate::kdtree::KdTree;
+use smp_geom::Point;
+
+/// Rebuild when the tail exceeds `indexed / REBUILD_DIVISOR` points.
+const REBUILD_DIVISOR: usize = 8;
+/// Never rebuild for tails smaller than this (tiny trees rebuild too often
+/// otherwise and a 32-point scan is cheaper than a rebuild).
+const MIN_TAIL: usize = 32;
+
+/// An incrementally-growable exact 1-NN index over points in `R^D`.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalNn<const D: usize> {
+    /// All points, in insertion order (insertion index = identity).
+    points: Vec<Point<D>>,
+    /// Balanced tree over `points[..indexed]`.
+    tree: KdTree<D>,
+    indexed: usize,
+}
+
+impl<const D: usize> IncrementalNn<D> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        IncrementalNn {
+            points: Vec::with_capacity(cap),
+            tree: KdTree::build(&[]),
+            indexed: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point with insertion index `i`.
+    pub fn point(&self, i: usize) -> &Point<D> {
+        &self.points[i]
+    }
+
+    /// All points in insertion order.
+    pub fn points(&self) -> &[Point<D>] {
+        &self.points
+    }
+
+    /// Append a point; returns its insertion index.
+    pub fn push(&mut self, p: Point<D>) -> usize {
+        self.points.push(p);
+        let tail = self.points.len() - self.indexed;
+        if tail > MIN_TAIL.max(self.indexed / REBUILD_DIVISOR) {
+            self.tree = KdTree::build(&self.points);
+            self.indexed = self.points.len();
+        }
+        self.points.len() - 1
+    }
+
+    /// Exact nearest neighbour of `query` as `(insertion index, distance)`
+    /// — identical result to `knn::nearest(self.points(), query)`.
+    pub fn nearest(&self, query: &Point<D>) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = self.tree.nearest(query);
+        for (off, p) in self.points[self.indexed..].iter().enumerate() {
+            let cand = (self.indexed + off, p.dist(query));
+            best = Some(match best {
+                None => cand,
+                Some(b) => {
+                    // strict (distance, index) order: replace only when the
+                    // candidate is smaller, matching the brute-force min
+                    if cand.1.total_cmp(&b.1).then(cand.0.cmp(&b.0)) == std::cmp::Ordering::Less {
+                        cand
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn rnd(rng: &mut StdRng) -> Point<3> {
+        Point::new([
+            rng.random_range(0.0..1.0),
+            rng.random_range(0.0..1.0),
+            rng.random_range(0.0..1.0),
+        ])
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx: IncrementalNn<3> = IncrementalNn::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.nearest(&Point::zero()), None);
+    }
+
+    #[test]
+    fn matches_brute_force_interleaved() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut idx = IncrementalNn::with_capacity(600);
+        let mut pts: Vec<Point<3>> = Vec::new();
+        for i in 0..600 {
+            let p = rnd(&mut rng);
+            assert_eq!(idx.push(p), i);
+            pts.push(p);
+            let q = rnd(&mut rng);
+            assert_eq!(idx.nearest(&q), knn::nearest(&pts, &q), "after {i} inserts");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_tie_break_to_lowest_index() {
+        let mut idx = IncrementalNn::new();
+        let p = Point::new([0.5, 0.5, 0.5]);
+        // enough duplicates to straddle rebuilds and the tail
+        for _ in 0..100 {
+            idx.push(p);
+        }
+        let (i, d) = idx.nearest(&p).unwrap();
+        assert_eq!(i, 0, "ties must break to the lowest insertion index");
+        assert_eq!(d, 0.0);
+        // also when the duplicate set is equidistant from the query
+        let q = Point::new([0.2, 0.5, 0.5]);
+        assert_eq!(idx.nearest(&q).unwrap().0, 0);
+    }
+}

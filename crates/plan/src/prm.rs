@@ -143,20 +143,34 @@ where
     if samples.len() >= 2 && connect_enabled {
         let tree = KdTree::build(&samples);
         let mut uf = smp_graph::UnionFind::new(samples.len());
+        // one scratch + output buffer reused across all n connection
+        // queries: zero allocations per query after the first
+        let mut scratch = smp_graph::KnnScratch::new();
+        let mut nns: Vec<(usize, f64)> = Vec::new();
         for (i, q) in samples.iter().enumerate() {
             work.knn_queries += 1;
-            let nns = match connect {
+            match connect {
                 ConnectStrategy::KNearest(k) => {
-                    tree.k_nearest_counted(q, k, Some(i as u32), &mut work.knn_candidates)
+                    tree.k_nearest_into(
+                        q,
+                        k,
+                        Some(i as u32),
+                        &mut work.knn_candidates,
+                        &mut scratch,
+                        &mut nns,
+                    );
                 }
                 ConnectStrategy::Radius(r) => {
-                    let mut within = tree.within_radius(q, r);
-                    within.retain(|&(j, _)| j != i);
-                    work.knn_candidates += within.len() as u64;
-                    within
+                    nns.clear();
+                    nns.extend(tree.within_radius(q, r));
+                    // candidates are charged *before* the self-hit filter so
+                    // the §III-B work metric counts what the query examined,
+                    // matching the kNN path (which counts the excluded self)
+                    work.knn_candidates += nns.len() as u64;
+                    nns.retain(|&(j, _)| j != i);
                 }
             };
-            for (j, dist) in nns {
+            for &(j, dist) in &nns {
                 // attempt each undirected pair once
                 if j < i && roadmap.has_edge(j as u32, i as u32) {
                     continue;

@@ -38,38 +38,45 @@ pub struct RrtConnectResult<const D: usize> {
 }
 
 struct Tree<const D: usize> {
-    nodes: Vec<Cfg<D>>,
+    /// Incremental NN index over the tree nodes (insertion index = node id);
+    /// bit-identical answers to the brute-force scan it replaced.
+    nodes: smp_graph::IncrementalNn<D>,
     parent: Vec<u32>,
 }
 
 impl<const D: usize> Tree<D> {
     fn new(root: Cfg<D>) -> Self {
+        let mut nodes = smp_graph::IncrementalNn::new();
+        nodes.push(root);
         Tree {
-            nodes: vec![root],
+            nodes,
             parent: vec![u32::MAX],
         }
     }
 
     fn nearest(&self, q: &Cfg<D>, work: &mut WorkCounters) -> usize {
         work.knn_queries += 1;
+        // §III-B work model: a nearest query costs one candidate per node
+        // (the brute-force-equivalent charge), whatever the index examines.
         work.knn_candidates += self.nodes.len() as u64;
-        smp_graph::knn::nearest(&self.nodes, q)
+        debug_assert!(!self.nodes.is_empty(), "RRT tree queried before seeding");
+        self.nodes
+            .nearest(q)
             .map(|(i, _)| i)
-            .unwrap_or(0)
+            .expect("RRT tree is always seeded with its root before the first query")
     }
 
     fn add(&mut self, q: Cfg<D>, parent: usize, work: &mut WorkCounters) -> usize {
-        self.nodes.push(q);
         self.parent.push(parent as u32);
         work.vertices_added += 1;
         work.edges_added += 1;
-        self.nodes.len() - 1
+        self.nodes.push(q)
     }
 
     fn path_to_root(&self, mut i: usize) -> Vec<Cfg<D>> {
         let mut out = Vec::new();
         loop {
-            out.push(self.nodes[i]);
+            out.push(*self.nodes.point(i));
             let p = self.parent[i];
             if p == u32::MAX {
                 break;
@@ -81,12 +88,16 @@ impl<const D: usize> Tree<D> {
 
     fn as_roadmap(&self) -> Roadmap<D> {
         let mut g = Roadmap::new();
-        for &q in &self.nodes {
-            g.add_vertex(q);
+        for q in self.nodes.points() {
+            g.add_vertex(*q);
         }
         for (i, &p) in self.parent.iter().enumerate() {
             if p != u32::MAX {
-                g.add_edge(p, i as u32, self.nodes[p as usize].dist(&self.nodes[i]));
+                g.add_edge(
+                    p,
+                    i as u32,
+                    self.nodes.point(p as usize).dist(self.nodes.point(i)),
+                );
             }
         }
         g
@@ -113,7 +124,7 @@ where
     L: LocalPlanner<D>,
 {
     let near = tree.nearest(target, work);
-    let q_near = tree.nodes[near];
+    let q_near = *tree.nodes.point(near);
     let dist = q_near.dist(target);
     if dist <= 1e-12 {
         return ExtendOutcome::Reached(near);
@@ -173,7 +184,7 @@ where
             &mut work,
         ) {
             // CONNECT tree B toward the new node (greedy repeat)
-            let target = ta.nodes[new_a];
+            let target = *ta.nodes.point(new_a);
             loop {
                 match extend(
                     &mut tb,
