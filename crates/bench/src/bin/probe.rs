@@ -11,6 +11,10 @@
 //! `crates/check`): it runs the case twice, asserts the two runs are
 //! bit-identical, and prints the oracle verdicts. Exit status 0 means
 //! every invariant held.
+//!
+//! `probe bench [...]` runs the kernel benchmark harness (see
+//! `smp_bench::kernels`); `probe scaling [...]` runs the live-backend
+//! strong-scaling harness (see `smp_bench::scaling`).
 
 use smp_bench::figures::Suite;
 use smp_bench::HarnessConfig;
@@ -170,6 +174,80 @@ fn bench_probe(args: impl Iterator<Item = String>) {
     }
 }
 
+/// Live-backend strong-scaling harness:
+/// `probe scaling [--quick] [--out FILE] [--check FILE]`.
+///
+/// Runs the parallel PRM live on 1/2/4/8 host threads per strategy
+/// (smp_bench::scaling), prints wall times and speedups, optionally
+/// writes `BENCH_scaling.json`, and optionally gates the merged-roadmap
+/// digests against a committed artifact (exit 1 on drift). Digest
+/// equality across thread counts is always enforced; the ≥1.5× speedup
+/// expectation at 4 threads is asserted only on hosts with ≥4 cores —
+/// wall times from smaller hosts are recorded honestly, not gated.
+fn scaling_probe(args: impl Iterator<Item = String>) {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next(),
+            "--check" => check = args.next(),
+            other => panic!("unknown scaling argument: {other}"),
+        }
+    }
+    let report = smp_bench::scaling::run(quick);
+    println!("host parallelism: {}", report.host_parallelism);
+    for r in &report.runs {
+        let speedup = report
+            .speedup(r.env, &r.strategy, r.threads)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:9} {:15} t={} wall={:>9.3}ms node={:>9.3}ms speedup={:.2}x hits={:>4} digest={:#018x}",
+            r.env, r.strategy, r.threads, r.wall_ms, r.node_ms, speedup, r.steal_hits, r.digest
+        );
+    }
+    let digest_violations = report.digest_violations();
+    for v in &digest_violations {
+        eprintln!("digest violation: {v}");
+    }
+    if report.host_parallelism >= 4 {
+        for v in report.speedup_violations(1.5) {
+            eprintln!("speedup violation: {v}");
+        }
+    } else {
+        eprintln!(
+            "note: host has {} core(s); strong-scaling speedups are recorded but not asserted",
+            report.host_parallelism
+        );
+    }
+    if let Some(path) = &out {
+        std::fs::write(path, smp_bench::scaling::to_json(&report)).expect("write scaling json");
+        eprintln!("wrote {path}");
+    }
+    let mut failed = !digest_violations.is_empty();
+    if let Some(path) = &check {
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let drift = smp_bench::scaling::check_against(&report, &committed);
+        if drift.is_empty() {
+            println!("gate: all digests match {path}");
+        } else {
+            for d in &drift {
+                eprintln!("gate: {d}");
+            }
+            failed = true;
+        }
+    }
+    if report.host_parallelism >= 4 && !report.speedup_violations(1.5).is_empty() {
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("rrt") {
         rrt_probe();
@@ -177,6 +255,10 @@ fn main() {
     }
     if std::env::args().nth(1).as_deref() == Some("bench") {
         bench_probe(std::env::args().skip(2));
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("scaling") {
+        scaling_probe(std::env::args().skip(2));
         return;
     }
     let mut trace_out: Option<String> = None;

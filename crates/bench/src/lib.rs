@@ -14,10 +14,17 @@
 //! `probe bench`), measures the PR-4 hot-path kernels against their
 //! pre-overhaul implementations and emits `BENCH_kernels.json` with
 //! deterministic regression gates (see DESIGN.md §11).
+//!
+//! A fourth, the **live strong-scaling harness** ([`scaling`], run as
+//! `probe scaling`), runs the parallel PRM on the live shared-memory
+//! backend at 1/2/4/8 host threads per strategy and emits
+//! `BENCH_scaling.json`: wall-clock times (informative, host-dependent)
+//! plus merged-roadmap digests (gated — DESIGN.md §12).
 
 pub mod config;
 pub mod figures;
 pub mod kernels;
+pub mod scaling;
 pub mod table;
 
 pub use config::HarnessConfig;

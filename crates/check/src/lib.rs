@@ -26,16 +26,25 @@
 //! deterministically.
 //!
 //! Run it: `cargo run -p smp-check -- --runs 1000`.
+//!
+//! A second sweep targets the **live shared-memory backend** ([`live`]):
+//! the same generator cases run on real OS threads and are checked for
+//! exactly-once execution, steal-accounting conservation, and result
+//! determinism (two racing runs must return identical results). Live
+//! schedules come from the OS, so failures are reported but not shrunk.
+//! Run it: `cargo run -p smp-check -- --live-smoke 200`.
 
 pub mod case;
 pub mod gen;
 pub mod harness;
+pub mod live;
 pub mod oracles;
 pub mod repro;
 pub mod shrink;
 
 pub use case::{CaseSpec, MachineKind, SchedulePlan};
 pub use harness::{fuzz, FuzzConfig, FuzzOutcome};
+pub use live::{check_live_case, live_smoke};
 pub use oracles::{check_case, check_outcome, Violation};
 pub use repro::{parse, serialize};
 pub use shrink::shrink;

@@ -1,0 +1,233 @@
+//! Live-backend smoke oracles: the invariant catalog applied to the real
+//! shared-memory executor.
+//!
+//! The DES fuzzer explores virtual-time schedules deterministically; the
+//! live backend's schedules come from the OS, so they cannot be replayed
+//! or shrunk. What *can* be checked on every run (DESIGN.md §12):
+//!
+//! - **exactly_once_live** — every task executed exactly once by a real
+//!   worker, and per-worker counters match final ownership;
+//! - **steal_accounting_live** — attempts = hits + misses, stolen
+//!   executions are backed by transfers, batch bounds hold, and a static
+//!   schedule produces zero steal traffic;
+//! - **result_determinism** — two runs of the same case (racing their
+//!   steals differently) return byte-identical result vectors.
+//!
+//! Cases are borrowed from the DES fuzzer's generator, so the live smoke
+//! sweeps the same space of shapes (imbalanced queues, empty PEs, every
+//! victim policy and steal amount); costs drive a synthetic spin so the
+//! schedule actually contends.
+
+use crate::case::CaseSpec;
+use crate::oracles::Violation;
+use smp_runtime::{ExecOutcome, ExecSpec, Executor, LiveExecutor, LiveTuning, StealAmount};
+
+macro_rules! fail {
+    ($out:expr, $oracle:literal, $($fmt:tt)+) => {
+        $out.push(Violation { oracle: $oracle, detail: format!($($fmt)+) })
+    };
+}
+
+/// Deterministic, location-independent stand-in for region work: burns
+/// time roughly proportional to the case's virtual cost and returns a
+/// value derived only from the task id.
+fn synthetic_work(task: u32, cost: u64) -> u64 {
+    let mut x = u64::from(task).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xcbf2_9ce4_8422_2325;
+    // ~1 spin per 500 virtual ns keeps a whole case under a millisecond
+    let spins = (cost / 500).clamp(32, 4_096);
+    for _ in 0..spins {
+        x = x.rotate_left(13) ^ x.wrapping_mul(5);
+    }
+    x
+}
+
+fn run_live(spec: &CaseSpec) -> Result<ExecOutcome<u64>, smp_runtime::SimError> {
+    let exec_spec = ExecSpec {
+        n_tasks: spec.num_tasks(),
+        costs: None,
+        payloads: None,
+        assignment: &spec.assignment,
+        steal: spec.steal,
+        seed: spec.sim_seed,
+    };
+    let costs = &spec.costs;
+    LiveExecutor::new(spec.num_pes(), LiveTuning::default())
+        .execute(&exec_spec, &|t| synthetic_work(t, costs[t as usize]))
+}
+
+/// Run `spec` on the live backend (twice) and check the live oracle
+/// catalog. The case's fault plan and schedule hooks are DES-only and
+/// ignored here — the OS supplies the schedule.
+pub fn check_live_case(spec: &CaseSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let first = match run_live(spec) {
+        Err(e) => {
+            out.push(Violation {
+                oracle: "live_accepts_valid_input",
+                detail: format!("live execute failed: {e} ({e:?})"),
+            });
+            return out;
+        }
+        Ok(o) => o,
+    };
+    exactly_once_live(spec, &first, &mut out);
+    steal_accounting_live(spec, &first, &mut out);
+    match run_live(spec) {
+        Err(e) => fail!(out, "result_determinism", "second run failed: {e}"),
+        Ok(second) => {
+            if second.results != first.results {
+                fail!(
+                    out,
+                    "result_determinism",
+                    "two live runs of the same case returned different results"
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Every task executed exactly once by a real worker, and each worker's
+/// execution counter matches the tasks it finally owns.
+fn exactly_once_live(spec: &CaseSpec, outcome: &ExecOutcome<u64>, out: &mut Vec<Violation>) {
+    let n = spec.num_tasks();
+    let p = spec.num_pes();
+    let report = &outcome.report;
+    if outcome.results.len() != n || report.executed_by.len() != n {
+        fail!(
+            out,
+            "exactly_once_live",
+            "{} results / {} executed_by entries for {n} tasks",
+            outcome.results.len(),
+            report.executed_by.len()
+        );
+        return;
+    }
+    let mut owned = vec![0u32; p];
+    for (task, &w) in report.executed_by.iter().enumerate() {
+        if w as usize >= p {
+            fail!(
+                out,
+                "exactly_once_live",
+                "task {task} ran on bogus worker {w}"
+            );
+            return;
+        }
+        owned[w as usize] += 1;
+    }
+    let executed: u64 = report.per_pe_executed.iter().map(|&e| u64::from(e)).sum();
+    if executed != n as u64 {
+        fail!(
+            out,
+            "exactly_once_live",
+            "{executed} executions recorded for {n} tasks"
+        );
+    }
+    for (w, (&counted, &owns)) in report.per_pe_executed.iter().zip(&owned).enumerate() {
+        if counted != owns {
+            fail!(
+                out,
+                "exactly_once_live",
+                "worker {w} counts {counted} executions but finally owns {owns} tasks"
+            );
+        }
+    }
+}
+
+/// Steal-traffic bookkeeping closes on the live protocol: every request
+/// is a grant or a denial, every off-owner execution is backed by a
+/// transfer, batches respect the configured bound, and a static schedule
+/// records no traffic at all.
+fn steal_accounting_live(spec: &CaseSpec, outcome: &ExecOutcome<u64>, out: &mut Vec<Violation>) {
+    let report = &outcome.report;
+    if report.steal_attempts != report.steal_hits + report.steal_misses {
+        fail!(
+            out,
+            "steal_accounting_live",
+            "attempts {} != hits {} + misses {}",
+            report.steal_attempts,
+            report.steal_hits,
+            report.steal_misses
+        );
+    }
+    if spec.steal.is_none() && report.steal_attempts + report.tasks_transferred != 0 {
+        fail!(
+            out,
+            "steal_accounting_live",
+            "static schedule recorded steal traffic ({} attempts, {} transfers)",
+            report.steal_attempts,
+            report.tasks_transferred
+        );
+    }
+    let stolen_exec: u64 = report
+        .per_pe_stolen_executed
+        .iter()
+        .map(|&e| u64::from(e))
+        .sum();
+    // no faults live: every off-owner execution came from exactly one
+    // transfer, and every transferred task executes off-owner
+    if stolen_exec != report.tasks_transferred {
+        fail!(
+            out,
+            "steal_accounting_live",
+            "{stolen_exec} stolen executions but {} transfers",
+            report.tasks_transferred
+        );
+    }
+    if let Some(steal) = spec.steal {
+        let max_batch = match steal.amount {
+            StealAmount::One => 1,
+            StealAmount::Fixed(k) => k as u64,
+            StealAmount::Half => spec.num_tasks() as u64,
+        };
+        if report.tasks_transferred > report.steal_hits.saturating_mul(max_batch.max(1)) {
+            fail!(
+                out,
+                "steal_accounting_live",
+                "{} tasks moved by {} hits exceeds batch bound {max_batch}",
+                report.tasks_transferred,
+                report.steal_hits
+            );
+        }
+    }
+}
+
+/// Sweep `runs` generator cases through the live oracles; returns the
+/// failing `(seed, violations)` pairs (no shrinking — live schedules are
+/// not replayable).
+pub fn live_smoke(runs: u64, base_seed: u64) -> Vec<(u64, Vec<Violation>)> {
+    let mut failures = Vec::new();
+    for i in 0..runs {
+        let seed = base_seed.wrapping_add(i);
+        let spec = crate::gen::generate_case(seed);
+        let violations = check_live_case(&spec);
+        if !violations.is_empty() {
+            failures.push((seed, violations));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_cases_pass_the_live_oracles() {
+        let failures = live_smoke(25, 0xC0FFEE);
+        assert!(
+            failures.is_empty(),
+            "live smoke failures: {:?}",
+            failures
+                .iter()
+                .map(|(s, v)| format!("seed {s}: {v:?}"))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn synthetic_work_is_pure() {
+        assert_eq!(synthetic_work(7, 10_000), synthetic_work(7, 10_000));
+        assert_ne!(synthetic_work(7, 10_000), synthetic_work(8, 10_000));
+    }
+}

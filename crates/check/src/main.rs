@@ -3,6 +3,7 @@
 //! ```text
 //! smp-check [--runs N] [--seed S] [--out DIR] [--fail-fast]
 //! smp-check --replay FILE
+//! smp-check --live-smoke N [--seed S]
 //! ```
 //!
 //! Exit status is 0 only if every run satisfied every oracle.
@@ -20,6 +21,7 @@ fn main() -> ExitCode {
         fail_fast: false,
     };
     let mut replay: Option<PathBuf> = None;
+    let mut live_smoke: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,10 +50,18 @@ fn main() -> ExitCode {
             "--no-out" => cfg.out_dir = None,
             "--fail-fast" => cfg.fail_fast = true,
             "--replay" => replay = Some(PathBuf::from(take("a repro file"))),
+            "--live-smoke" => {
+                let v = take("a run count");
+                live_smoke = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("smp-check: bad --live-smoke {v:?}: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: smp-check [--runs N] [--seed S] [--out DIR | --no-out] [--fail-fast]\n\
-                     \x20      smp-check --replay FILE"
+                     \x20      smp-check --replay FILE\n\
+                     \x20      smp-check --live-smoke N [--seed S]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -64,6 +74,30 @@ fn main() -> ExitCode {
 
     if let Some(path) = replay {
         return run_replay(&path);
+    }
+
+    if let Some(runs) = live_smoke {
+        println!(
+            "smp-check: live smoke — {runs} generator cases on the shared-memory backend (seed {})",
+            cfg.base_seed
+        );
+        let failures = smp_check::live_smoke(runs, cfg.base_seed);
+        return if failures.is_empty() {
+            println!("smp-check: OK — {runs} live runs, all oracles satisfied");
+            ExitCode::SUCCESS
+        } else {
+            for (seed, violations) in &failures {
+                eprintln!("smp-check: live seed {seed} FAILED:");
+                for v in violations {
+                    eprintln!("  {v}");
+                }
+            }
+            eprintln!(
+                "smp-check: {} of {runs} live runs violated an oracle",
+                failures.len()
+            );
+            ExitCode::FAILURE
+        };
     }
 
     println!(

@@ -17,6 +17,7 @@ use smp_geom::{Aabb, Environment, Point};
 /// A leaf cell of the adaptive subdivision.
 #[derive(Debug, Clone)]
 pub struct AdaptiveCell<const D: usize> {
+    /// The cell's axis-aligned extent.
     pub bounds: Aabb<D>,
     /// Refinement depth (root = 0).
     pub depth: u32,

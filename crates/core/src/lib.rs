@@ -24,6 +24,15 @@
 //! * [`assemble`] — merging regional roadmaps/trees into the global result;
 //! * [`adaptive`] — weight-driven hierarchical subdivision (extension:
 //!   balancing by refinement instead of redistribution).
+//!
+//! Both planners run on either execution backend (DESIGN.md §12): the
+//! deterministic DES (virtual time on a simulated machine) via
+//! `run_parallel_prm` / `run_parallel_rrt`, or the live shared-memory
+//! backend (real OS threads, wall-clock time) via the `*_live` variants;
+//! `run_parallel_prm_on` / `run_parallel_rrt_on` dispatch on
+//! [`smp_runtime::Backend`].
+
+#![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod assemble;
@@ -36,14 +45,16 @@ pub mod phases;
 pub mod strategy;
 pub mod weights;
 
+pub use assemble::{assemble_prm_roadmap, assemble_rrt_tree, roadmap_digest};
 pub use cost::work_cost;
 pub use parallel_prm::{
     build_prm_workload, build_prm_workload_on_grid, run_parallel_prm, run_parallel_prm_faulted,
-    run_parallel_prm_observed, run_parallel_prm_with_weights, ParallelPrmConfig, PrmRun,
-    PrmWorkload,
+    run_parallel_prm_live, run_parallel_prm_live_observed, run_parallel_prm_observed,
+    run_parallel_prm_on, run_parallel_prm_with_weights, ParallelPrmConfig, PrmRun, PrmWorkload,
 };
 pub use parallel_rrt::{
-    build_rrt_workload, run_parallel_rrt, run_parallel_rrt_faulted, run_parallel_rrt_observed,
+    build_rrt_workload, run_parallel_rrt, run_parallel_rrt_faulted, run_parallel_rrt_live,
+    run_parallel_rrt_live_observed, run_parallel_rrt_observed, run_parallel_rrt_on,
     ParallelRrtConfig, RrtRun, RrtWorkload,
 };
 pub use phases::PhaseBreakdown;

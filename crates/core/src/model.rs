@@ -45,6 +45,7 @@ impl Default for ModelConfig {
 /// One row of the model analysis (one processor count).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ModelRow {
+    /// Processor count.
     pub p: usize,
     /// CoV of per-PE `V_free` under the naïve column mapping.
     pub cov_naive: f64,
@@ -59,12 +60,16 @@ pub struct ModelRow {
 
 /// The model environment plus its grid.
 pub struct ModelInstance {
+    /// The 2-D single-square-obstacle model environment.
     pub env: Environment<2>,
+    /// Its uniform column grid.
     pub grid: GridSubdivision<2>,
+    /// Exact free volume per region.
     pub vfree: Vec<f64>,
 }
 
 impl ModelInstance {
+    /// Build the model environment and compute exact per-region `V_free`.
     pub fn new(cfg: &ModelConfig) -> Self {
         let env = envs::model_env(cfg.blocked_fraction);
         let grid = GridSubdivision::new(*env.bounds(), [cfg.columns, cfg.rows], 0.0);

@@ -37,11 +37,16 @@ use smp_geom::{Environment, GridSubdivision};
 use smp_graph::{KdTree, OwnerMap, RegionGraph, RemoteAccessCounter};
 use smp_obs::{cat, MetricsRegistry, MetricsSnapshot, Tracer};
 use smp_plan::connect::{connect_roadmaps, CandidateEdge};
-use smp_runtime::{simulate_observed, FaultPlan, MachineModel, SimConfig, SimError, SimReport};
+use smp_runtime::{
+    simulate_observed, Backend, ExecSpec, Executor, FaultPlan, LiveExecutor, LiveTuning,
+    MachineModel, SimConfig, SimError, SimReport,
+};
+use std::time::Instant;
 
 /// Parameters of a parallel PRM experiment (strategy-independent).
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelPrmConfig<'e, const D: usize> {
+    /// Environment to plan in.
     pub env: &'e Environment<D>,
     /// Approximate number of regions (rounded up to a cubic grid).
     pub regions_target: usize,
@@ -60,6 +65,7 @@ pub struct ParallelPrmConfig<'e, const D: usize> {
     pub connect_max_pairs: usize,
     /// Stop after this many successful cross links per region edge.
     pub connect_stop_after: usize,
+    /// Experiment seed; all region and edge seeds derive from it.
     pub seed: u64,
 }
 
@@ -97,8 +103,11 @@ pub struct RegionOutcome<const D: usize> {
 /// The measured outcome of one region-graph edge's cross connection.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CrossOutcome {
+    /// The region-graph edge `(a, b)` this outcome belongs to.
     pub regions: (u32, u32),
+    /// Successful cross-region links found.
     pub links: Vec<CandidateEdge>,
+    /// Measured connection work.
     pub work: WorkCounters,
     /// Vertices of the partner region read during the attempt (remote when
     /// the partner lives on another PE).
@@ -109,12 +118,17 @@ pub struct CrossOutcome {
 /// and PE count.
 #[derive(Debug, Clone)]
 pub struct PrmWorkload<const D: usize> {
+    /// The uniform grid subdivision.
     pub grid: GridSubdivision<D>,
+    /// Adjacency between regions (the connection-phase task graph).
     pub region_graph: RegionGraph,
+    /// Per-region measured outcomes, indexed by region id.
     pub regions: Vec<RegionOutcome<D>>,
+    /// Per-region-graph-edge cross-connection outcomes.
     pub cross: Vec<CrossOutcome>,
     /// Exact per-region free volume (for the `Vfree` weight and the model).
     pub vfree: Vec<f64>,
+    /// The experiment seed every region seed was derived from.
     pub seed: u64,
 }
 
@@ -124,6 +138,7 @@ impl<const D: usize> PrmWorkload<D> {
         self.regions.iter().map(|r| r.cfgs.len() as u32).collect()
     }
 
+    /// Number of regions in the workload.
     pub fn num_regions(&self) -> usize {
         self.regions.len()
     }
@@ -134,18 +149,19 @@ impl<const D: usize> PrmWorkload<D> {
     }
 }
 
-/// Construct one region's PRM with split gen/connect work counters.
-fn build_region<const D: usize>(
+/// Generation half of one region's PRM: sample with the region-derived RNG
+/// seed, keep the valid configurations. This is the only part of a
+/// region's build that consumes randomness, so the gen/connect split is
+/// byte-identical to a fused build — and location-independent: any worker
+/// (host thread or virtual PE) produces the same samples for `region`.
+fn gen_region<const D: usize>(
     cfg: &ParallelPrmConfig<'_, D>,
     grid: &GridSubdivision<D>,
     region: u32,
-) -> RegionOutcome<D> {
+) -> (Vec<Cfg<D>>, WorkCounters) {
     let sampler = BoxSampler::new(grid.region(region));
     let validity = EnvValidity::new(cfg.env, cfg.robot_radius);
-    let lp = StraightLinePlanner::new(cfg.lp_resolution);
     let mut rng: StdRng = smp_cspace::region_rng(cfg.seed, region, 0x6E6F6465);
-
-    // generation: fixed attempt budget, keep the valid ones
     let mut gen_work = WorkCounters::new();
     let mut cfgs: Vec<Cfg<D>> = Vec::new();
     for _ in 0..cfg.attempts_per_region {
@@ -156,12 +172,22 @@ fn build_region<const D: usize>(
             cfgs.push(q);
         }
     }
+    (cfgs, gen_work)
+}
 
-    // connection: k nearest within the region
+/// Connection half: k nearest within the region. Deterministic from the
+/// generated `cfgs` (no RNG), so it can run on whichever worker owns the
+/// region after load balancing.
+fn connect_region<const D: usize>(
+    cfg: &ParallelPrmConfig<'_, D>,
+    cfgs: &[Cfg<D>],
+) -> (Vec<(u32, u32, f64)>, WorkCounters) {
+    let validity = EnvValidity::new(cfg.env, cfg.robot_radius);
+    let lp = StraightLinePlanner::new(cfg.lp_resolution);
     let mut con_work = WorkCounters::new();
     let mut edges = Vec::new();
     if cfgs.len() >= 2 && cfg.k_neighbors > 0 {
-        let tree = KdTree::build(&cfgs);
+        let tree = KdTree::build(cfgs);
         // scratch + output buffers shared by every query against this
         // region's tree: the connection loop performs no per-query allocation
         let mut scratch = smp_graph::KnnScratch::new();
@@ -193,12 +219,54 @@ fn build_region<const D: usize>(
             }
         }
     }
+    (edges, con_work)
+}
 
+/// Construct one region's PRM with split gen/connect work counters.
+fn build_region<const D: usize>(
+    cfg: &ParallelPrmConfig<'_, D>,
+    grid: &GridSubdivision<D>,
+    region: u32,
+) -> RegionOutcome<D> {
+    let (cfgs, gen_work) = gen_region(cfg, grid, region);
+    let (edges, con_work) = connect_region(cfg, &cfgs);
     RegionOutcome {
         cfgs,
         edges,
         gen_work,
         con_work,
+    }
+}
+
+/// Cross-connect one region-graph edge `(a, b)`: deterministic from the
+/// two regions' samples and the edge-derived seed, independent of which
+/// worker runs it.
+fn cross_edge<const D: usize>(
+    cfg: &ParallelPrmConfig<'_, D>,
+    a: u32,
+    b: u32,
+    a_cfgs: &[Cfg<D>],
+    b_cfgs: &[Cfg<D>],
+) -> CrossOutcome {
+    let validity = EnvValidity::new(cfg.env, cfg.robot_radius);
+    let lp = StraightLinePlanner::new(cfg.lp_resolution);
+    let mut work = WorkCounters::new();
+    let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, a as u64, b as u64));
+    let links = connect_roadmaps(
+        a_cfgs,
+        b_cfgs,
+        &validity,
+        &lp,
+        cfg.connect_max_pairs,
+        cfg.connect_stop_after,
+        &mut work,
+        &mut rng,
+    );
+    CrossOutcome {
+        regions: (a, b),
+        partner_reads: b_cfgs.len() as u64,
+        links,
+        work,
     }
 }
 
@@ -223,30 +291,17 @@ pub fn build_prm_workload_on_grid<const D: usize>(
         .map(|&r| build_region(cfg, &grid, r))
         .collect();
 
-    let validity = EnvValidity::new(cfg.env, cfg.robot_radius);
-    let lp = StraightLinePlanner::new(cfg.lp_resolution);
     let cross: Vec<CrossOutcome> = region_graph
         .edges()
         .par_iter()
         .map(|&(a, b)| {
-            let mut work = WorkCounters::new();
-            let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, a as u64, b as u64));
-            let links = connect_roadmaps(
+            cross_edge(
+                cfg,
+                a,
+                b,
                 &regions[a as usize].cfgs,
                 &regions[b as usize].cfgs,
-                &validity,
-                &lp,
-                cfg.connect_max_pairs,
-                cfg.connect_stop_after,
-                &mut work,
-                &mut rng,
-            );
-            CrossOutcome {
-                regions: (a, b),
-                partner_reads: regions[b as usize].cfgs.len() as u64,
-                links,
-                work,
-            }
+            )
         })
         .collect();
 
@@ -265,10 +320,13 @@ pub fn build_prm_workload_on_grid<const D: usize>(
 /// Result of replaying a workload under one strategy at one PE count.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PrmRun {
+    /// Human-readable strategy name (e.g. `"repart-samples"`).
     pub strategy_label: String,
+    /// Number of PEs (virtual) or worker threads (live).
     pub p: usize,
     /// End-to-end virtual time (all phases + barriers).
     pub total_time: u64,
+    /// Per-phase split of `total_time` (Figure 7(a)).
     pub phases: PhaseBreakdown,
     /// DES report of the node-connection phase.
     pub construction: SimReport,
@@ -276,6 +334,7 @@ pub struct PrmRun {
     pub node_load_initial: Vec<u64>,
     /// Roadmap vertices per PE after balancing (final executors).
     pub node_load_final: Vec<u64>,
+    /// Remote accesses during region connection (Figure 7(b)).
     pub remote: RemoteAccessCounter,
     /// Region-graph edge cut under the final assignment.
     pub edge_cut: usize,
@@ -604,6 +663,299 @@ fn owner_queues(map: &OwnerMap) -> Vec<Vec<u32>> {
     map.items_per_pe()
 }
 
+/// Run the full parallel PRM **live** on `threads` OS threads: the four
+/// phases of [`run_parallel_prm`] with real work (sampling, kNN, local
+/// planning) executed through [`LiveExecutor`] in wall-clock time, with
+/// real ownership handoff on steal.
+///
+/// Returns the workload the live run *produced* alongside the run report.
+/// Because region work is location-independent, that workload — and hence
+/// the assembled roadmap and its digest — is byte-identical to
+/// [`build_prm_workload`]'s output for the same `cfg`, at any thread
+/// count and under any strategy. Only the report's wall-clock timings and
+/// steal counters vary run to run (DESIGN.md §12).
+///
+/// `Probe`/`KRays` repartitioning weights are not supported live (they
+/// need a separate measurement pass); use `SampleCount` or `Vfree`.
+pub fn run_parallel_prm_live<const D: usize>(
+    cfg: &ParallelPrmConfig<'_, D>,
+    threads: usize,
+    strategy: &Strategy,
+    tuning: LiveTuning,
+) -> Result<(PrmWorkload<D>, PrmRun), SimError> {
+    run_parallel_prm_live_observed(cfg, threads, strategy, tuning, None)
+}
+
+/// As [`run_parallel_prm_live`] with an optional [`Tracer`]: per-worker
+/// tracks carry wall-clock task spans, steal instants, and queue-length
+/// counters, and a `"phases"` track (id `threads`) carries one span per
+/// planner phase — the same vocabulary as the DES trace, on a wall-clock
+/// timeline (so it is **not** golden-file comparable; see DESIGN.md §12).
+pub fn run_parallel_prm_live_observed<const D: usize>(
+    cfg: &ParallelPrmConfig<'_, D>,
+    threads: usize,
+    strategy: &Strategy,
+    tuning: LiveTuning,
+    mut tracer: Option<&mut Tracer>,
+) -> Result<(PrmWorkload<D>, PrmRun), SimError> {
+    if threads == 0 {
+        return Err(SimError::NoPes);
+    }
+    let p = threads;
+    let grid =
+        GridSubdivision::with_target_regions(*cfg.env.bounds(), cfg.regions_target, cfg.overlap);
+    let region_graph = RegionGraph::from_grid(&grid);
+    let nr = grid.num_regions();
+    let phase_track = p as u32;
+    let trace_on = tracer.is_some();
+    let vfree = weights::vfree_weights(cfg.env, &grid);
+
+    let naive = naive_block(nr, p);
+    let naive_queues = owner_queues(&naive);
+    let mk_exec = |trace: bool| {
+        let ex = LiveExecutor::new(p, tuning);
+        if trace {
+            ex.with_tracing()
+        } else {
+            ex
+        }
+    };
+
+    // Phase 1: generation (static, naïve) — samples must exist before
+    // sample-count weights can.
+    let mut ex = mk_exec(trace_on);
+    let gen_spec = ExecSpec {
+        n_tasks: nr,
+        costs: None,
+        payloads: None,
+        assignment: &naive_queues,
+        steal: None,
+        seed: derive_seed(cfg.seed, p as u64, 1),
+    };
+    let gen_out = ex.execute(&gen_spec, &|r| gen_region(cfg, &grid, r))?;
+    let gen_makespan = gen_out.report.makespan;
+    if let Some(tr) = tracer.as_deref_mut() {
+        tr.name_track(phase_track, "phases");
+        tr.begin(0, phase_track, cat::PHASE, "generation");
+        ex.replay_trace_into(tr);
+        tr.end(gen_makespan, phase_track, cat::PHASE);
+    }
+    let gen_results = gen_out.results;
+    let mut offset = gen_makespan;
+
+    // Phase 2: load balancing, wall-timed on the calling thread. The
+    // repartition "migration" is an ownership-table update — in shared
+    // memory the samples do not move, so its cost is just the partition
+    // compute measured here.
+    let lb_clock = Instant::now();
+    let counts: Vec<u32> = gen_results.iter().map(|(c, _)| c.len() as u32).collect();
+    let mut migrations = 0usize;
+    let (connect_queues, steal) = match strategy {
+        Strategy::NoLb => (naive_queues.clone(), None),
+        Strategy::WorkStealing(sc) => (naive_queues.clone(), Some(*sc)),
+        Strategy::Repartition(kind) => {
+            let w: Vec<f64> = match kind {
+                WeightKind::SampleCount => weights::sample_count_weights(&counts),
+                WeightKind::Vfree => vfree.clone(),
+                other => panic!("{other:?} weights are not supported by the live backend"),
+            };
+            let cur = loads(&naive, &w);
+            let mean = cur.iter().sum::<f64>() / p as f64;
+            let max = cur.iter().cloned().fold(0.0, f64::max);
+            if mean <= 0.0 || max <= mean * 1.05 {
+                (naive_queues.clone(), None)
+            } else {
+                let new_map = greedy_lpt(&w, p);
+                migrations = naive.migration_count(&new_map);
+                (owner_queues(&new_map), None)
+            }
+        }
+    };
+    let lb_time = u64::try_from(lb_clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if let Some(tr) = tracer.as_deref_mut() {
+        tr.set_base(offset);
+        tr.begin(0, phase_track, cat::PHASE, "load_balance");
+        if migrations > 0 {
+            tr.instant(
+                0,
+                phase_track,
+                cat::PHASE,
+                "repartition",
+                &[("migrations", migrations as u64)],
+            );
+        }
+        tr.end(lb_time, phase_track, cat::PHASE);
+    }
+    offset += lb_time;
+
+    // Phase 3: node connection under the chosen strategy — a thief that
+    // steals a region builds (and keeps) that region's roadmap.
+    let payloads: Vec<u64> = gen_results.iter().map(|(c, _)| c.len() as u64).collect();
+    let mut ex = mk_exec(trace_on);
+    let con_spec = ExecSpec {
+        n_tasks: nr,
+        costs: None,
+        payloads: Some(&payloads),
+        assignment: &connect_queues,
+        steal,
+        seed: derive_seed(cfg.seed, p as u64, 2),
+    };
+    let con_out = ex.execute(&con_spec, &|r| {
+        connect_region(cfg, &gen_results[r as usize].0)
+    })?;
+    let con_makespan = con_out.report.makespan;
+    if let Some(tr) = tracer.as_deref_mut() {
+        tr.set_base(offset);
+        tr.begin(0, phase_track, cat::PHASE, "node_connection");
+        ex.replay_trace_into(tr);
+        tr.end(con_makespan, phase_track, cat::PHASE);
+    }
+    offset += con_makespan;
+    let final_owner: Vec<u32> = con_out.report.executed_by.clone();
+
+    // Phase 4: region connection — each region-graph edge runs on the
+    // final owner of its first region (static; deterministic from the
+    // samples and the edge-derived seed).
+    let edges: Vec<(u32, u32)> = region_graph.edges().to_vec();
+    let mut cross_queues: Vec<Vec<u32>> = vec![Vec::new(); p];
+    for (i, &(a, _)) in edges.iter().enumerate() {
+        cross_queues[final_owner[a as usize] as usize].push(i as u32);
+    }
+    let mut ex = mk_exec(trace_on);
+    let cross_spec = ExecSpec {
+        n_tasks: edges.len(),
+        costs: None,
+        payloads: None,
+        assignment: &cross_queues,
+        steal: None,
+        seed: derive_seed(cfg.seed, p as u64, 4),
+    };
+    let cross_out = ex.execute(&cross_spec, &|i| {
+        let (a, b) = edges[i as usize];
+        cross_edge(
+            cfg,
+            a,
+            b,
+            &gen_results[a as usize].0,
+            &gen_results[b as usize].0,
+        )
+    })?;
+    let cross_makespan = cross_out.report.makespan;
+    if let Some(tr) = tracer {
+        tr.set_base(offset);
+        tr.begin(0, phase_track, cat::PHASE, "region_connection");
+        ex.replay_trace_into(tr);
+        tr.end(cross_makespan, phase_track, cat::PHASE);
+        tr.set_base(offset + cross_makespan);
+    }
+
+    // Logical remote-access accounting (NUMA-style): a cross edge whose
+    // partner region lives on another worker would be a remote fetch on a
+    // distributed machine — counted for comparability with the DES runs
+    // even though shared memory makes the read free here.
+    let mut remote = RemoteAccessCounter::new();
+    for c in &cross_out.results {
+        let (a, b) = c.regions;
+        let oa = final_owner[a as usize];
+        let ob = final_owner[b as usize];
+        remote.touch_region(oa, ob);
+        if oa != ob && c.partner_reads > 0 {
+            remote.roadmap_remote += c.partner_reads;
+        } else {
+            remote.local += c.partner_reads;
+        }
+    }
+
+    let mut node_load_initial = vec![0u64; p];
+    let mut node_load_final = vec![0u64; p];
+    for r in 0..nr {
+        node_load_initial[naive.owner_of(r as u32) as usize] += counts[r] as u64;
+        node_load_final[final_owner[r] as usize] += counts[r] as u64;
+    }
+    let final_map = OwnerMap::new(final_owner, p);
+    let edge_cut = final_map.edge_cut(region_graph.edges());
+
+    // Barriers are real thread joins here, already inside each makespan.
+    let phases = PhaseBreakdown {
+        other: gen_makespan + lb_time,
+        node_connection: con_makespan,
+        region_connection: cross_makespan,
+    };
+    let construction = con_out.report.to_sim_report();
+
+    let regions: Vec<RegionOutcome<D>> = gen_results
+        .into_iter()
+        .zip(con_out.results)
+        .map(|((cfgs, gen_work), (edges, con_work))| RegionOutcome {
+            cfgs,
+            edges,
+            gen_work,
+            con_work,
+        })
+        .collect();
+    let workload = PrmWorkload {
+        grid,
+        region_graph,
+        regions,
+        cross: cross_out.results,
+        vfree,
+        seed: cfg.seed,
+    };
+
+    let mut reg = MetricsRegistry::new();
+    reg.set_gauge("prm.p", p as u64);
+    reg.set_gauge("prm.regions", nr as u64);
+    reg.set_gauge("prm.vertices", workload.total_vertices() as u64);
+    reg.inc("prm.migrations", migrations as u64);
+    reg.set_gauge("prm.edge_cut", edge_cut as u64);
+    reg.inc("prm.remote.accesses", remote.total_remote());
+    reg.inc("prm.remote.local", remote.local);
+    reg.set_gauge("prm.time.total_ns", phases.total());
+    reg.set_gauge("prm.time.generation_ns", gen_makespan);
+    reg.set_gauge("prm.time.load_balance_ns", lb_time);
+    reg.set_gauge("prm.time.node_connection_ns", con_makespan);
+    reg.set_gauge("prm.time.region_connection_ns", cross_makespan);
+    let metrics = reg.snapshot().merged_with(&construction.metrics);
+
+    let run = PrmRun {
+        strategy_label: strategy.label(),
+        p,
+        total_time: phases.total(),
+        phases,
+        construction,
+        node_load_initial,
+        node_load_final,
+        remote,
+        edge_cut,
+        migrations,
+        metrics,
+    };
+    Ok((workload, run))
+}
+
+/// Backend-agnostic entry point: build-and-run the experiment described by
+/// `cfg` on `p` workers of the selected [`Backend`]. `Backend::Des`
+/// measures the workload once and replays it on `p` virtual PEs of
+/// `machine`; `Backend::Live` executes it on `p` OS threads (`machine` is
+/// unused). Either way the returned workload assembles to the same
+/// roadmap for the same `cfg.seed` — the cross-backend determinism gate.
+pub fn run_parallel_prm_on<const D: usize>(
+    cfg: &ParallelPrmConfig<'_, D>,
+    machine: &MachineModel,
+    p: usize,
+    strategy: &Strategy,
+    backend: Backend,
+) -> Result<(PrmWorkload<D>, PrmRun), SimError> {
+    match backend {
+        Backend::Des => {
+            let workload = build_prm_workload(cfg);
+            let run = run_parallel_prm(&workload, machine, p, strategy)?;
+            Ok((workload, run))
+        }
+        Backend::Live(tuning) => run_parallel_prm_live(cfg, p, strategy, tuning),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -768,6 +1120,112 @@ mod tests {
             observed.metrics.expect("prm.time.total_ns"),
             observed.total_time
         );
+    }
+
+    #[test]
+    fn live_backend_reproduces_the_measured_workload() {
+        use crate::assemble::{assemble_prm_roadmap, roadmap_digest};
+        let env = envs::med_cube();
+        let cfg = ParallelPrmConfig {
+            regions_target: 128,
+            attempts_per_region: 8,
+            k_neighbors: 4,
+            lp_resolution: 0.02,
+            robot_radius: 0.1,
+            ..ParallelPrmConfig::new(&env)
+        };
+        let reference = roadmap_digest(&assemble_prm_roadmap(&build_prm_workload(&cfg)));
+        let nr = build_prm_workload(&cfg).num_regions();
+        for threads in [1usize, 3] {
+            for strategy in [
+                Strategy::NoLb,
+                Strategy::WorkStealing(StealConfig::new(StealPolicyKind::rand8())),
+                Strategy::Repartition(WeightKind::SampleCount),
+            ] {
+                let (w, run) =
+                    run_parallel_prm_live(&cfg, threads, &strategy, LiveTuning::default()).unwrap();
+                // Work-product determinism: live == measured build, bit for bit.
+                assert_eq!(
+                    roadmap_digest(&assemble_prm_roadmap(&w)),
+                    reference,
+                    "digest drift: threads={threads} strategy={}",
+                    strategy.label()
+                );
+                let executed: u32 = run.construction.per_pe_executed.iter().sum();
+                assert_eq!(executed as usize, nr);
+                let total_i: u64 = run.node_load_initial.iter().sum();
+                let total_f: u64 = run.node_load_final.iter().sum();
+                assert_eq!(total_i, total_f);
+                assert_eq!(run.p, threads);
+                assert_eq!(run.metrics.expect("live.tasks.executed") as usize, nr);
+            }
+        }
+    }
+
+    #[test]
+    fn backend_dispatch_runs_both_backends_on_one_config() {
+        use crate::assemble::{assemble_prm_roadmap, roadmap_digest};
+        let env = envs::free_env();
+        let cfg = ParallelPrmConfig {
+            regions_target: 64,
+            attempts_per_region: 5,
+            lp_resolution: 0.05,
+            ..ParallelPrmConfig::new(&env)
+        };
+        let machine = MachineModel::hopper();
+        let s = Strategy::NoLb;
+        let (wd, des) =
+            run_parallel_prm_on(&cfg, &machine, 4, &s, smp_runtime::Backend::Des).unwrap();
+        let (wl, live) =
+            run_parallel_prm_on(&cfg, &machine, 4, &s, smp_runtime::Backend::live(4)).unwrap();
+        assert_eq!(
+            roadmap_digest(&assemble_prm_roadmap(&wd)),
+            roadmap_digest(&assemble_prm_roadmap(&wl))
+        );
+        assert_eq!(des.strategy_label, live.strategy_label);
+        // The DES charges simulated network messages; the live backend has
+        // none to send under a static schedule.
+        assert_eq!(live.construction.steal_attempts, 0);
+    }
+
+    #[test]
+    fn observed_live_prm_trace_is_well_formed() {
+        let env = envs::med_cube();
+        let cfg = ParallelPrmConfig {
+            regions_target: 64,
+            attempts_per_region: 6,
+            lp_resolution: 0.03,
+            robot_radius: 0.1,
+            ..ParallelPrmConfig::new(&env)
+        };
+        let s = Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(4)));
+        let mut tr = Tracer::new();
+        let (w, run) =
+            run_parallel_prm_live_observed(&cfg, 2, &s, LiveTuning::default(), Some(&mut tr))
+                .unwrap();
+        tr.check_well_formed()
+            .expect("live planner trace well-formed");
+        for name in [
+            "generation",
+            "load_balance",
+            "node_connection",
+            "region_connection",
+        ] {
+            assert!(
+                tr.events()
+                    .iter()
+                    .any(|e| e.track == 2 && e.cat == cat::PHASE && e.name == name),
+                "missing phase span {name}"
+            );
+        }
+        // Every region generated and connected exactly once => one task
+        // span pair per region per live phase, plus the cross-edge phase.
+        let task_events = tr.events().iter().filter(|e| e.cat == cat::TASK).count();
+        assert_eq!(
+            task_events,
+            2 * (2 * w.num_regions() + w.region_graph.num_edges())
+        );
+        assert_eq!(run.metrics.expect("prm.regions") as usize, w.num_regions());
     }
 
     #[test]

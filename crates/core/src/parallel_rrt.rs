@@ -24,11 +24,16 @@ use smp_graph::{OwnerMap, RegionGraph, RemoteAccessCounter};
 use smp_obs::{cat, MetricsRegistry, MetricsSnapshot, Tracer};
 use smp_plan::connect::{connect_roadmaps, CandidateEdge};
 use smp_plan::rrt::{grow_rrt, RrtParams};
-use smp_runtime::{simulate_observed, FaultPlan, MachineModel, SimConfig, SimError, SimReport};
+use smp_runtime::{
+    simulate_observed, Backend, ExecSpec, Executor, FaultPlan, LiveExecutor, LiveTuning,
+    MachineModel, SimConfig, SimError, SimReport,
+};
+use std::time::Instant;
 
 /// Parameters of a parallel radial-RRT experiment.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelRrtConfig<'e, const D: usize> {
+    /// Environment to plan in.
     pub env: &'e Environment<D>,
     /// Number of conical regions (points sampled on the sphere).
     pub num_regions: usize,
@@ -40,9 +45,13 @@ pub struct ParallelRrtConfig<'e, const D: usize> {
     pub k_adjacent: usize,
     /// Target tree size per region.
     pub nodes_per_region: usize,
+    /// Maximum extension step per RRT iteration.
     pub step_size: f64,
+    /// Probability of sampling the cone's bias target.
     pub target_bias: f64,
+    /// Local-planner resolution.
     pub lp_resolution: f64,
+    /// Ball-robot radius.
     pub robot_radius: f64,
     /// Iteration budget per region (bounds work in blocked cones).
     pub max_iters: usize,
@@ -52,11 +61,14 @@ pub struct ParallelRrtConfig<'e, const D: usize> {
     pub krays: usize,
     /// Cross-branch connection: candidate pairs per region edge.
     pub connect_max_pairs: usize,
+    /// Stop after this many successful cross links per region edge.
     pub connect_stop_after: usize,
+    /// Experiment seed; all region and edge seeds derive from it.
     pub seed: u64,
 }
 
 impl<'e, const D: usize> ParallelRrtConfig<'e, D> {
+    /// Reasonable defaults for an experiment on `env`.
     pub fn new(env: &'e Environment<D>) -> Self {
         ParallelRrtConfig {
             env,
@@ -87,31 +99,43 @@ pub struct BranchOutcome<const D: usize> {
     pub cfgs: Vec<Cfg<D>>,
     /// Tree edges `(a, b, length)` in local indices.
     pub edges: Vec<(u32, u32, f64)>,
+    /// Measured branch-growth work.
     pub work: WorkCounters,
 }
 
 /// Cross-branch connection outcome for one region-graph edge.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RrtCrossOutcome {
+    /// The region-graph edge `(a, b)` this outcome belongs to.
     pub regions: (u32, u32),
+    /// Successful cross-branch links found.
     pub links: Vec<CandidateEdge>,
+    /// Measured connection work.
     pub work: WorkCounters,
+    /// Vertices of the partner branch read during the attempt (remote
+    /// when the partner lives on another PE).
     pub partner_reads: u64,
 }
 
 /// A fully-measured parallel RRT workload.
 #[derive(Debug, Clone)]
 pub struct RrtWorkload<const D: usize> {
+    /// The radial (conical) subdivision.
     pub sub: RadialSubdivision<D>,
+    /// Angular adjacency between cones.
     pub region_graph: RegionGraph,
+    /// Per-region measured branch outcomes, indexed by region id.
     pub regions: Vec<BranchOutcome<D>>,
+    /// Per-region-graph-edge cross-connection outcomes.
     pub cross: Vec<RrtCrossOutcome>,
     /// k-random-rays weight per region (the paper's RRT estimate).
     pub krays_weights: Vec<f64>,
+    /// The experiment seed every region seed was derived from.
     pub seed: u64,
 }
 
 impl<const D: usize> RrtWorkload<D> {
+    /// Number of conical regions in the workload.
     pub fn num_regions(&self) -> usize {
         self.regions.len()
     }
@@ -122,6 +146,85 @@ impl<const D: usize> RrtWorkload<D> {
             .iter()
             .map(|r| r.cfgs.len().saturating_sub(1) as u32)
             .collect()
+    }
+}
+
+/// Grow one region's branch: seeded by the region id, so any worker (host
+/// thread or virtual PE) grows the identical branch — the
+/// location-independence that lets the live backend hand regions off on
+/// steal without changing the tree.
+fn grow_branch<const D: usize>(
+    cfg: &ParallelRrtConfig<'_, D>,
+    sub: &RadialSubdivision<D>,
+    r: u32,
+) -> BranchOutcome<D> {
+    let validity = EnvValidity::new(cfg.env, cfg.robot_radius);
+    let lp = StraightLinePlanner::new(cfg.lp_resolution);
+    let params = RrtParams {
+        num_nodes: cfg.nodes_per_region,
+        step_size: cfg.step_size,
+        target_bias: cfg.target_bias,
+        max_iters: cfg.max_iters,
+        stall_limit: cfg.stall_limit,
+    };
+    let sampler = ConeSampler::new(sub, r);
+    let mut rng: StdRng = smp_cspace::region_rng(cfg.seed, r, 0x7472_6565);
+    let res = grow_rrt(
+        sub.root(),
+        Some(sub.target(r)),
+        |q| sub.in_region(r, q),
+        &sampler,
+        &validity,
+        &lp,
+        &params,
+        &mut rng,
+    );
+    let cfgs: Vec<Cfg<D>> = res.tree.vertices().copied().collect();
+    let edges: Vec<(u32, u32, f64)> = res.tree.edges().map(|(a, b, w)| (a, b, *w)).collect();
+    BranchOutcome {
+        cfgs,
+        edges,
+        work: res.work,
+    }
+}
+
+/// Cross-connect the non-root vertices of two adjacent branches:
+/// deterministic from the grown branches and the edge-derived seed,
+/// independent of which worker runs it.
+fn rrt_cross_edge<const D: usize>(
+    cfg: &ParallelRrtConfig<'_, D>,
+    a: u32,
+    b: u32,
+    a_branch: &[Cfg<D>],
+    b_branch: &[Cfg<D>],
+) -> RrtCrossOutcome {
+    let validity = EnvValidity::new(cfg.env, cfg.robot_radius);
+    let lp = StraightLinePlanner::new(cfg.lp_resolution);
+    let mut work = WorkCounters::new();
+    let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, a as u64, b as u64));
+    // connect non-root vertices of adjacent branches
+    let a_cfgs: Vec<Cfg<D>> = a_branch.iter().skip(1).copied().collect();
+    let b_cfgs: Vec<Cfg<D>> = b_branch.iter().skip(1).copied().collect();
+    let mut links = connect_roadmaps(
+        &a_cfgs,
+        &b_cfgs,
+        &validity,
+        &lp,
+        cfg.connect_max_pairs,
+        cfg.connect_stop_after,
+        &mut work,
+        &mut rng,
+    );
+    // re-index to full-branch indices (skip(1) shifted by one)
+    for l in &mut links {
+        l.from += 1;
+        l.to += 1;
+    }
+    RrtCrossOutcome {
+        regions: (a, b),
+        partner_reads: b_cfgs.len() as u64,
+        links,
+        work,
     }
 }
 
@@ -137,72 +240,22 @@ pub fn build_rrt_workload<const D: usize>(cfg: &ParallelRrtConfig<'_, D>) -> Rrt
     );
     let region_graph = RegionGraph::from_radial(&sub, cfg.k_adjacent);
 
-    let validity = EnvValidity::new(cfg.env, cfg.robot_radius);
-    let lp = StraightLinePlanner::new(cfg.lp_resolution);
-    let params = RrtParams {
-        num_nodes: cfg.nodes_per_region,
-        step_size: cfg.step_size,
-        target_bias: cfg.target_bias,
-        max_iters: cfg.max_iters,
-        stall_limit: cfg.stall_limit,
-    };
-
     let regions: Vec<BranchOutcome<D>> = (0..sub.num_regions() as u32)
         .into_par_iter()
-        .map(|r| {
-            let sampler = ConeSampler::new(&sub, r);
-            let mut rng: StdRng = smp_cspace::region_rng(cfg.seed, r, 0x7472_6565);
-            let res = grow_rrt(
-                sub.root(),
-                Some(sub.target(r)),
-                |q| sub.in_region(r, q),
-                &sampler,
-                &validity,
-                &lp,
-                &params,
-                &mut rng,
-            );
-            let cfgs: Vec<Cfg<D>> = res.tree.vertices().copied().collect();
-            let edges: Vec<(u32, u32, f64)> =
-                res.tree.edges().map(|(a, b, w)| (a, b, *w)).collect();
-            BranchOutcome {
-                cfgs,
-                edges,
-                work: res.work,
-            }
-        })
+        .map(|r| grow_branch(cfg, &sub, r))
         .collect();
 
     let cross: Vec<RrtCrossOutcome> = region_graph
         .edges()
         .par_iter()
         .map(|&(a, b)| {
-            let mut work = WorkCounters::new();
-            let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, a as u64, b as u64));
-            // connect non-root vertices of adjacent branches
-            let a_cfgs: Vec<Cfg<D>> = regions[a as usize].cfgs.iter().skip(1).copied().collect();
-            let b_cfgs: Vec<Cfg<D>> = regions[b as usize].cfgs.iter().skip(1).copied().collect();
-            let mut links = connect_roadmaps(
-                &a_cfgs,
-                &b_cfgs,
-                &validity,
-                &lp,
-                cfg.connect_max_pairs,
-                cfg.connect_stop_after,
-                &mut work,
-                &mut rng,
-            );
-            // re-index to full-branch indices (skip(1) shifted by one)
-            for l in &mut links {
-                l.from += 1;
-                l.to += 1;
-            }
-            RrtCrossOutcome {
-                regions: (a, b),
-                partner_reads: b_cfgs.len() as u64,
-                links,
-                work,
-            }
+            rrt_cross_edge(
+                cfg,
+                a,
+                b,
+                &regions[a as usize].cfgs,
+                &regions[b as usize].cfgs,
+            )
         })
         .collect();
 
@@ -221,15 +274,25 @@ pub fn build_rrt_workload<const D: usize>(cfg: &ParallelRrtConfig<'_, D>) -> Rrt
 /// Result of replaying an RRT workload under one strategy at one PE count.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RrtRun {
+    /// Human-readable strategy name.
     pub strategy_label: String,
+    /// Number of PEs (virtual) or worker threads (live).
     pub p: usize,
+    /// End-to-end virtual (DES) or wall-clock (live) time, ns.
     pub total_time: u64,
+    /// Per-phase split of `total_time`.
     pub phases: PhaseBreakdown,
+    /// Report of the branch-construction phase.
     pub construction: SimReport,
+    /// Tree nodes per PE under the initial naïve mapping.
     pub node_load_initial: Vec<u64>,
+    /// Tree nodes per PE after balancing (final executors).
     pub node_load_final: Vec<u64>,
+    /// Remote accesses during region connection.
     pub remote: RemoteAccessCounter,
+    /// Region-graph edge cut under the final assignment.
     pub edge_cut: usize,
+    /// Regions that changed owner during repartitioning.
     pub migrations: usize,
     /// Flat metrics: planner-level `rrt.*` rows merged with the
     /// construction phase's `des.*` rows (DESIGN.md §9).
@@ -237,10 +300,12 @@ pub struct RrtRun {
 }
 
 impl RrtRun {
+    /// Coefficient of variation of the initial per-PE node load.
     pub fn cov_before(&self) -> f64 {
         smp_runtime::metrics::cov_u64(&self.node_load_initial)
     }
 
+    /// Coefficient of variation of the balanced per-PE node load.
     pub fn cov_after(&self) -> f64 {
         smp_runtime::metrics::cov_u64(&self.node_load_final)
     }
@@ -442,6 +507,260 @@ pub fn run_parallel_rrt_observed<const D: usize>(
     })
 }
 
+/// Run the full parallel RRT **live** on `threads` OS threads: branch
+/// growth and cross-connection really execute through [`LiveExecutor`] in
+/// wall-clock time, with real ownership handoff on steal.
+///
+/// Returns the workload the live run produced alongside the run report.
+/// Branch growth is seeded by region id, so the workload — and the
+/// assembled tree digest — is byte-identical to [`build_rrt_workload`]'s
+/// for the same `cfg`, at any thread count and strategy (DESIGN.md §12).
+///
+/// `Repartition` uses the k-random-rays weights (the only estimate
+/// available *before* growth, §III-B), exactly as the DES path does.
+pub fn run_parallel_rrt_live<const D: usize>(
+    cfg: &ParallelRrtConfig<'_, D>,
+    threads: usize,
+    strategy: &Strategy,
+    tuning: LiveTuning,
+) -> Result<(RrtWorkload<D>, RrtRun), SimError> {
+    run_parallel_rrt_live_observed(cfg, threads, strategy, tuning, None)
+}
+
+/// As [`run_parallel_rrt_live`] with an optional [`Tracer`]: per-worker
+/// tracks carry wall-clock task spans and steal instants, and a
+/// `"phases"` track (id `threads`) carries one span per planner phase —
+/// wall-clock timeline, so not golden-file comparable (DESIGN.md §12).
+pub fn run_parallel_rrt_live_observed<const D: usize>(
+    cfg: &ParallelRrtConfig<'_, D>,
+    threads: usize,
+    strategy: &Strategy,
+    tuning: LiveTuning,
+    mut tracer: Option<&mut Tracer>,
+) -> Result<(RrtWorkload<D>, RrtRun), SimError> {
+    if threads == 0 {
+        return Err(SimError::NoPes);
+    }
+    let p = threads;
+    let root = cfg.env.bounds().center();
+    let sub = RadialSubdivision::sample(
+        root,
+        cfg.radius,
+        cfg.num_regions,
+        cfg.overlap_factor,
+        derive_seed(cfg.seed, 0, 0x726_164),
+    );
+    let region_graph = RegionGraph::from_radial(&sub, cfg.k_adjacent);
+    let nr = sub.num_regions();
+    let phase_track = p as u32;
+    let trace_on = tracer.is_some();
+    let naive = naive_block(nr, p);
+    let mk_exec = |trace: bool| {
+        let ex = LiveExecutor::new(p, tuning);
+        if trace {
+            ex.with_tracing()
+        } else {
+            ex
+        }
+    };
+
+    // Phase 1: load balancing *before* growth (RRT work cannot be measured
+    // a priori) — wall-timed, including the real k-random-rays casts.
+    let lb_clock = Instant::now();
+    let mut migrations = 0usize;
+    let (queues, steal, krays_weights) = match strategy {
+        Strategy::NoLb => (naive.items_per_pe(), None, None),
+        Strategy::WorkStealing(sc) => (naive.items_per_pe(), Some(*sc), None),
+        Strategy::Repartition(kind) => {
+            let w: Vec<f64> = match kind {
+                WeightKind::KRays(k) => weights::krays_weights(cfg.env, &sub, *k, cfg.seed),
+                other => panic!("RRT repartitioning requires KRays weights, got {other:?}"),
+            };
+            let cur = loads(&naive, &w);
+            let mean = cur.iter().sum::<f64>() / p as f64;
+            let max = cur.iter().cloned().fold(0.0, f64::max);
+            if mean <= 0.0 || max <= mean * 1.05 {
+                (naive.items_per_pe(), None, Some(w))
+            } else {
+                let new_map = greedy_lpt(&w, p);
+                migrations = naive.migration_count(&new_map);
+                // pre-growth migration moves descriptors only — free in
+                // shared memory (the queues just start elsewhere)
+                (new_map.items_per_pe(), None, Some(w))
+            }
+        }
+    };
+    let lb_time = u64::try_from(lb_clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if let Some(tr) = tracer.as_deref_mut() {
+        tr.name_track(phase_track, "phases");
+        tr.begin(0, phase_track, cat::PHASE, "load_balance");
+        if migrations > 0 {
+            tr.instant(
+                0,
+                phase_track,
+                cat::PHASE,
+                "repartition",
+                &[("migrations", migrations as u64)],
+            );
+        }
+        tr.end(lb_time, phase_track, cat::PHASE);
+    }
+    let mut offset = lb_time;
+
+    // Phase 2: construction (branch growth) under the chosen strategy — a
+    // thief that steals a region grows (and keeps) that region's branch.
+    let mut ex = mk_exec(trace_on);
+    let con_spec = ExecSpec {
+        n_tasks: nr,
+        costs: None,
+        payloads: None,
+        assignment: &queues,
+        steal,
+        seed: derive_seed(cfg.seed, p as u64, 3),
+    };
+    let con_out = ex.execute(&con_spec, &|r| grow_branch(cfg, &sub, r))?;
+    let con_makespan = con_out.report.makespan;
+    if let Some(tr) = tracer.as_deref_mut() {
+        tr.set_base(offset);
+        tr.begin(0, phase_track, cat::PHASE, "construction");
+        ex.replay_trace_into(tr);
+        tr.end(con_makespan, phase_track, cat::PHASE);
+    }
+    offset += con_makespan;
+    let final_owner: Vec<u32> = con_out.report.executed_by.clone();
+    let branches = con_out.results;
+
+    // Phase 3: region connection — each region-graph edge runs on the
+    // final owner of its first region.
+    let edges: Vec<(u32, u32)> = region_graph.edges().to_vec();
+    let mut cross_queues: Vec<Vec<u32>> = vec![Vec::new(); p];
+    for (i, &(a, _)) in edges.iter().enumerate() {
+        cross_queues[final_owner[a as usize] as usize].push(i as u32);
+    }
+    let mut ex = mk_exec(trace_on);
+    let cross_spec = ExecSpec {
+        n_tasks: edges.len(),
+        costs: None,
+        payloads: None,
+        assignment: &cross_queues,
+        steal: None,
+        seed: derive_seed(cfg.seed, p as u64, 4),
+    };
+    let cross_out = ex.execute(&cross_spec, &|i| {
+        let (a, b) = edges[i as usize];
+        rrt_cross_edge(
+            cfg,
+            a,
+            b,
+            &branches[a as usize].cfgs,
+            &branches[b as usize].cfgs,
+        )
+    })?;
+    let cross_makespan = cross_out.report.makespan;
+    if let Some(tr) = tracer {
+        tr.set_base(offset);
+        tr.begin(0, phase_track, cat::PHASE, "region_connection");
+        ex.replay_trace_into(tr);
+        tr.end(cross_makespan, phase_track, cat::PHASE);
+        tr.set_base(offset + cross_makespan);
+    }
+
+    // Logical remote-access accounting, as in the PRM live path.
+    let mut remote = RemoteAccessCounter::new();
+    for c in &cross_out.results {
+        let (a, b) = c.regions;
+        let oa = final_owner[a as usize];
+        let ob = final_owner[b as usize];
+        remote.touch_region(oa, ob);
+        if oa != ob && c.partner_reads > 0 {
+            remote.roadmap_remote += c.partner_reads;
+        } else {
+            remote.local += c.partner_reads;
+        }
+    }
+
+    let counts: Vec<u32> = branches
+        .iter()
+        .map(|b| b.cfgs.len().saturating_sub(1) as u32)
+        .collect();
+    let mut node_load_initial = vec![0u64; p];
+    let mut node_load_final = vec![0u64; p];
+    for r in 0..nr {
+        node_load_initial[naive.owner_of(r as u32) as usize] += counts[r] as u64;
+        node_load_final[final_owner[r] as usize] += counts[r] as u64;
+    }
+    let final_map = OwnerMap::new(final_owner, p);
+    let edge_cut = final_map.edge_cut(region_graph.edges());
+
+    let phases = PhaseBreakdown {
+        other: lb_time,
+        node_connection: con_makespan,
+        region_connection: cross_makespan,
+    };
+    let construction = con_out.report.to_sim_report();
+
+    let krays_weights =
+        krays_weights.unwrap_or_else(|| weights::krays_weights(cfg.env, &sub, cfg.krays, cfg.seed));
+    let workload = RrtWorkload {
+        sub,
+        region_graph,
+        regions: branches,
+        cross: cross_out.results,
+        krays_weights,
+        seed: cfg.seed,
+    };
+
+    let mut reg = MetricsRegistry::new();
+    reg.set_gauge("rrt.p", p as u64);
+    reg.set_gauge("rrt.regions", nr as u64);
+    reg.inc("rrt.migrations", migrations as u64);
+    reg.set_gauge("rrt.edge_cut", edge_cut as u64);
+    reg.inc("rrt.remote.accesses", remote.total_remote());
+    reg.inc("rrt.remote.local", remote.local);
+    reg.set_gauge("rrt.time.total_ns", phases.total());
+    reg.set_gauge("rrt.time.load_balance_ns", lb_time);
+    reg.set_gauge("rrt.time.construction_ns", con_makespan);
+    reg.set_gauge("rrt.time.region_connection_ns", cross_makespan);
+    let metrics = reg.snapshot().merged_with(&construction.metrics);
+
+    let run = RrtRun {
+        strategy_label: strategy.label(),
+        p,
+        total_time: phases.total(),
+        phases,
+        construction,
+        node_load_initial,
+        node_load_final,
+        remote,
+        edge_cut,
+        migrations,
+        metrics,
+    };
+    Ok((workload, run))
+}
+
+/// Backend-agnostic entry point, mirroring
+/// [`crate::parallel_prm::run_parallel_prm_on`]: `Backend::Des` measures
+/// the workload once and replays it on `p` virtual PEs of `machine`;
+/// `Backend::Live` executes it on `p` OS threads (`machine` unused). The
+/// returned workloads assemble to the same tree for the same `cfg.seed`.
+pub fn run_parallel_rrt_on<const D: usize>(
+    cfg: &ParallelRrtConfig<'_, D>,
+    machine: &MachineModel,
+    p: usize,
+    strategy: &Strategy,
+    backend: Backend,
+) -> Result<(RrtWorkload<D>, RrtRun), SimError> {
+    match backend {
+        Backend::Des => {
+            let workload = build_rrt_workload(cfg);
+            let run = run_parallel_rrt(&workload, machine, p, strategy)?;
+            Ok((workload, run))
+        }
+        Backend::Live(tuning) => run_parallel_rrt_live(cfg, p, strategy, tuning),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,6 +907,94 @@ mod tests {
         assert_eq!(
             observed.metrics.expect("des.tasks.executed") as usize,
             w.num_regions()
+        );
+    }
+
+    #[test]
+    fn live_backend_grows_the_identical_tree() {
+        use crate::assemble::{assemble_rrt_tree, roadmap_digest};
+        let env = envs::mixed();
+        let cfg = ParallelRrtConfig {
+            num_regions: 64,
+            nodes_per_region: 12,
+            max_iters: 150,
+            lp_resolution: 0.04,
+            ..ParallelRrtConfig::new(&env)
+        };
+        let reference = roadmap_digest(&assemble_rrt_tree(&build_rrt_workload(&cfg)));
+        for threads in [1usize, 3] {
+            for strategy in [
+                Strategy::NoLb,
+                Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Diffusive)),
+                Strategy::Repartition(WeightKind::KRays(4)),
+            ] {
+                let (w, run) =
+                    run_parallel_rrt_live(&cfg, threads, &strategy, LiveTuning::default()).unwrap();
+                assert_eq!(
+                    roadmap_digest(&assemble_rrt_tree(&w)),
+                    reference,
+                    "digest drift: threads={threads} strategy={}",
+                    strategy.label()
+                );
+                let executed: u32 = run.construction.per_pe_executed.iter().sum();
+                assert_eq!(executed as usize, w.num_regions());
+                assert_eq!(run.p, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn observed_live_rrt_trace_is_well_formed() {
+        let env = envs::mixed_30();
+        let cfg = ParallelRrtConfig {
+            num_regions: 48,
+            nodes_per_region: 10,
+            max_iters: 100,
+            lp_resolution: 0.05,
+            ..ParallelRrtConfig::new(&env)
+        };
+        let s = Strategy::WorkStealing(StealConfig::new(StealPolicyKind::rand8()));
+        let mut tr = Tracer::new();
+        let (w, run) =
+            run_parallel_rrt_live_observed(&cfg, 2, &s, LiveTuning::default(), Some(&mut tr))
+                .unwrap();
+        tr.check_well_formed().expect("live rrt trace well-formed");
+        for name in ["load_balance", "construction", "region_connection"] {
+            assert!(
+                tr.events()
+                    .iter()
+                    .any(|e| e.track == 2 && e.cat == cat::PHASE && e.name == name),
+                "missing phase span {name}"
+            );
+        }
+        let task_events = tr.events().iter().filter(|e| e.cat == cat::TASK).count();
+        assert_eq!(
+            task_events,
+            2 * (w.num_regions() + w.region_graph.num_edges())
+        );
+        assert_eq!(run.metrics.expect("rrt.regions") as usize, w.num_regions());
+    }
+
+    #[test]
+    fn backend_dispatch_matches_across_rrt_backends() {
+        use crate::assemble::{assemble_rrt_tree, roadmap_digest};
+        let env = envs::free_env();
+        let cfg = ParallelRrtConfig {
+            num_regions: 32,
+            nodes_per_region: 8,
+            max_iters: 80,
+            lp_resolution: 0.05,
+            ..ParallelRrtConfig::new(&env)
+        };
+        let machine = MachineModel::opteron();
+        let s = Strategy::NoLb;
+        let (wd, _) =
+            run_parallel_rrt_on(&cfg, &machine, 4, &s, smp_runtime::Backend::Des).unwrap();
+        let (wl, _) =
+            run_parallel_rrt_on(&cfg, &machine, 4, &s, smp_runtime::Backend::live(4)).unwrap();
+        assert_eq!(
+            roadmap_digest(&assemble_rrt_tree(&wd)),
+            roadmap_digest(&assemble_rrt_tree(&wl))
         );
     }
 

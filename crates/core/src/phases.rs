@@ -19,6 +19,7 @@ pub struct PhaseBreakdown {
 }
 
 impl PhaseBreakdown {
+    /// Sum of all phases.
     pub fn total(&self) -> u64 {
         self.other + self.node_connection + self.region_connection
     }

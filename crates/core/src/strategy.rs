@@ -22,6 +22,7 @@ pub enum WeightKind {
 }
 
 impl WeightKind {
+    /// Short name used in run labels (e.g. `"probe-16"`).
     pub fn label(&self) -> String {
         match self {
             WeightKind::SampleCount => "samples".into(),

@@ -15,7 +15,7 @@
 //! answer equals the brute-force scan over the whole set. When the tail
 //! outgrows a fixed fraction of the indexed prefix the tree is rebuilt over
 //! everything (geometric rebuild ⇒ amortized O(log n) insert; the tail
-//! bound keeps the per-query scan at O(n / [`REBUILD_DIVISOR`] ) worst case,
+//! bound keeps the per-query scan at O(n / `REBUILD_DIVISOR`) worst case,
 //! in practice a few dozen points).
 
 use crate::kdtree::KdTree;

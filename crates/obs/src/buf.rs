@@ -1,0 +1,185 @@
+//! Worker-local trace buffers for multi-threaded wall-clock recording.
+//!
+//! [`crate::trace::Tracer`] is deliberately single-threaded (`&mut self`
+//! everywhere) so the DES pays no synchronization cost. The live execution
+//! backend runs on real OS threads, so each worker records into its own
+//! [`TraceBuf`] — an append-only event list for one track, no locks, no
+//! shared state — and the buffers are replayed into one `Tracer` after the
+//! threads join. Replay goes through the normal `Tracer` entry points, so
+//! monotone clamping, span-stack balancing, and Chrome-JSON export all work
+//! unchanged.
+//!
+//! Timestamps are whatever the recorder chooses — the live backend uses
+//! wall-clock nanoseconds since a shared phase epoch, which keeps every
+//! worker's track on one comparable timeline.
+
+use crate::trace::{EventPhase, Tracer};
+
+/// One buffered event (the track is implied by the owning buffer).
+#[derive(Debug, Clone)]
+struct BufEvent {
+    ts: u64,
+    phase: EventPhase,
+    cat: &'static str,
+    name: &'static str,
+    args: Vec<(&'static str, u64)>,
+}
+
+/// An append-only, single-owner event buffer for one trace track.
+///
+/// ```
+/// use smp_obs::{TraceBuf, Tracer, cat};
+/// let mut buf = TraceBuf::new(3);
+/// buf.begin(10, cat::TASK, "task", &[("task", 7)]);
+/// buf.end(25, cat::TASK, &[]);
+/// buf.counter(25, "queue_len", 2);
+///
+/// let mut tracer = Tracer::new();
+/// buf.replay_into(&mut tracer);
+/// assert_eq!(tracer.len(), 3);
+/// assert_eq!(tracer.open_spans(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuf {
+    track: u32,
+    events: Vec<BufEvent>,
+}
+
+impl TraceBuf {
+    /// An empty buffer recording onto `track`.
+    pub fn new(track: u32) -> Self {
+        TraceBuf {
+            track,
+            events: Vec::new(),
+        }
+    }
+
+    /// The track every event of this buffer replays onto.
+    pub fn track(&self) -> u32 {
+        self.track
+    }
+
+    /// Open a span.
+    pub fn begin(
+        &mut self,
+        ts: u64,
+        cat: &'static str,
+        name: &'static str,
+        args: &[(&'static str, u64)],
+    ) {
+        self.events.push(BufEvent {
+            ts,
+            phase: EventPhase::Begin,
+            cat,
+            name,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Close the most recent open span (name resolved at replay time by
+    /// the tracer's span stack).
+    pub fn end(&mut self, ts: u64, cat: &'static str, args: &[(&'static str, u64)]) {
+        self.events.push(BufEvent {
+            ts,
+            phase: EventPhase::End,
+            cat,
+            name: "",
+            args: args.to_vec(),
+        });
+    }
+
+    /// Record a point event.
+    pub fn instant(
+        &mut self,
+        ts: u64,
+        cat: &'static str,
+        name: &'static str,
+        args: &[(&'static str, u64)],
+    ) {
+        self.events.push(BufEvent {
+            ts,
+            phase: EventPhase::Instant,
+            cat,
+            name,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Record a counter sample.
+    pub fn counter(&mut self, ts: u64, name: &'static str, value: u64) {
+        self.events.push(BufEvent {
+            ts,
+            phase: EventPhase::Counter,
+            cat: "counter",
+            name,
+            args: vec![("value", value)],
+        });
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replay every buffered event into `tracer` on this buffer's track,
+    /// in recording order, through the normal `Tracer` entry points (so
+    /// clamping and span balancing apply).
+    pub fn replay_into(&self, tracer: &mut Tracer) {
+        for e in &self.events {
+            match e.phase {
+                EventPhase::Begin => tracer.begin_args(e.ts, self.track, e.cat, e.name, &e.args),
+                EventPhase::End => tracer.end_args(e.ts, self.track, e.cat, &e.args),
+                EventPhase::Instant => tracer.instant(e.ts, self.track, e.cat, e.name, &e.args),
+                EventPhase::Counter => {
+                    let v = e.args.first().map_or(0, |&(_, v)| v);
+                    tracer.counter(e.ts, self.track, e.name, v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cat;
+
+    #[test]
+    fn replay_preserves_order_and_balances_spans() {
+        let mut buf = TraceBuf::new(2);
+        buf.begin(100, cat::TASK, "task", &[("task", 1)]);
+        buf.instant(110, cat::STEAL, "steal_hit", &[("victim", 3)]);
+        buf.end(150, cat::TASK, &[]);
+        buf.counter(150, "queue_len", 4);
+        assert_eq!(buf.len(), 4);
+
+        let mut tracer = Tracer::new();
+        buf.replay_into(&mut tracer);
+        assert_eq!(tracer.len(), 4);
+        assert_eq!(tracer.open_spans(), 0);
+        tracer.check_well_formed().expect("well-formed");
+        let names: Vec<_> = tracer.events().iter().map(|e| e.name).collect();
+        assert_eq!(names, ["task", "steal_hit", "task", "queue_len"]);
+        assert!(tracer.events().iter().all(|e| e.track == 2));
+    }
+
+    #[test]
+    fn multiple_buffers_share_one_tracer() {
+        let mut a = TraceBuf::new(0);
+        let mut b = TraceBuf::new(1);
+        a.begin(5, cat::TASK, "task", &[]);
+        a.end(9, cat::TASK, &[]);
+        b.begin(3, cat::TASK, "task", &[]);
+        b.end(7, cat::TASK, &[]);
+        let mut tracer = Tracer::new();
+        a.replay_into(&mut tracer);
+        b.replay_into(&mut tracer);
+        assert_eq!(tracer.len(), 4);
+        tracer.check_well_formed().expect("well-formed");
+    }
+}

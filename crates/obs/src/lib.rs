@@ -25,11 +25,19 @@
 //! itself deterministic, the same `(workload, SimConfig, FaultPlan)` triple
 //! yields a byte-identical trace and metrics snapshot — which is what the
 //! golden-trace test suite in `tests/golden_trace.rs` locks down.
+//!
+//! The live execution backend records through per-worker [`buf::TraceBuf`]
+//! buffers stamped with *wall-clock* nanoseconds; the export pipeline is
+//! still a pure function of the recorded events, but wall-clock event
+//! streams differ run to run, so golden-file comparison applies only to
+//! virtual-time (DES) traces (DESIGN.md §12).
 
+pub mod buf;
 pub mod chrome;
 pub mod metrics;
 pub mod trace;
 
+pub use buf::TraceBuf;
 pub use metrics::{Histogram, MetricSample, MetricsRegistry, MetricsSnapshot};
 pub use trace::{EventPhase, TraceCheckError, TraceEvent, Tracer};
 

@@ -13,8 +13,11 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// payload of any roadmap vertices moving with it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MigrationMsg {
+    /// Region being migrated.
     pub region: u32,
+    /// Sending (old owner) PE.
     pub from_pe: u32,
+    /// Receiving (new owner) PE.
     pub to_pe: u32,
     /// Flattened vertex coordinates (dimension implied by context).
     pub payload: Vec<f64>,

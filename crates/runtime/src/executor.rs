@@ -1,0 +1,378 @@
+//! Multi-backend execution of one load-balanced phase.
+//!
+//! The planners in `smp-core` describe a phase as *data* — a set of
+//! independent tasks, an initial per-worker assignment, and an optional
+//! steal configuration — and hand it to an [`Executor`] to run. Two
+//! interchangeable backends implement the contract (DESIGN.md §12):
+//!
+//! * [`DesExecutor`] replays the phase through the deterministic
+//!   discrete-event simulator ([`crate::sim`]) in **virtual time**. It is
+//!   *schedule-deterministic*: the same spec yields a bit-identical
+//!   [`ExecReport`], which is what the golden-trace suite pins.
+//! * [`crate::live::LiveExecutor`] runs the phase on real OS threads in
+//!   **wall-clock time**, with per-worker region queues, the paper's
+//!   victim-selection policies, and real ownership handoff on steal. It is
+//!   *result-deterministic*: the `results` vector depends only on the task
+//!   closure (region work is location-independent), never on which worker
+//!   ran a task or how long it took — but the report's timings and steal
+//!   counters vary run to run.
+//!
+//! Both backends return the task results **in task order** plus an
+//! [`ExecReport`] in the backend's native time unit, so planner code is
+//! backend-agnostic: select with [`Backend`] and compare outcomes.
+//!
+//! ```
+//! use smp_runtime::executor::{Backend, DesExecutor, ExecSpec, Executor};
+//! use smp_runtime::live::LiveExecutor;
+//! use smp_runtime::MachineModel;
+//!
+//! let costs = vec![50_000u64; 6];
+//! let spec = ExecSpec {
+//!     n_tasks: 6,
+//!     costs: Some(&costs),
+//!     payloads: None,
+//!     assignment: &[vec![0, 1, 2], vec![3, 4, 5]],
+//!     steal: None,
+//!     seed: 7,
+//! };
+//! let work = |task: u32| u64::from(task) * 10; // location-independent work
+//!
+//! // Backend selection: the same spec + closure runs on either backend.
+//! for backend in [Backend::Des, Backend::live(2)] {
+//!     let outcome = match backend {
+//!         Backend::Des => DesExecutor::new(MachineModel::hopper())
+//!             .execute(&spec, &work)
+//!             .unwrap(),
+//!         Backend::Live(tuning) => LiveExecutor::new(2, tuning)
+//!             .execute(&spec, &work)
+//!             .unwrap(),
+//!     };
+//!     // Work-product determinism: results are identical across backends.
+//!     assert_eq!(outcome.results, vec![0, 10, 20, 30, 40, 50]);
+//! }
+//! ```
+
+use crate::live::LiveTuning;
+use crate::machine::MachineModel;
+use crate::sim::{simulate_with_payloads, SimConfig, SimError, SimReport, StealConfig};
+use crate::VTime;
+use smp_obs::MetricsSnapshot;
+
+/// Which execution backend runs a phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backend {
+    /// The deterministic discrete-event simulator (virtual time).
+    Des,
+    /// Real OS threads with live work stealing (wall-clock time).
+    Live(LiveTuning),
+}
+
+impl Backend {
+    /// The live backend with default tuning; `threads` is carried by the
+    /// planner entry points, not the backend tag.
+    pub fn live(_threads: usize) -> Self {
+        Backend::Live(LiveTuning::default())
+    }
+
+    /// Short display name (`"des"` / `"live"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Des => "des",
+            Backend::Live(_) => "live",
+        }
+    }
+}
+
+/// The time base of an [`ExecReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Virtual nanoseconds on the simulated machine (bit-deterministic).
+    VirtualNs,
+    /// Wall-clock nanoseconds on the host (varies run to run).
+    WallClockNs,
+}
+
+/// One phase of independent tasks, ready to execute on any backend.
+///
+/// `assignment[w]` is worker `w`'s initial queue in front-to-back execution
+/// order; every task in `0..n_tasks` must appear exactly once across all
+/// queues. `costs` are the measured virtual costs the DES replays — the
+/// live backend ignores them (it measures real time instead), so they are
+/// optional and only required by [`DesExecutor`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecSpec<'a> {
+    /// Number of tasks in the phase (task ids are `0..n_tasks`).
+    pub n_tasks: usize,
+    /// Per-task virtual cost (required by the DES backend, ignored live).
+    pub costs: Option<&'a [VTime]>,
+    /// Optional per-task migration payload (vertex count moved on steal).
+    pub payloads: Option<&'a [u64]>,
+    /// Initial queue of each worker.
+    pub assignment: &'a [Vec<u32>],
+    /// `None` = static schedule; `Some` enables work stealing.
+    pub steal: Option<StealConfig>,
+    /// Seed for victim-selection RNGs.
+    pub seed: u64,
+}
+
+/// Scheduling statistics of one executed phase, in the backend's native
+/// time unit ([`ExecMode`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecReport {
+    /// Time base of every duration below.
+    pub mode: ExecMode,
+    /// Time the last task completed.
+    pub makespan: u64,
+    /// Per-worker busy time (sum of executed task durations).
+    pub per_pe_busy: Vec<u64>,
+    /// Per-worker completion time of its last task (0 if it ran none).
+    pub per_pe_finish: Vec<u64>,
+    /// Per-worker number of tasks executed.
+    pub per_pe_executed: Vec<u32>,
+    /// Per-worker number of *stolen* tasks executed (initial owner differed).
+    pub per_pe_stolen_executed: Vec<u32>,
+    /// Executing worker of each task.
+    pub executed_by: Vec<u32>,
+    /// Total steal requests sent.
+    pub steal_attempts: u64,
+    /// Requests that returned work.
+    pub steal_hits: u64,
+    /// Requests denied.
+    pub steal_misses: u64,
+    /// Tasks whose ownership moved on a successful steal.
+    pub tasks_transferred: u64,
+    /// Control + transfer messages. The DES counts simulated network
+    /// traffic; the live backend (shared memory, no real messages) counts
+    /// steal requests + grants.
+    pub messages: u64,
+    /// Fault-handling counters (all zero for the live backend).
+    pub resilience: crate::sim::ResilienceStats,
+    /// Flat metrics snapshot (`des.*` or `live.*` taxonomy).
+    pub metrics: MetricsSnapshot,
+}
+
+impl ExecReport {
+    /// Convert to the [`SimReport`] shape so downstream consumers (phase
+    /// accounting, figure drivers) work with either backend. For DES
+    /// reports this is a lossless round-trip of the original `SimReport`;
+    /// for live reports the time fields are wall-clock nanoseconds.
+    pub fn to_sim_report(&self) -> SimReport {
+        SimReport {
+            makespan: self.makespan,
+            per_pe_busy: self.per_pe_busy.clone(),
+            per_pe_finish: self.per_pe_finish.clone(),
+            per_pe_executed: self.per_pe_executed.clone(),
+            per_pe_stolen_executed: self.per_pe_stolen_executed.clone(),
+            executed_by: self.executed_by.clone(),
+            steal_attempts: self.steal_attempts,
+            steal_hits: self.steal_hits,
+            steal_misses: self.steal_misses,
+            tasks_transferred: self.tasks_transferred,
+            messages: self.messages,
+            resilience: self.resilience.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    fn from_sim_report(r: SimReport) -> Self {
+        ExecReport {
+            mode: ExecMode::VirtualNs,
+            makespan: r.makespan,
+            per_pe_busy: r.per_pe_busy,
+            per_pe_finish: r.per_pe_finish,
+            per_pe_executed: r.per_pe_executed,
+            per_pe_stolen_executed: r.per_pe_stolen_executed,
+            executed_by: r.executed_by,
+            steal_attempts: r.steal_attempts,
+            steal_hits: r.steal_hits,
+            steal_misses: r.steal_misses,
+            tasks_transferred: r.tasks_transferred,
+            messages: r.messages,
+            resilience: r.resilience,
+            metrics: r.metrics,
+        }
+    }
+}
+
+/// Task results (in task order) plus the scheduling report of the phase.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome<R> {
+    /// `results[task]` = value returned by the task closure for `task`.
+    pub results: Vec<R>,
+    /// Scheduling statistics in the backend's native time unit.
+    pub report: ExecReport,
+}
+
+/// A backend that executes one phase of independent tasks.
+///
+/// The contract every backend upholds: each task in `0..spec.n_tasks` runs
+/// **exactly once**, `results` come back in task order, and — because task
+/// closures must be location-independent (seeded by task id, never by
+/// worker id) — the results vector is identical across backends, worker
+/// counts, and schedules. Only the report differs.
+///
+/// The `execute` method is generic over the result type, so the trait is
+/// used with static dispatch (it is not object-safe); planner code selects
+/// a backend with the [`Backend`] enum instead of `dyn Executor`.
+pub trait Executor {
+    /// Short backend name for labels (`"des"` / `"live"`).
+    fn name(&self) -> &'static str;
+    /// The time base of the reports this backend produces.
+    fn mode(&self) -> ExecMode;
+    /// Run every task of `spec` through `work`, returning results in task
+    /// order plus the scheduling report.
+    fn execute<R: Send>(
+        &mut self,
+        spec: &ExecSpec<'_>,
+        work: &(dyn Fn(u32) -> R + Sync),
+    ) -> Result<ExecOutcome<R>, SimError>;
+}
+
+/// Validate an [`ExecSpec`] assignment: every task in `0..n` appears
+/// exactly once across all queues. Returns each task's initial owner.
+pub(crate) fn validate_assignment(n: usize, assignment: &[Vec<u32>]) -> Result<Vec<u32>, SimError> {
+    if assignment.is_empty() {
+        return Err(SimError::NoPes);
+    }
+    let mut owner = vec![u32::MAX; n];
+    for (pe, queue) in assignment.iter().enumerate() {
+        for &t in queue {
+            if t as usize >= n {
+                return Err(SimError::TaskOutOfRange { task: t, n });
+            }
+            if owner[t as usize] != u32::MAX {
+                return Err(SimError::DuplicateAssignment { task: t });
+            }
+            owner[t as usize] = pe as u32;
+        }
+    }
+    if let Some(t) = owner.iter().position(|&o| o == u32::MAX) {
+        return Err(SimError::UnassignedTask { task: t as u32 });
+    }
+    Ok(owner)
+}
+
+/// The discrete-event-simulator backend: replays the phase's measured
+/// costs through [`crate::sim::simulate_with_payloads`] in virtual time and
+/// runs the task closures serially on the calling thread (the simulated
+/// schedule never touches real work — that is what makes it
+/// bit-deterministic).
+#[derive(Debug, Clone)]
+pub struct DesExecutor {
+    /// The virtual machine the phase is replayed on.
+    pub machine: MachineModel,
+}
+
+impl DesExecutor {
+    /// A DES backend replaying phases on `machine`.
+    pub fn new(machine: MachineModel) -> Self {
+        DesExecutor { machine }
+    }
+}
+
+impl Executor for DesExecutor {
+    fn name(&self) -> &'static str {
+        "des"
+    }
+
+    fn mode(&self) -> ExecMode {
+        ExecMode::VirtualNs
+    }
+
+    fn execute<R: Send>(
+        &mut self,
+        spec: &ExecSpec<'_>,
+        work: &(dyn Fn(u32) -> R + Sync),
+    ) -> Result<ExecOutcome<R>, SimError> {
+        let costs = spec.costs.ok_or(SimError::MissingCosts)?;
+        if costs.len() != spec.n_tasks {
+            return Err(SimError::TaskOutOfRange {
+                task: spec.n_tasks as u32,
+                n: costs.len(),
+            });
+        }
+        let cfg = SimConfig {
+            machine: self.machine.clone(),
+            steal: spec.steal,
+            seed: spec.seed,
+        };
+        let report = simulate_with_payloads(costs, spec.payloads, spec.assignment, &cfg)?;
+        let results = (0..spec.n_tasks as u32).map(work).collect();
+        Ok(ExecOutcome {
+            results,
+            report: ExecReport::from_sim_report(report),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use crate::steal::StealPolicyKind;
+
+    fn spec_costs() -> Vec<u64> {
+        vec![100_000, 50_000, 75_000, 25_000, 60_000, 90_000]
+    }
+
+    #[test]
+    fn des_executor_report_bit_equals_simulate() {
+        let costs = spec_costs();
+        let assignment = vec![vec![0, 1, 2, 3, 4, 5], vec![], vec![], vec![]];
+        let cfg = SimConfig {
+            machine: MachineModel::hopper(),
+            steal: Some(StealConfig::new(StealPolicyKind::rand8())),
+            seed: 11,
+        };
+        let direct = simulate(&costs, &assignment, &cfg).expect("simulate");
+        let spec = ExecSpec {
+            n_tasks: costs.len(),
+            costs: Some(&costs),
+            payloads: None,
+            assignment: &assignment,
+            steal: cfg.steal,
+            seed: cfg.seed,
+        };
+        let via = DesExecutor::new(MachineModel::hopper())
+            .execute(&spec, &|t| t)
+            .expect("executor");
+        assert_eq!(via.report.to_sim_report(), direct);
+        assert_eq!(via.report.mode, ExecMode::VirtualNs);
+        assert_eq!(via.results, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn des_executor_requires_costs() {
+        let assignment = vec![vec![0u32]];
+        let spec = ExecSpec {
+            n_tasks: 1,
+            costs: None,
+            payloads: None,
+            assignment: &assignment,
+            steal: None,
+            seed: 0,
+        };
+        let err = DesExecutor::new(MachineModel::hopper())
+            .execute(&spec, &|t| t)
+            .unwrap_err();
+        assert_eq!(err, SimError::MissingCosts);
+    }
+
+    #[test]
+    fn validate_assignment_catches_malformed_input() {
+        assert_eq!(validate_assignment(1, &[]), Err(SimError::NoPes));
+        assert_eq!(
+            validate_assignment(2, &[vec![0, 1, 1]]),
+            Err(SimError::DuplicateAssignment { task: 1 })
+        );
+        assert_eq!(
+            validate_assignment(2, &[vec![0]]),
+            Err(SimError::UnassignedTask { task: 1 })
+        );
+        assert_eq!(
+            validate_assignment(1, &[vec![0, 7]]),
+            Err(SimError::TaskOutOfRange { task: 7, n: 1 })
+        );
+        assert_eq!(validate_assignment(2, &[vec![1], vec![0]]), Ok(vec![1, 0]));
+    }
+}

@@ -35,16 +35,22 @@ use serde::{Deserialize, Serialize};
 /// `factor`× slower.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Straggler {
+    /// Affected PE.
     pub pe: usize,
+    /// Window start (virtual ns, inclusive).
     pub from: VTime,
+    /// Window end (virtual ns, exclusive).
     pub until: VTime,
+    /// Slowdown multiplier applied to task costs in the window.
     pub factor: f64,
 }
 
 /// A PE failure at a virtual instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Crash {
+    /// PE that dies.
     pub pe: usize,
+    /// Virtual instant of the failure.
     pub at: VTime,
 }
 
@@ -66,7 +72,9 @@ pub struct FaultPlan {
     /// Seed for the per-message fault decisions. Independent of
     /// [`crate::SimConfig::seed`] — faults never perturb victim selection.
     pub seed: u64,
+    /// Slow-PE windows.
     pub stragglers: Vec<Straggler>,
+    /// PE failures.
     pub crashes: Vec<Crash>,
     /// Probability in `[0, 1]` that any given message is dropped.
     pub msg_loss: f64,
@@ -81,6 +89,7 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
+    /// An empty (zero-fault) plan with the given decision seed.
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             seed,
@@ -88,6 +97,7 @@ impl FaultPlan {
         }
     }
 
+    /// Add a slow-PE window (see [`Straggler`]).
     pub fn with_straggler(mut self, pe: usize, from: VTime, until: VTime, factor: f64) -> Self {
         self.stragglers.push(Straggler {
             pe,
@@ -98,27 +108,32 @@ impl FaultPlan {
         self
     }
 
+    /// Kill `pe` at virtual instant `at`.
     pub fn with_crash(mut self, pe: usize, at: VTime) -> Self {
         self.crashes.push(Crash { pe, at });
         self
     }
 
+    /// Drop each message independently with probability `rate`.
     pub fn with_message_loss(mut self, rate: f64) -> Self {
         self.msg_loss = rate;
         self
     }
 
+    /// Delay each message with probability `rate` by up to `max_extra` ns.
     pub fn with_message_jitter(mut self, rate: f64, max_extra: VTime) -> Self {
         self.msg_jitter = rate;
         self.jitter_max = max_extra;
         self
     }
 
+    /// Force-drop the message with 1-based send sequence `msg_seq`.
     pub fn with_dropped_message(mut self, msg_seq: u64) -> Self {
         self.drop_seqs.push(msg_seq);
         self
     }
 
+    /// Force-delay message `msg_seq` by exactly `extra` ns.
     pub fn with_delayed_message(mut self, msg_seq: u64, extra: VTime) -> Self {
         self.jitter_seqs.push((msg_seq, extra));
         self

@@ -14,13 +14,22 @@
 //! 2. A **real work-stealing thread pool** ([`threadpool`]) built on
 //!    `crossbeam-deque`, used for genuine on-host parallelism (examples,
 //!    one-pass cost measurement, wall-clock benches).
+//! 3. An **execution-backend abstraction** ([`executor`]): planners emit
+//!    per-phase [`ExecSpec`]s and run them on either the DES
+//!    ([`DesExecutor`], virtual time, schedule-deterministic) or the
+//!    **live shared-memory backend** ([`live`]: [`LiveExecutor`], real OS
+//!    threads, wall-clock time, result-deterministic) — DESIGN.md §12.
 //!
 //! [`machine`] defines the virtual machine models (`HOPPER`, `OPTERON`);
 //! [`topology`] the 2-D processor mesh used by diffusive stealing;
 //! [`comm`] the migration message encoding.
 
+#![warn(missing_docs)]
+
 pub mod comm;
+pub mod executor;
 pub mod fault;
+pub mod live;
 pub mod machine;
 pub mod metrics;
 pub mod sim;
@@ -28,7 +37,9 @@ pub mod steal;
 pub mod threadpool;
 pub mod topology;
 
+pub use executor::{Backend, DesExecutor, ExecMode, ExecOutcome, ExecReport, ExecSpec, Executor};
 pub use fault::{Crash, FaultPlan, Straggler};
+pub use live::{LiveExecutor, LiveTuning};
 pub use machine::{LatencyModel, MachineModel, OpCosts};
 pub use sim::{
     simulate, simulate_explored, simulate_faulted, simulate_observed, simulate_with_payloads,

@@ -1,0 +1,562 @@
+//! Live shared-memory execution backend: the steal protocol on real
+//! OS threads in wall-clock time.
+//!
+//! Where the DES *replays* measured task costs in virtual time
+//! ([`crate::sim`]), [`LiveExecutor`] actually runs the task closures on
+//! `spec.assignment.len()` worker threads. The protocol mirrors the
+//! simulated one end to end (DESIGN.md §12):
+//!
+//! * every worker owns a mutex-protected region queue, seeded from the
+//!   phase's initial assignment, and executes from its **front**;
+//! * an idle worker becomes a thief: it draws a victim list from the same
+//!   [`crate::steal::StealPolicyKind`] policies the DES uses (RAND-K /
+//!   DIFFUSIVE / HYBRID / hypercube partners for Lifeline) and takes
+//!   [`crate::sim::StealAmount`] tasks from the **back** of the first
+//!   victim queue that has any — a real ownership handoff: the stolen
+//!   region ids move into the thief's queue and the thief builds and keeps
+//!   that region's data;
+//! * a fully-denied round backs off (yield, then capped exponential
+//!   sleep) so thieves do not spin while the last tasks finish — the
+//!   wall-clock analogue of the DES's `steal_backoff` latency;
+//! * the phase ends when every task has executed exactly once (a shared
+//!   remaining-task counter reaches zero).
+//!
+//! **Determinism contract.** The live backend is *result-deterministic*,
+//! not schedule-deterministic: task closures must derive everything from
+//! the task id (region RNGs are seeded by region id), so `results` is
+//! byte-identical across thread counts, steal policies, and schedules —
+//! the differential suite pins live results against the DES backend's.
+//! The [`ExecReport`] (timings, who-stole-what) genuinely varies run to
+//! run; that is the point of a wall-clock backend.
+//!
+//! Instrumentation: with [`LiveExecutor::with_tracing`], every worker
+//! records task spans, steal instants, and queue-length counters into a
+//! worker-local [`TraceBuf`] (wall-clock nanoseconds since the phase
+//! epoch); [`LiveExecutor::replay_trace_into`] splices the buffers onto
+//! per-worker tracks of a [`Tracer`] after the join — same event
+//! vocabulary as the DES, different timeline semantics.
+
+use crate::executor::{validate_assignment, ExecMode, ExecOutcome, ExecReport, ExecSpec, Executor};
+use crate::sim::SimError;
+use crate::topology::Mesh;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smp_obs::{cat, MetricsRegistry, TraceBuf, Tracer};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Knobs for the thief back-off loop (wall-clock analogue of the DES's
+/// `steal_backoff` / `steal_backoff_cap` latencies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveTuning {
+    /// First back-off sleep after a fully-denied steal round, in µs.
+    pub backoff_base_us: u64,
+    /// Back-off cap, in µs (doubling stops here; reset on any success).
+    pub backoff_cap_us: u64,
+}
+
+impl Default for LiveTuning {
+    fn default() -> Self {
+        LiveTuning {
+            backoff_base_us: 20,
+            backoff_cap_us: 2_000,
+        }
+    }
+}
+
+/// Per-worker tallies carried back through the scoped-thread join.
+#[derive(Default)]
+struct WorkerLocal {
+    executed_tasks: Vec<u32>,
+    stolen_executed: u32,
+    busy_ns: u64,
+    finish_ns: u64,
+    attempts: u64,
+    hits: u64,
+    misses: u64,
+    transferred: u64,
+    buf: Option<TraceBuf>,
+}
+
+/// The live backend: executes one phase on real OS threads with work
+/// stealing and ownership handoff (module docs have the protocol).
+///
+/// The worker count is `spec.assignment.len()` — one thread per queue —
+/// so the same `ExecSpec` that the DES treats as `p` virtual PEs runs
+/// here as `p` host threads. [`LiveExecutor::threads`] is what planner
+/// entry points size their assignments to.
+#[derive(Debug)]
+pub struct LiveExecutor {
+    threads: usize,
+    tuning: LiveTuning,
+    record: bool,
+    last_bufs: Vec<TraceBuf>,
+}
+
+impl LiveExecutor {
+    /// A live backend that planners should size phases to `threads`
+    /// workers for.
+    pub fn new(threads: usize, tuning: LiveTuning) -> Self {
+        LiveExecutor {
+            threads: threads.max(1),
+            tuning,
+            record: false,
+            last_bufs: Vec::new(),
+        }
+    }
+
+    /// Enable wall-clock tracing: workers record task spans, steal
+    /// instants, and queue-length counters into per-worker buffers;
+    /// splice them onto a timeline with
+    /// [`LiveExecutor::replay_trace_into`] after the phase.
+    pub fn with_tracing(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// The worker count phases should be sized to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Replay the last traced phase's per-worker event buffers into
+    /// `tracer` (worker `w` onto track `w`, timestamps relative to the
+    /// phase epoch — use [`Tracer::set_base`] to splice multiple phases
+    /// onto one timeline).
+    pub fn replay_trace_into(&self, tracer: &mut Tracer) {
+        for buf in &self.last_bufs {
+            tracer.name_track(buf.track(), &format!("worker {}", buf.track()));
+            buf.replay_into(tracer);
+        }
+    }
+}
+
+impl Executor for LiveExecutor {
+    fn name(&self) -> &'static str {
+        "live"
+    }
+
+    fn mode(&self) -> ExecMode {
+        ExecMode::WallClockNs
+    }
+
+    fn execute<R: Send>(
+        &mut self,
+        spec: &ExecSpec<'_>,
+        work: &(dyn Fn(u32) -> R + Sync),
+    ) -> Result<ExecOutcome<R>, SimError> {
+        let initial_owner = validate_assignment(spec.n_tasks, spec.assignment)?;
+        let p = spec.assignment.len();
+        let trace_on = self.record;
+
+        let queues: Vec<Mutex<VecDeque<u32>>> = spec
+            .assignment
+            .iter()
+            .map(|q| Mutex::new(q.iter().copied().collect()))
+            .collect();
+        let results: Vec<Mutex<Option<R>>> = (0..spec.n_tasks).map(|_| Mutex::new(None)).collect();
+        let remaining = AtomicUsize::new(spec.n_tasks);
+        let mesh = Mesh::new(p);
+        let epoch = Instant::now();
+
+        let locals: Vec<WorkerLocal> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..p)
+                .map(|w| {
+                    let queues = &queues;
+                    let results = &results;
+                    let remaining = &remaining;
+                    let mesh = &mesh;
+                    let initial_owner = &initial_owner;
+                    let tuning = self.tuning;
+                    s.spawn(move || {
+                        worker_loop(WorkerCtx {
+                            w,
+                            queues,
+                            results,
+                            remaining,
+                            mesh,
+                            initial_owner,
+                            steal: spec.steal,
+                            seed: spec.seed,
+                            tuning,
+                            epoch,
+                            trace_on,
+                            work,
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("live worker panicked"))
+                .collect()
+        });
+        let makespan = elapsed_ns(epoch);
+
+        // Merge worker-local tallies into the phase report.
+        let mut report = ExecReport {
+            mode: ExecMode::WallClockNs,
+            makespan,
+            per_pe_busy: vec![0; p],
+            per_pe_finish: vec![0; p],
+            per_pe_executed: vec![0; p],
+            per_pe_stolen_executed: vec![0; p],
+            executed_by: vec![0; spec.n_tasks],
+            steal_attempts: 0,
+            steal_hits: 0,
+            steal_misses: 0,
+            tasks_transferred: 0,
+            messages: 0,
+            resilience: crate::sim::ResilienceStats {
+                per_pe_dead_time: vec![0; p],
+                ..Default::default()
+            },
+            metrics: Default::default(),
+        };
+        for (w, l) in locals.iter().enumerate() {
+            report.per_pe_busy[w] = l.busy_ns;
+            report.per_pe_finish[w] = l.finish_ns;
+            report.per_pe_executed[w] = l.executed_tasks.len() as u32;
+            report.per_pe_stolen_executed[w] = l.stolen_executed;
+            for &t in &l.executed_tasks {
+                report.executed_by[t as usize] = w as u32;
+            }
+            report.steal_attempts += l.attempts;
+            report.steal_hits += l.hits;
+            report.steal_misses += l.misses;
+            report.tasks_transferred += l.transferred;
+        }
+        // Shared memory sends no real messages; count the protocol's
+        // request + grant traffic so conservation-style checks still hold.
+        report.messages = report.steal_attempts + report.steal_hits;
+
+        let mut reg = MetricsRegistry::new();
+        reg.set_gauge("live.workers", p as u64);
+        reg.set_gauge("live.makespan_ns", makespan);
+        reg.inc("live.tasks.executed", spec.n_tasks as u64);
+        reg.inc(
+            "live.tasks.stolen_executed",
+            report
+                .per_pe_stolen_executed
+                .iter()
+                .map(|&x| u64::from(x))
+                .sum(),
+        );
+        reg.inc("live.tasks.transferred", report.tasks_transferred);
+        reg.inc("live.steal.requests", report.steal_attempts);
+        reg.inc("live.steal.hits", report.steal_hits);
+        reg.inc("live.steal.misses", report.steal_misses);
+        report.metrics = reg.snapshot();
+
+        self.last_bufs = locals.into_iter().filter_map(|l| l.buf).collect();
+
+        let results = results
+            .into_iter()
+            .enumerate()
+            .map(|(t, slot)| {
+                slot.lock()
+                    .take()
+                    .unwrap_or_else(|| panic!("task {t} produced no result"))
+            })
+            .collect();
+        Ok(ExecOutcome { results, report })
+    }
+}
+
+/// Everything one worker thread needs, borrowed from `execute`.
+struct WorkerCtx<'a, R> {
+    w: usize,
+    queues: &'a [Mutex<VecDeque<u32>>],
+    results: &'a [Mutex<Option<R>>],
+    remaining: &'a AtomicUsize,
+    mesh: &'a Mesh,
+    initial_owner: &'a [u32],
+    steal: Option<crate::sim::StealConfig>,
+    seed: u64,
+    tuning: LiveTuning,
+    epoch: Instant,
+    trace_on: bool,
+    work: &'a (dyn Fn(u32) -> R + Sync),
+}
+
+fn elapsed_ns(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn worker_loop<R: Send>(ctx: WorkerCtx<'_, R>) -> WorkerLocal {
+    let mut local = WorkerLocal {
+        buf: ctx.trace_on.then(|| TraceBuf::new(ctx.w as u32)),
+        ..Default::default()
+    };
+    // Victim-selection RNG: per-worker stream, same mix as the DES uses
+    // for per-PE streams (decorrelates workers without coordination).
+    let mut rng =
+        StdRng::seed_from_u64(ctx.seed ^ (ctx.w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut backoff_us = ctx.tuning.backoff_base_us;
+    loop {
+        // 1. Drain own queue from the front.
+        let popped = {
+            let mut q = ctx.queues[ctx.w].lock();
+            let t = q.pop_front();
+            (t, q.len())
+        };
+        if let Some(task) = popped.0 {
+            let start = elapsed_ns(ctx.epoch);
+            if let Some(buf) = &mut local.buf {
+                buf.counter(start, "queue_len", popped.1 as u64);
+                buf.begin(start, cat::TASK, "task", &[("task", u64::from(task))]);
+            }
+            let value = (ctx.work)(task);
+            let end = elapsed_ns(ctx.epoch);
+            if let Some(buf) = &mut local.buf {
+                buf.end(end, cat::TASK, &[("task", u64::from(task))]);
+            }
+            *ctx.results[task as usize].lock() = Some(value);
+            local.busy_ns += end - start;
+            local.finish_ns = end;
+            local.executed_tasks.push(task);
+            if ctx.initial_owner[task as usize] != ctx.w as u32 {
+                local.stolen_executed += 1;
+            }
+            ctx.remaining.fetch_sub(1, Ordering::AcqRel);
+            backoff_us = ctx.tuning.backoff_base_us;
+            continue;
+        }
+        if ctx.remaining.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        // 2. Own queue empty but tasks remain elsewhere.
+        let Some(steal) = ctx.steal else {
+            // Static schedule: nothing will ever enter this queue again.
+            break;
+        };
+        let mut got_work = false;
+        for victim in steal.policy.round_victims(ctx.w, ctx.mesh, &mut rng) {
+            local.attempts += 1;
+            let batch: Vec<u32> = {
+                let mut q = ctx.queues[victim].lock();
+                if q.is_empty() {
+                    Vec::new()
+                } else {
+                    // Steal from the BACK of the victim's deque, exactly
+                    // like the simulated protocol.
+                    let take = steal.amount.take(q.len());
+                    (0..take).map_while(|_| q.pop_back()).collect()
+                }
+            };
+            let now = elapsed_ns(ctx.epoch);
+            if batch.is_empty() {
+                local.misses += 1;
+                if let Some(buf) = &mut local.buf {
+                    buf.instant(now, cat::STEAL, "steal_miss", &[("victim", victim as u64)]);
+                }
+                continue;
+            }
+            local.hits += 1;
+            local.transferred += batch.len() as u64;
+            if let Some(buf) = &mut local.buf {
+                buf.instant(
+                    now,
+                    cat::STEAL,
+                    "steal_hit",
+                    &[("victim", victim as u64), ("batch", batch.len() as u64)],
+                );
+            }
+            // Ownership handoff: the stolen region ids are now this
+            // worker's to build and keep.
+            let mut q = ctx.queues[ctx.w].lock();
+            for t in batch {
+                q.push_back(t);
+            }
+            got_work = true;
+            break;
+        }
+        if got_work {
+            backoff_us = ctx.tuning.backoff_base_us;
+        } else {
+            if ctx.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            // Fully-denied round: the remaining tasks are in flight on
+            // other workers. Back off so we don't spin on their locks.
+            std::thread::yield_now();
+            std::thread::sleep(Duration::from_micros(backoff_us));
+            backoff_us = (backoff_us * 2).min(ctx.tuning.backoff_cap_us);
+        }
+    }
+    local
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{StealAmount, StealConfig};
+    use crate::steal::StealPolicyKind;
+
+    fn spec<'a>(n: usize, assignment: &'a [Vec<u32>], steal: Option<StealConfig>) -> ExecSpec<'a> {
+        ExecSpec {
+            n_tasks: n,
+            costs: None,
+            payloads: None,
+            assignment,
+            steal,
+            seed: 42,
+        }
+    }
+
+    /// A deterministic, location-independent "region build": value depends
+    /// only on the task id.
+    fn region_work(task: u32) -> u64 {
+        let mut x = u64::from(task).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for _ in 0..500 {
+            x = x.rotate_left(13) ^ x.wrapping_mul(5);
+        }
+        x
+    }
+
+    fn expected(n: usize) -> Vec<u64> {
+        (0..n as u32).map(region_work).collect()
+    }
+
+    #[test]
+    fn static_schedule_executes_every_task_exactly_once() {
+        let assignment = vec![vec![0, 2, 4], vec![1, 3, 5]];
+        let mut ex = LiveExecutor::new(2, LiveTuning::default());
+        let out = ex
+            .execute(&spec(6, &assignment, None), &region_work)
+            .expect("execute");
+        assert_eq!(out.results, expected(6));
+        assert_eq!(out.report.per_pe_executed, vec![3, 3]);
+        assert_eq!(out.report.steal_attempts, 0);
+        assert_eq!(out.report.executed_by, vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(out.report.mode, ExecMode::WallClockNs);
+    }
+
+    #[test]
+    fn stealing_rebalances_a_loaded_queue() {
+        // All work on worker 0; three thieves must take some of it.
+        let n = 64;
+        let assignment = vec![(0..n as u32).collect::<Vec<_>>(), vec![], vec![], vec![]];
+        for policy in [
+            StealPolicyKind::rand8(),
+            StealPolicyKind::Diffusive,
+            StealPolicyKind::Hybrid(8),
+        ] {
+            let mut ex = LiveExecutor::new(4, LiveTuning::default());
+            let out = ex
+                .execute(
+                    &spec(n, &assignment, Some(StealConfig::new(policy))),
+                    &region_work,
+                )
+                .expect("execute");
+            assert_eq!(out.results, expected(n), "results under {policy:?}");
+            let total: u32 = out.report.per_pe_executed.iter().sum();
+            assert_eq!(total, n as u32);
+            // Steal accounting laws hold in the live protocol too.
+            assert_eq!(
+                out.report.steal_attempts,
+                out.report.steal_hits + out.report.steal_misses
+            );
+            let stolen: u64 = out
+                .report
+                .per_pe_stolen_executed
+                .iter()
+                .map(|&x| u64::from(x))
+                .sum();
+            assert_eq!(stolen, out.report.tasks_transferred);
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts_and_policies() {
+        let n = 40;
+        let serial = expected(n);
+        for threads in [1usize, 2, 8] {
+            let assignment: Vec<Vec<u32>> = (0..threads)
+                .map(|w| {
+                    (0..n as u32)
+                        .filter(|t| (*t as usize) % threads == w)
+                        .collect()
+                })
+                .collect();
+            for steal in [
+                None,
+                Some(StealConfig::new(StealPolicyKind::rand8())),
+                Some(StealConfig {
+                    policy: StealPolicyKind::Hybrid(4),
+                    amount: StealAmount::Half,
+                }),
+            ] {
+                let mut ex = LiveExecutor::new(threads, LiveTuning::default());
+                let out = ex
+                    .execute(&spec(n, &assignment, steal), &region_work)
+                    .expect("execute");
+                assert_eq!(out.results, serial, "threads={threads} steal={steal:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn half_amount_moves_batches() {
+        let n = 32;
+        let assignment = vec![(0..n as u32).collect::<Vec<_>>(), vec![]];
+        let cfg = StealConfig {
+            policy: StealPolicyKind::rand8(),
+            amount: StealAmount::Half,
+        };
+        let mut ex = LiveExecutor::new(2, LiveTuning::default());
+        let out = ex
+            .execute(&spec(n, &assignment, Some(cfg)), &region_work)
+            .expect("execute");
+        assert_eq!(out.results, expected(n));
+        // Any hit must have moved at least one task.
+        assert!(out.report.tasks_transferred >= out.report.steal_hits);
+    }
+
+    #[test]
+    fn tracing_records_task_spans_and_steals() {
+        let n = 16;
+        let assignment = vec![(0..n as u32).collect::<Vec<_>>(), vec![]];
+        let mut ex = LiveExecutor::new(2, LiveTuning::default()).with_tracing();
+        let out = ex
+            .execute(
+                &spec(
+                    n,
+                    &assignment,
+                    Some(StealConfig::new(StealPolicyKind::rand8())),
+                ),
+                &region_work,
+            )
+            .expect("execute");
+        assert_eq!(out.results, expected(n));
+        let mut tracer = Tracer::new();
+        ex.replay_trace_into(&mut tracer);
+        tracer.check_well_formed().expect("well-formed");
+        // One begin + one end per task.
+        assert_eq!(tracer.count_category(cat::TASK), 2 * n);
+        assert_eq!(tracer.open_spans(), 0);
+        // Live metrics are present and consistent.
+        assert_eq!(out.report.metrics.expect("live.tasks.executed"), n as u64);
+        assert_eq!(
+            out.report.metrics.expect("live.steal.requests"),
+            out.report.metrics.expect("live.steal.hits")
+                + out.report.metrics.expect("live.steal.misses")
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let mut ex = LiveExecutor::new(2, LiveTuning::default());
+        let bad = vec![vec![0u32, 0u32]];
+        assert_eq!(
+            ex.execute(&spec(1, &bad, None), &region_work).unwrap_err(),
+            SimError::DuplicateAssignment { task: 0 }
+        );
+        assert_eq!(
+            ex.execute(&spec(1, &[], None), &region_work).unwrap_err(),
+            SimError::NoPes
+        );
+    }
+}

@@ -84,9 +84,13 @@ pub struct LatencyModel {
 /// A simulated parallel platform.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MachineModel {
+    /// Human-readable preset name (e.g. `"hopper"`).
     pub name: String,
+    /// PEs per node: intra-node messages are cheaper than inter-node.
     pub cores_per_node: usize,
+    /// Per-operation virtual costs charged to measured work counters.
     pub ops: OpCosts,
+    /// Message / migration / steal-protocol latency model.
     pub lat: LatencyModel,
 }
 

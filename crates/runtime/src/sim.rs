@@ -45,21 +45,48 @@ pub enum SimError {
     /// The assignment has no PEs.
     NoPes,
     /// A queued task index exceeds the cost vector.
-    TaskOutOfRange { task: u32, n: usize },
+    TaskOutOfRange {
+        /// Offending task id.
+        task: u32,
+        /// Number of tasks in the workload.
+        n: usize,
+    },
     /// A task appears in more than one queue (or twice in one).
-    DuplicateAssignment { task: u32 },
+    DuplicateAssignment {
+        /// The doubly-assigned task.
+        task: u32,
+    },
     /// A task appears in no queue.
-    UnassignedTask { task: u32 },
+    UnassignedTask {
+        /// The orphaned task.
+        task: u32,
+    },
     /// `payloads.len() != task_costs.len()`.
-    PayloadLenMismatch { expected: usize, got: usize },
+    PayloadLenMismatch {
+        /// `task_costs.len()`.
+        expected: usize,
+        /// `payloads.len()`.
+        got: usize,
+    },
     /// The fault plan is malformed (bad rates, factors, or targets).
     InvalidFaultPlan(String),
     /// The event loop exceeded its safety budget — a scheduler bug.
-    EventStorm { processed: u64 },
+    EventStorm {
+        /// Events processed before giving up.
+        processed: u64,
+    },
     /// Every PE crashed with tasks still outstanding.
-    AllPesCrashed { missing: usize },
+    AllPesCrashed {
+        /// Tasks left unexecuted.
+        missing: usize,
+    },
     /// Tasks were left unexecuted despite live PEs — a scheduler bug.
-    IncompleteExecution { missing: usize },
+    IncompleteExecution {
+        /// Tasks left unexecuted.
+        missing: usize,
+    },
+    /// The DES backend needs measured task costs but the spec had none.
+    MissingCosts,
 }
 
 impl std::fmt::Display for SimError {
@@ -87,6 +114,9 @@ impl std::fmt::Display for SimError {
                     "{missing} tasks unexecuted despite live PEs: scheduler bug"
                 )
             }
+            SimError::MissingCosts => {
+                write!(f, "the DES backend requires measured task costs")
+            }
         }
     }
 }
@@ -107,7 +137,7 @@ pub enum StealAmount {
 }
 
 impl StealAmount {
-    fn take(&self, avail: usize) -> usize {
+    pub(crate) fn take(&self, avail: usize) -> usize {
         match *self {
             StealAmount::Half => (avail / 2).max(1),
             StealAmount::One => 1,
@@ -119,11 +149,23 @@ impl StealAmount {
 /// Work-stealing configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StealConfig {
+    /// Victim-selection policy (Algorithm 3 variants).
     pub policy: StealPolicyKind,
+    /// How much of the victim's queue one grant takes.
     pub amount: StealAmount,
 }
 
 impl StealConfig {
+    /// The paper's default: steal **one** region per granted request.
+    ///
+    /// ```
+    /// use smp_runtime::{StealAmount, StealConfig, StealPolicyKind};
+    /// let ws = StealConfig::new(StealPolicyKind::Hybrid(8));
+    /// assert_eq!(ws.amount, StealAmount::One);
+    /// // the steal-half ablation:
+    /// let half = StealConfig { amount: StealAmount::Half, ..ws };
+    /// assert_eq!(half.policy, StealPolicyKind::Hybrid(8));
+    /// ```
     pub fn new(policy: StealPolicyKind) -> Self {
         StealConfig {
             policy,
@@ -135,9 +177,11 @@ impl StealConfig {
 /// Simulation configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
+    /// Virtual machine (costs, latencies, cores per node).
     pub machine: MachineModel,
     /// `None` = static schedule (no load balancing during the phase).
     pub steal: Option<StealConfig>,
+    /// Seed of the simulation's single RNG (victim selection etc.).
     pub seed: u64,
 }
 
@@ -257,6 +301,7 @@ pub trait ScheduleOracle {
 /// the "schedule trace" a shrunk repro file records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SeededSchedule {
+    /// The schedule seed; equal seeds replay identical orders.
     pub seed: u64,
 }
 

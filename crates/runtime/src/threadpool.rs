@@ -65,6 +65,7 @@ impl WorkStealingPool {
         Self::new(n)
     }
 
+    /// Number of worker threads in the pool.
     pub fn threads(&self) -> usize {
         self.threads
     }

@@ -31,18 +31,22 @@ impl Mesh {
         }
     }
 
+    /// Mesh height.
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Mesh width.
     pub fn cols(&self) -> usize {
         self.cols
     }
 
+    /// Number of PEs in the mesh.
     pub fn len(&self) -> usize {
         self.rows * self.cols
     }
 
+    /// True for a zero-PE mesh.
     pub fn is_empty(&self) -> bool {
         false
     }

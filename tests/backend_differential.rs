@@ -1,0 +1,145 @@
+//! Differential determinism suite: the live shared-memory backend must
+//! produce byte-identical merged roadmaps/trees to the DES backend's
+//! measured workload, at every thread count and under every strategy
+//! (DESIGN.md §12).
+//!
+//! The DES is schedule-deterministic (golden traces pin its virtual-time
+//! schedules); the live backend is only *result*-deterministic — its
+//! wall-clock schedule genuinely varies run to run. What must never vary
+//! is the work product: region work is seeded by region id, so whichever
+//! OS thread ends up owning a region after stealing builds the identical
+//! regional roadmap. These tests pin that contract with the stable FNV
+//! digest used by the committed `BENCH_scaling.json` artifact.
+
+use smp_core::{
+    assemble_prm_roadmap, assemble_rrt_tree, build_prm_workload, build_rrt_workload,
+    roadmap_digest, run_parallel_prm_live, run_parallel_rrt_live, ParallelPrmConfig,
+    ParallelRrtConfig, Strategy, WeightKind,
+};
+use smp_geom::envs;
+use smp_runtime::{LiveTuning, StealConfig, StealPolicyKind};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn prm_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::NoLb,
+        Strategy::WorkStealing(StealConfig::new(StealPolicyKind::RandK(8))),
+        Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Diffusive)),
+        Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8))),
+        Strategy::Repartition(WeightKind::SampleCount),
+    ]
+}
+
+#[test]
+fn live_prm_digest_matches_des_across_threads_and_strategies() {
+    let env = envs::med_cube();
+    let cfg = ParallelPrmConfig {
+        regions_target: 128,
+        attempts_per_region: 8,
+        k_neighbors: 4,
+        lp_resolution: 0.02,
+        robot_radius: 0.1,
+        ..ParallelPrmConfig::new(&env)
+    };
+    let des_digest = roadmap_digest(&assemble_prm_roadmap(&build_prm_workload(&cfg)));
+    for threads in THREAD_COUNTS {
+        for strategy in prm_strategies() {
+            let (w, run) = run_parallel_prm_live(&cfg, threads, &strategy, LiveTuning::default())
+                .expect("live PRM run");
+            assert_eq!(
+                roadmap_digest(&assemble_prm_roadmap(&w)),
+                des_digest,
+                "live PRM digest drift: threads={threads} strategy={}",
+                strategy.label()
+            );
+            // every region built exactly once, by exactly one worker
+            let executed: u32 = run.construction.per_pe_executed.iter().sum();
+            assert_eq!(executed as usize, w.num_regions());
+            assert_eq!(run.construction.executed_by.len(), w.num_regions());
+        }
+    }
+}
+
+#[test]
+fn live_prm_digest_is_stable_across_repeated_runs() {
+    // Two runs of the same config race their steals differently; the
+    // digest must not notice.
+    let env = envs::med_cube();
+    let cfg = ParallelPrmConfig {
+        regions_target: 128,
+        attempts_per_region: 8,
+        robot_radius: 0.1,
+        ..ParallelPrmConfig::new(&env)
+    };
+    let s = Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8)));
+    let (wa, _) = run_parallel_prm_live(&cfg, 8, &s, LiveTuning::default()).expect("run a");
+    let (wb, _) = run_parallel_prm_live(&cfg, 8, &s, LiveTuning::default()).expect("run b");
+    assert_eq!(
+        roadmap_digest(&assemble_prm_roadmap(&wa)),
+        roadmap_digest(&assemble_prm_roadmap(&wb))
+    );
+}
+
+#[test]
+fn live_rrt_digest_matches_des_across_threads_and_strategies() {
+    let env = envs::mixed();
+    let cfg = ParallelRrtConfig {
+        num_regions: 64,
+        nodes_per_region: 12,
+        max_iters: 150,
+        lp_resolution: 0.04,
+        ..ParallelRrtConfig::new(&env)
+    };
+    let des_digest = roadmap_digest(&assemble_rrt_tree(&build_rrt_workload(&cfg)));
+    let strategies = [
+        Strategy::NoLb,
+        Strategy::WorkStealing(StealConfig::new(StealPolicyKind::RandK(8))),
+        Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Diffusive)),
+        Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8))),
+        Strategy::Repartition(WeightKind::KRays(4)),
+    ];
+    for threads in THREAD_COUNTS {
+        for strategy in &strategies {
+            let (w, _) = run_parallel_rrt_live(&cfg, threads, strategy, LiveTuning::default())
+                .expect("live RRT run");
+            assert_eq!(
+                roadmap_digest(&assemble_rrt_tree(&w)),
+                des_digest,
+                "live RRT digest drift: threads={threads} strategy={}",
+                strategy.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn live_steal_counters_obey_conservation_laws() {
+    // The live protocol must satisfy the same accounting invariants the
+    // smp-check oracles enforce on the DES: attempts = hits + misses and
+    // stolen-executed = transferred (every transferred task is executed
+    // by a non-initial owner exactly once).
+    let env = envs::med_cube();
+    let cfg = ParallelPrmConfig {
+        regions_target: 128,
+        attempts_per_region: 8,
+        robot_radius: 0.1,
+        ..ParallelPrmConfig::new(&env)
+    };
+    for policy in [
+        StealPolicyKind::RandK(8),
+        StealPolicyKind::Diffusive,
+        StealPolicyKind::Hybrid(8),
+    ] {
+        let s = Strategy::WorkStealing(StealConfig::new(policy));
+        let (_, run) = run_parallel_prm_live(&cfg, 4, &s, LiveTuning::default()).expect("run");
+        let c = &run.construction;
+        assert_eq!(
+            c.steal_attempts,
+            c.steal_hits + c.steal_misses,
+            "{policy:?}"
+        );
+        let stolen: u64 = c.per_pe_stolen_executed.iter().map(|&x| u64::from(x)).sum();
+        assert_eq!(stolen, c.tasks_transferred, "{policy:?}");
+    }
+}
