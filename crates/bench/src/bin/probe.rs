@@ -15,13 +15,25 @@
 //! `probe bench [...]` runs the kernel benchmark harness (see
 //! `smp_bench::kernels`); `probe scaling [...]` runs the live-backend
 //! strong-scaling harness (see `smp_bench::scaling`).
+//!
+//! `probe resilience [...]` runs the live PRM under a fault plan built
+//! from the command line (injected panics, stragglers, dropped steal
+//! grants, deadline, pre-cancellation), verifies the merged-roadmap
+//! digest against a fault-free baseline, and prints the resilience
+//! ledger and degradation ratio — the quickstart for DESIGN.md §13.
 
 use smp_bench::figures::Suite;
 use smp_bench::HarnessConfig;
 use smp_core::{
-    run_parallel_prm, run_parallel_prm_observed, run_parallel_rrt, work_cost, Strategy, WeightKind,
+    assemble_prm_roadmap, build_prm_workload, roadmap_digest, run_parallel_prm,
+    run_parallel_prm_live, run_parallel_prm_live_controlled, run_parallel_prm_observed,
+    run_parallel_rrt, work_cost, ParallelPrmConfig, Strategy, WeightKind,
 };
-use smp_runtime::{MachineModel, Tracer};
+use smp_runtime::{
+    CancelToken, LiveControl, LiveFaultPlan, LiveOutcome, LiveTuning, MachineModel, StealConfig,
+    StealPolicyKind, Tracer,
+};
+use std::time::Duration;
 
 fn rrt_probe() {
     let mut suite = Suite::new(HarnessConfig::default());
@@ -248,6 +260,134 @@ fn scaling_probe(args: impl Iterator<Item = String>) {
     }
 }
 
+/// Live fault-injection probe:
+/// `probe resilience [--threads N] [--panic W:AFTER] [--straggler W:US:FIRST]
+///                   [--drop-rate R] [--deadline-ms MS] [--cancelled]`.
+///
+/// Runs the live PRM once fault-free and once under the requested plan
+/// (each flag is repeatable), checks the two merged-roadmap digests are
+/// byte-identical whenever recovery completes, and prints the resilience
+/// ledger plus the wall-clock degradation ratio. A deadline/cancel stop
+/// prints the structured partial outcome and still exits 0 — stopping
+/// cooperatively is the contract, not a failure. Exit 1 means digest
+/// drift or an unrecoverable run.
+fn resilience_probe(args: impl Iterator<Item = String>) {
+    let mut threads = 4usize;
+    let mut plan = LiveFaultPlan::new(0xFA_017);
+    let mut deadline_ms: Option<u64> = None;
+    let mut cancelled = false;
+    let mut args = args;
+    let split = |s: &str| -> Vec<u64> {
+        s.split(':')
+            .map(|part| {
+                part.parse()
+                    .unwrap_or_else(|e| panic!("bad number {part:?} in {s:?}: {e}"))
+            })
+            .collect()
+    };
+    while let Some(a) = args.next() {
+        let mut take = |what: &str| args.next().unwrap_or_else(|| panic!("{a} needs {what}"));
+        match a.as_str() {
+            "--threads" => threads = take("a count").parse().expect("bad --threads"),
+            "--panic" => match split(&take("W:AFTER"))[..] {
+                [w, after] => plan = plan.with_panic(w as usize, after as usize),
+                _ => panic!("--panic wants WORKER:AFTER_TASKS"),
+            },
+            "--straggler" => match split(&take("W:US:FIRST"))[..] {
+                [w, us, first] => plan = plan.with_straggler(w as usize, us, first as usize),
+                _ => panic!("--straggler wants WORKER:SLEEP_US:FIRST_TASKS"),
+            },
+            "--drop-rate" => {
+                plan = plan.with_grant_drop_rate(take("a rate").parse().expect("bad --drop-rate"))
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(take("milliseconds").parse().expect("bad --deadline-ms"))
+            }
+            "--cancelled" => cancelled = true,
+            other => panic!("unknown resilience argument: {other}"),
+        }
+    }
+    let env = smp_geom::envs::med_cube();
+    let cfg = ParallelPrmConfig {
+        regions_target: 256,
+        attempts_per_region: 10,
+        k_neighbors: 5,
+        lp_resolution: 0.012,
+        robot_radius: 0.1,
+        ..ParallelPrmConfig::new(&env)
+    };
+    let strategy = Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8)));
+
+    let (base_w, base_run) = run_parallel_prm_live(&cfg, threads, &strategy, LiveTuning::default())
+        .expect("fault-free baseline run failed");
+    let base_digest = roadmap_digest(&assemble_prm_roadmap(&base_w));
+    println!(
+        "baseline : t={threads} wall={:.3}ms digest={base_digest:#018x}",
+        base_run.total_time as f64 / 1e6
+    );
+    // sequential reference digest: the live baseline must already match it
+    let seq_digest = roadmap_digest(&assemble_prm_roadmap(&build_prm_workload(&cfg)));
+    assert_eq!(base_digest, seq_digest, "fault-free live digest drift");
+
+    println!(
+        "fault plan: {} panic(s), {} straggler(s), drop-rate {}{}{}",
+        plan.panics.len(),
+        plan.stragglers.len(),
+        plan.grant_drop_rate,
+        deadline_ms.map_or(String::new(), |ms| format!(", deadline {ms}ms")),
+        if cancelled { ", pre-cancelled" } else { "" },
+    );
+    let mut control = LiveControl::new(LiveTuning::default()).with_faults(plan);
+    if let Some(ms) = deadline_ms {
+        control = control.with_deadline(Duration::from_millis(ms));
+    }
+    if cancelled {
+        let token = CancelToken::new();
+        token.cancel();
+        control = control.with_cancel(token);
+    }
+    let out = run_parallel_prm_live_controlled(&cfg, threads, &strategy, &control, None)
+        .unwrap_or_else(|e| panic!("unrecoverable faulted run: {e}"));
+    match out {
+        LiveOutcome::Partial(p) => {
+            println!(
+                "stopped   : phase={} status={:?} (partial results, no digest)",
+                p.phase, p.status
+            );
+        }
+        LiveOutcome::Complete((w, run)) => {
+            let digest = roadmap_digest(&assemble_prm_roadmap(&w));
+            let res = &run.construction.resilience;
+            println!(
+                "faulted   : wall={:.3}ms digest={digest:#018x} ({})",
+                run.total_time as f64 / 1e6,
+                if digest == base_digest {
+                    "matches baseline"
+                } else {
+                    "DIGEST DRIFT"
+                },
+            );
+            println!(
+                "ledger    : crashes={} recovered={} reexecuted={} grant_drops={} wasted={:.3}ms",
+                res.crashes,
+                res.tasks_recovered,
+                res.tasks_reexecuted,
+                res.retransmissions,
+                res.wasted_work as f64 / 1e6,
+            );
+            println!(
+                "degradation: {:.3}x (construction {:.3}x)",
+                run.total_time as f64 / base_run.total_time.max(1) as f64,
+                run.construction
+                    .degradation_ratio(base_run.construction.makespan),
+            );
+            if digest != base_digest {
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("rrt") {
         rrt_probe();
@@ -259,6 +399,10 @@ fn main() {
     }
     if std::env::args().nth(1).as_deref() == Some("scaling") {
         scaling_probe(std::env::args().skip(2));
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("resilience") {
+        resilience_probe(std::env::args().skip(2));
         return;
     }
     let mut trace_out: Option<String> = None;

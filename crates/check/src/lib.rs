@@ -33,6 +33,13 @@
 //! determinism (two racing runs must return identical results). Live
 //! schedules come from the OS, so failures are reported but not shrunk.
 //! Run it: `cargo run -p smp-check -- --live-smoke 200`.
+//!
+//! With `--faults`, the live sweep also re-runs every case under a
+//! deterministic [`smp_runtime::LiveFaultPlan`] — injected worker
+//! panics, induced stragglers, dropped steal grants — and requires
+//! recovery to complete with results byte-identical to the fault-free
+//! baseline ([`live::check_live_case_faulted`]).
+//! Run it: `cargo run -p smp-check -- --live-smoke 200 --faults`.
 
 pub mod case;
 pub mod gen;
@@ -44,7 +51,7 @@ pub mod shrink;
 
 pub use case::{CaseSpec, MachineKind, SchedulePlan};
 pub use harness::{fuzz, FuzzConfig, FuzzOutcome};
-pub use live::{check_live_case, live_smoke};
+pub use live::{check_live_case, check_live_case_faulted, live_smoke, live_smoke_faulted};
 pub use oracles::{check_case, check_outcome, Violation};
 pub use repro::{parse, serialize};
 pub use shrink::shrink;

@@ -17,10 +17,21 @@
 //! sweeps the same space of shapes (imbalanced queues, empty PEs, every
 //! victim policy and steal amount); costs drive a synthetic spin so the
 //! schedule actually contends.
+//!
+//! A second, fault-bearing sweep ([`live_smoke_faulted`]) re-runs each
+//! case under a deterministic [`LiveFaultPlan`] (injected panics, induced
+//! stragglers, dropped steal grants) and checks the faulted catalog:
+//! recovery must complete with results byte-identical to a fault-free
+//! baseline, every off-owner execution must be backed by a grant or a
+//! recovery, and recorded crashes must not exceed the plan's doomed
+//! workers.
 
 use crate::case::CaseSpec;
 use crate::oracles::Violation;
-use smp_runtime::{ExecOutcome, ExecSpec, Executor, LiveExecutor, LiveTuning, StealAmount};
+use smp_runtime::{
+    ExecError, ExecOutcome, ExecSpec, Executor, LiveExecutor, LiveFaultPlan, LiveTuning,
+    StealAmount,
+};
 
 macro_rules! fail {
     ($out:expr, $oracle:literal, $($fmt:tt)+) => {
@@ -41,7 +52,7 @@ fn synthetic_work(task: u32, cost: u64) -> u64 {
     x
 }
 
-fn run_live(spec: &CaseSpec) -> Result<ExecOutcome<u64>, smp_runtime::SimError> {
+fn run_live(spec: &CaseSpec) -> Result<ExecOutcome<u64>, ExecError> {
     let exec_spec = ExecSpec {
         n_tasks: spec.num_tasks(),
         costs: None,
@@ -53,6 +64,27 @@ fn run_live(spec: &CaseSpec) -> Result<ExecOutcome<u64>, smp_runtime::SimError> 
     let costs = &spec.costs;
     LiveExecutor::new(spec.num_pes(), LiveTuning::default())
         .execute(&exec_spec, &|t| synthetic_work(t, costs[t as usize]))
+}
+
+/// As [`run_live`] with `plan` armed, through the resilient entry point:
+/// injected panics, stragglers and grant drops fire, and the outcome must
+/// still *complete* (the generator never dooms every worker), so the
+/// completed results/report come back in [`ExecOutcome`] shape.
+fn run_live_faulted(spec: &CaseSpec, plan: &LiveFaultPlan) -> Result<ExecOutcome<u64>, ExecError> {
+    let exec_spec = ExecSpec {
+        n_tasks: spec.num_tasks(),
+        costs: None,
+        payloads: None,
+        assignment: &spec.assignment,
+        steal: spec.steal,
+        seed: spec.sim_seed,
+    };
+    let costs = &spec.costs;
+    let out = LiveExecutor::new(spec.num_pes(), LiveTuning::default())
+        .with_faults(plan.clone())
+        .execute_resilient(&exec_spec, &|t| synthetic_work(t, costs[t as usize]))?;
+    let (results, report) = out.into_complete()?;
+    Ok(ExecOutcome { results, report })
 }
 
 /// Run `spec` on the live backend (twice) and check the live oracle
@@ -83,6 +115,67 @@ pub fn check_live_case(spec: &CaseSpec) -> Vec<Violation> {
                 );
             }
         }
+    }
+    out
+}
+
+/// Run `spec` on the live backend with a deterministic fault `plan`
+/// armed, alongside one fault-free baseline run, and check the faulted
+/// oracle catalog:
+///
+/// - **live_fault_recovery** — the faulted run *completes* (the plan
+///   generator never dooms every worker, so recovery must always
+///   succeed) and its result vector is byte-identical to the fault-free
+///   baseline — exactly-once execution under panics/stragglers/drops;
+/// - **exactly_once_live** — as in the fault-free catalog (per-worker
+///   counters still close: a dying worker never records the in-flight
+///   task, and its completed work keeps its attribution);
+/// - **steal_accounting_live_faulted** — `attempts = hits + misses`
+///   stays exact (a dropped grant is a miss plus a retransmission), and
+///   every off-owner execution is backed by a steal grant or a
+///   recovered orphan;
+/// - **crash_accounting_live** — recorded crashes never exceed the
+///   distinct workers the plan dooms.
+pub fn check_live_case_faulted(spec: &CaseSpec, plan: &LiveFaultPlan) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let baseline = match run_live(spec) {
+        Err(e) => {
+            out.push(Violation {
+                oracle: "live_accepts_valid_input",
+                detail: format!("fault-free baseline failed: {e} ({e:?})"),
+            });
+            return out;
+        }
+        Ok(o) => o,
+    };
+    let faulted = match run_live_faulted(spec, plan) {
+        Err(e) => {
+            out.push(Violation {
+                oracle: "live_fault_recovery",
+                detail: format!("faulted run did not complete: {e} (plan {plan:?})"),
+            });
+            return out;
+        }
+        Ok(o) => o,
+    };
+    if faulted.results != baseline.results {
+        fail!(
+            out,
+            "live_fault_recovery",
+            "faulted results diverge from the fault-free baseline (plan {plan:?})"
+        );
+    }
+    exactly_once_live(spec, &faulted, &mut out);
+    steal_accounting_live_faulted(spec, &faulted, &mut out);
+    let doomed: std::collections::HashSet<usize> = plan.panics.iter().map(|s| s.worker).collect();
+    if faulted.report.resilience.crashes as usize > doomed.len() {
+        fail!(
+            out,
+            "crash_accounting_live",
+            "{} crashes recorded but the plan dooms only {} worker(s)",
+            faulted.report.resilience.crashes,
+            doomed.len()
+        );
     }
     out
 }
@@ -192,6 +285,55 @@ fn steal_accounting_live(spec: &CaseSpec, outcome: &ExecOutcome<u64>, out: &mut 
     }
 }
 
+/// Steal bookkeeping under faults: the attempt ledger stays exact, and
+/// every off-owner execution must be backed by a steal grant or a
+/// recovery (`stolen_exec <= transferred + recovered`). The converse is
+/// *not* a law: `tasks_transferred` counts every hop of a steal chain,
+/// so a task re-stolen from a thief's queue — or stolen back to its
+/// initial owner, which stragglers make likely — adds a transfer with no
+/// off-owner execution. Batch bounds and the static-schedule
+/// zero-traffic law are fault-free-only oracles and are not enforced
+/// here.
+fn steal_accounting_live_faulted(
+    spec: &CaseSpec,
+    outcome: &ExecOutcome<u64>,
+    out: &mut Vec<Violation>,
+) {
+    let report = &outcome.report;
+    if report.steal_attempts != report.steal_hits + report.steal_misses {
+        fail!(
+            out,
+            "steal_accounting_live_faulted",
+            "attempts {} != hits {} + misses {}",
+            report.steal_attempts,
+            report.steal_hits,
+            report.steal_misses
+        );
+    }
+    let stolen_exec: u64 = report
+        .per_pe_stolen_executed
+        .iter()
+        .map(|&e| u64::from(e))
+        .sum();
+    let recovered = report.resilience.tasks_recovered;
+    if stolen_exec > report.tasks_transferred + recovered {
+        fail!(
+            out,
+            "steal_accounting_live_faulted",
+            "{stolen_exec} stolen executions exceed {} transfers + {recovered} recovered",
+            report.tasks_transferred
+        );
+    }
+    if spec.steal.is_none() && recovered == 0 && report.steal_attempts != 0 {
+        fail!(
+            out,
+            "steal_accounting_live_faulted",
+            "static schedule with no recovery recorded {} steal attempts",
+            report.steal_attempts
+        );
+    }
+}
+
 /// Sweep `runs` generator cases through the live oracles; returns the
 /// failing `(seed, violations)` pairs (no shrinking — live schedules are
 /// not replayable).
@@ -201,6 +343,26 @@ pub fn live_smoke(runs: u64, base_seed: u64) -> Vec<(u64, Vec<Violation>)> {
         let seed = base_seed.wrapping_add(i);
         let spec = crate::gen::generate_case(seed);
         let violations = check_live_case(&spec);
+        if !violations.is_empty() {
+            failures.push((seed, violations));
+        }
+    }
+    failures
+}
+
+/// As [`live_smoke`], but each case additionally runs under the
+/// deterministic live fault plan derived from its seed
+/// ([`crate::gen::generate_live_fault_plan`]) and must satisfy the
+/// faulted oracle catalog ([`check_live_case_faulted`]): recovery always
+/// completes, results match the fault-free baseline byte-for-byte, and
+/// the steal/crash ledgers close.
+pub fn live_smoke_faulted(runs: u64, base_seed: u64) -> Vec<(u64, Vec<Violation>)> {
+    let mut failures = Vec::new();
+    for i in 0..runs {
+        let seed = base_seed.wrapping_add(i);
+        let spec = crate::gen::generate_case(seed);
+        let plan = crate::gen::generate_live_fault_plan(seed, spec.num_pes());
+        let violations = check_live_case_faulted(&spec, &plan);
         if !violations.is_empty() {
             failures.push((seed, violations));
         }
@@ -223,6 +385,32 @@ mod tests {
                 .map(|(s, v)| format!("seed {s}: {v:?}"))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn generated_cases_pass_the_faulted_live_oracles() {
+        let failures = live_smoke_faulted(25, 0xFA_017);
+        assert!(
+            failures.is_empty(),
+            "faulted live smoke failures: {:?}",
+            failures
+                .iter()
+                .map(|(s, v)| format!("seed {s}: {v:?}"))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn a_targeted_panic_is_recovered_in_the_smoke_harness() {
+        // p = 2, everything on worker 0, worker 1 dies on its first steal
+        let spec = crate::gen::generate_case(3); // any case shape works …
+        let p = spec.num_pes();
+        if p < 2 {
+            return; // … but panics need a survivor
+        }
+        let plan = LiveFaultPlan::new(9).with_panic(p - 1, 0);
+        let violations = check_live_case_faulted(&spec, &plan);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! smp-check [--runs N] [--seed S] [--out DIR] [--fail-fast]
 //! smp-check --replay FILE
-//! smp-check --live-smoke N [--seed S]
+//! smp-check --live-smoke N [--seed S] [--faults]
 //! ```
 //!
 //! Exit status is 0 only if every run satisfied every oracle.
@@ -22,6 +22,7 @@ fn main() -> ExitCode {
     };
     let mut replay: Option<PathBuf> = None;
     let mut live_smoke: Option<u64> = None;
+    let mut live_faults = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,11 +58,12 @@ fn main() -> ExitCode {
                     std::process::exit(2);
                 }));
             }
+            "--faults" => live_faults = true,
             "--help" | "-h" => {
                 println!(
                     "usage: smp-check [--runs N] [--seed S] [--out DIR | --no-out] [--fail-fast]\n\
                      \x20      smp-check --replay FILE\n\
-                     \x20      smp-check --live-smoke N [--seed S]"
+                     \x20      smp-check --live-smoke N [--seed S] [--faults]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -77,11 +79,20 @@ fn main() -> ExitCode {
     }
 
     if let Some(runs) = live_smoke {
+        let mode = if live_faults {
+            "fault-bearing generator cases"
+        } else {
+            "generator cases"
+        };
         println!(
-            "smp-check: live smoke — {runs} generator cases on the shared-memory backend (seed {})",
+            "smp-check: live smoke — {runs} {mode} on the shared-memory backend (seed {})",
             cfg.base_seed
         );
-        let failures = smp_check::live_smoke(runs, cfg.base_seed);
+        let failures = if live_faults {
+            smp_check::live_smoke_faulted(runs, cfg.base_seed)
+        } else {
+            smp_check::live_smoke(runs, cfg.base_seed)
+        };
         return if failures.is_empty() {
             println!("smp-check: OK — {runs} live runs, all oracles satisfied");
             ExitCode::SUCCESS

@@ -49,13 +49,14 @@ pub use assemble::{assemble_prm_roadmap, assemble_rrt_tree, roadmap_digest};
 pub use cost::work_cost;
 pub use parallel_prm::{
     build_prm_workload, build_prm_workload_on_grid, run_parallel_prm, run_parallel_prm_faulted,
-    run_parallel_prm_live, run_parallel_prm_live_observed, run_parallel_prm_observed,
-    run_parallel_prm_on, run_parallel_prm_with_weights, ParallelPrmConfig, PrmRun, PrmWorkload,
+    run_parallel_prm_live, run_parallel_prm_live_controlled, run_parallel_prm_live_observed,
+    run_parallel_prm_observed, run_parallel_prm_on, run_parallel_prm_with_weights,
+    ParallelPrmConfig, PrmRun, PrmWorkload,
 };
 pub use parallel_rrt::{
     build_rrt_workload, run_parallel_rrt, run_parallel_rrt_faulted, run_parallel_rrt_live,
-    run_parallel_rrt_live_observed, run_parallel_rrt_observed, run_parallel_rrt_on,
-    ParallelRrtConfig, RrtRun, RrtWorkload,
+    run_parallel_rrt_live_controlled, run_parallel_rrt_live_observed, run_parallel_rrt_observed,
+    run_parallel_rrt_on, ParallelRrtConfig, RrtRun, RrtWorkload,
 };
 pub use phases::PhaseBreakdown;
 pub use strategy::{Strategy, WeightKind};

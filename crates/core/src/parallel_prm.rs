@@ -38,8 +38,8 @@ use smp_graph::{KdTree, OwnerMap, RegionGraph, RemoteAccessCounter};
 use smp_obs::{cat, MetricsRegistry, MetricsSnapshot, Tracer};
 use smp_plan::connect::{connect_roadmaps, CandidateEdge};
 use smp_runtime::{
-    simulate_observed, Backend, ExecSpec, Executor, FaultPlan, LiveExecutor, LiveTuning,
-    MachineModel, SimConfig, SimError, SimReport,
+    simulate_observed, Backend, ExecError, ExecSpec, FaultPlan, LiveControl, LiveOutcome,
+    LivePartial, LiveTuning, MachineModel, SimConfig, SimError, SimReport,
 };
 use std::time::Instant;
 
@@ -663,6 +663,29 @@ fn owner_queues(map: &OwnerMap) -> Vec<Vec<u32>> {
     map.items_per_pe()
 }
 
+/// One live phase's disposition: `Ok` carries the completed results and
+/// report, `Err` carries the [`LivePartial`] a cooperative stop left.
+pub(crate) type PhaseDone<R> = Result<(Vec<R>, smp_runtime::ExecReport), Box<LivePartial>>;
+
+/// Unwrap one live phase of a controlled planner run: completed phases
+/// yield their results + report, cooperative stops yield the
+/// [`LivePartial`] the planner should surface, executor failures
+/// propagate as [`ExecError`].
+pub(crate) fn phase_complete<R>(
+    out: smp_runtime::ResilientOutcome<R>,
+    phase: &'static str,
+) -> Result<PhaseDone<R>, ExecError> {
+    if out.status.is_complete() {
+        Ok(Ok(out.into_complete()?))
+    } else {
+        Ok(Err(Box::new(LivePartial {
+            phase,
+            status: out.status,
+            report: out.report,
+        })))
+    }
+}
+
 /// Run the full parallel PRM **live** on `threads` OS threads: the four
 /// phases of [`run_parallel_prm`] with real work (sampling, kNN, local
 /// planning) executed through [`LiveExecutor`] in wall-clock time, with
@@ -682,7 +705,7 @@ pub fn run_parallel_prm_live<const D: usize>(
     threads: usize,
     strategy: &Strategy,
     tuning: LiveTuning,
-) -> Result<(PrmWorkload<D>, PrmRun), SimError> {
+) -> Result<(PrmWorkload<D>, PrmRun), ExecError> {
     run_parallel_prm_live_observed(cfg, threads, strategy, tuning, None)
 }
 
@@ -696,11 +719,35 @@ pub fn run_parallel_prm_live_observed<const D: usize>(
     threads: usize,
     strategy: &Strategy,
     tuning: LiveTuning,
+    tracer: Option<&mut Tracer>,
+) -> Result<(PrmWorkload<D>, PrmRun), ExecError> {
+    run_parallel_prm_live_controlled(cfg, threads, strategy, &LiveControl::new(tuning), tracer)?
+        .into_result()
+}
+
+/// The fully-controlled live PRM entry point: as
+/// [`run_parallel_prm_live_observed`] but threading a [`LiveControl`]
+/// (cancel token, whole-run deadline, fault plan) through every phase's
+/// executor and work closures.
+///
+/// A cancel/deadline stop is a *success* here: the run returns
+/// [`LiveOutcome::Partial`] naming the phase it stopped in, with the
+/// stopped phase's report — never a hang or an abort. Injected faults
+/// that the executor recovers from leave the output workload
+/// byte-identical to a fault-free run (exactly-once execution of
+/// location-independent region work); the recovery cost shows up only in
+/// the run's `live.faults.*` metrics and resilience counters.
+pub fn run_parallel_prm_live_controlled<const D: usize>(
+    cfg: &ParallelPrmConfig<'_, D>,
+    threads: usize,
+    strategy: &Strategy,
+    control: &LiveControl,
     mut tracer: Option<&mut Tracer>,
-) -> Result<(PrmWorkload<D>, PrmRun), SimError> {
+) -> Result<LiveOutcome<(PrmWorkload<D>, PrmRun)>, ExecError> {
     if threads == 0 {
-        return Err(SimError::NoPes);
+        return Err(SimError::NoPes.into());
     }
+    let run_start = Instant::now();
     let p = threads;
     let grid =
         GridSubdivision::with_target_regions(*cfg.env.bounds(), cfg.regions_target, cfg.overlap);
@@ -712,8 +759,10 @@ pub fn run_parallel_prm_live_observed<const D: usize>(
 
     let naive = naive_block(nr, p);
     let naive_queues = owner_queues(&naive);
+    // Each phase gets a fresh executor carrying the control bundle; the
+    // deadline each one receives is the whole-run budget *remaining*.
     let mk_exec = |trace: bool| {
-        let ex = LiveExecutor::new(p, tuning);
+        let ex = control.phase_executor(p, run_start);
         if trace {
             ex.with_tracing()
         } else {
@@ -732,15 +781,18 @@ pub fn run_parallel_prm_live_observed<const D: usize>(
         steal: None,
         seed: derive_seed(cfg.seed, p as u64, 1),
     };
-    let gen_out = ex.execute(&gen_spec, &|r| gen_region(cfg, &grid, r))?;
-    let gen_makespan = gen_out.report.makespan;
+    let gen_full = ex.execute_resilient(&gen_spec, &|r| gen_region(cfg, &grid, r))?;
+    let (gen_results, gen_report) = match phase_complete(gen_full, "generation")? {
+        Ok(done) => done,
+        Err(partial) => return Ok(LiveOutcome::Partial(partial)),
+    };
+    let gen_makespan = gen_report.makespan;
     if let Some(tr) = tracer.as_deref_mut() {
         tr.name_track(phase_track, "phases");
         tr.begin(0, phase_track, cat::PHASE, "generation");
         ex.replay_trace_into(tr);
         tr.end(gen_makespan, phase_track, cat::PHASE);
     }
-    let gen_results = gen_out.results;
     let mut offset = gen_makespan;
 
     // Phase 2: load balancing, wall-timed on the calling thread. The
@@ -800,10 +852,14 @@ pub fn run_parallel_prm_live_observed<const D: usize>(
         steal,
         seed: derive_seed(cfg.seed, p as u64, 2),
     };
-    let con_out = ex.execute(&con_spec, &|r| {
+    let con_full = ex.execute_resilient(&con_spec, &|r| {
         connect_region(cfg, &gen_results[r as usize].0)
     })?;
-    let con_makespan = con_out.report.makespan;
+    let (con_results, con_report) = match phase_complete(con_full, "node_connection")? {
+        Ok(done) => done,
+        Err(partial) => return Ok(LiveOutcome::Partial(partial)),
+    };
+    let con_makespan = con_report.makespan;
     if let Some(tr) = tracer.as_deref_mut() {
         tr.set_base(offset);
         tr.begin(0, phase_track, cat::PHASE, "node_connection");
@@ -811,7 +867,7 @@ pub fn run_parallel_prm_live_observed<const D: usize>(
         tr.end(con_makespan, phase_track, cat::PHASE);
     }
     offset += con_makespan;
-    let final_owner: Vec<u32> = con_out.report.executed_by.clone();
+    let final_owner: Vec<u32> = con_report.executed_by.clone();
 
     // Phase 4: region connection — each region-graph edge runs on the
     // final owner of its first region (static; deterministic from the
@@ -830,7 +886,7 @@ pub fn run_parallel_prm_live_observed<const D: usize>(
         steal: None,
         seed: derive_seed(cfg.seed, p as u64, 4),
     };
-    let cross_out = ex.execute(&cross_spec, &|i| {
+    let cross_full = ex.execute_resilient(&cross_spec, &|i| {
         let (a, b) = edges[i as usize];
         cross_edge(
             cfg,
@@ -840,7 +896,11 @@ pub fn run_parallel_prm_live_observed<const D: usize>(
             &gen_results[b as usize].0,
         )
     })?;
-    let cross_makespan = cross_out.report.makespan;
+    let (cross_results, cross_report) = match phase_complete(cross_full, "region_connection")? {
+        Ok(done) => done,
+        Err(partial) => return Ok(LiveOutcome::Partial(partial)),
+    };
+    let cross_makespan = cross_report.makespan;
     if let Some(tr) = tracer {
         tr.set_base(offset);
         tr.begin(0, phase_track, cat::PHASE, "region_connection");
@@ -854,7 +914,7 @@ pub fn run_parallel_prm_live_observed<const D: usize>(
     // distributed machine — counted for comparability with the DES runs
     // even though shared memory makes the read free here.
     let mut remote = RemoteAccessCounter::new();
-    for c in &cross_out.results {
+    for c in &cross_results {
         let (a, b) = c.regions;
         let oa = final_owner[a as usize];
         let ob = final_owner[b as usize];
@@ -881,11 +941,11 @@ pub fn run_parallel_prm_live_observed<const D: usize>(
         node_connection: con_makespan,
         region_connection: cross_makespan,
     };
-    let construction = con_out.report.to_sim_report();
+    let construction = con_report.to_sim_report();
 
     let regions: Vec<RegionOutcome<D>> = gen_results
         .into_iter()
-        .zip(con_out.results)
+        .zip(con_results)
         .map(|((cfgs, gen_work), (edges, con_work))| RegionOutcome {
             cfgs,
             edges,
@@ -897,7 +957,7 @@ pub fn run_parallel_prm_live_observed<const D: usize>(
         grid,
         region_graph,
         regions,
-        cross: cross_out.results,
+        cross: cross_results,
         vfree,
         seed: cfg.seed,
     };
@@ -930,7 +990,7 @@ pub fn run_parallel_prm_live_observed<const D: usize>(
         migrations,
         metrics,
     };
-    Ok((workload, run))
+    Ok(LiveOutcome::Complete((workload, run)))
 }
 
 /// Backend-agnostic entry point: build-and-run the experiment described by
@@ -945,7 +1005,7 @@ pub fn run_parallel_prm_on<const D: usize>(
     p: usize,
     strategy: &Strategy,
     backend: Backend,
-) -> Result<(PrmWorkload<D>, PrmRun), SimError> {
+) -> Result<(PrmWorkload<D>, PrmRun), ExecError> {
     match backend {
         Backend::Des => {
             let workload = build_prm_workload(cfg);

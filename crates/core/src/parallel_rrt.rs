@@ -10,6 +10,7 @@
 //! repartitioning *worse than no balancing at all* (Figure 10(b)).
 
 use crate::cost::work_cost;
+use crate::parallel_prm::phase_complete;
 use crate::partition::{greedy_lpt, loads, naive_block};
 use crate::phases::PhaseBreakdown;
 use crate::strategy::{Strategy, WeightKind};
@@ -25,8 +26,8 @@ use smp_obs::{cat, MetricsRegistry, MetricsSnapshot, Tracer};
 use smp_plan::connect::{connect_roadmaps, CandidateEdge};
 use smp_plan::rrt::{grow_rrt, RrtParams};
 use smp_runtime::{
-    simulate_observed, Backend, ExecSpec, Executor, FaultPlan, LiveExecutor, LiveTuning,
-    MachineModel, SimConfig, SimError, SimReport,
+    simulate_observed, Backend, ExecError, ExecSpec, FaultPlan, LiveControl, LiveOutcome,
+    LiveTuning, MachineModel, SimConfig, SimError, SimReport,
 };
 use std::time::Instant;
 
@@ -523,7 +524,7 @@ pub fn run_parallel_rrt_live<const D: usize>(
     threads: usize,
     strategy: &Strategy,
     tuning: LiveTuning,
-) -> Result<(RrtWorkload<D>, RrtRun), SimError> {
+) -> Result<(RrtWorkload<D>, RrtRun), ExecError> {
     run_parallel_rrt_live_observed(cfg, threads, strategy, tuning, None)
 }
 
@@ -536,11 +537,33 @@ pub fn run_parallel_rrt_live_observed<const D: usize>(
     threads: usize,
     strategy: &Strategy,
     tuning: LiveTuning,
+    tracer: Option<&mut Tracer>,
+) -> Result<(RrtWorkload<D>, RrtRun), ExecError> {
+    run_parallel_rrt_live_controlled(cfg, threads, strategy, &LiveControl::new(tuning), tracer)?
+        .into_result()
+}
+
+/// The fully-controlled live RRT entry point: as
+/// [`run_parallel_rrt_live_observed`] but threading a [`LiveControl`]
+/// (cancel token, whole-run deadline, fault plan) through every phase's
+/// executor and work closures, exactly as
+/// [`crate::parallel_prm::run_parallel_prm_live_controlled`] does.
+///
+/// A cancel/deadline stop returns [`LiveOutcome::Partial`] naming the
+/// phase it stopped in — never a hang or an abort. Recovered faults leave
+/// the output workload byte-identical to a fault-free run; the recovery
+/// cost shows up only in `live.faults.*` metrics and resilience counters.
+pub fn run_parallel_rrt_live_controlled<const D: usize>(
+    cfg: &ParallelRrtConfig<'_, D>,
+    threads: usize,
+    strategy: &Strategy,
+    control: &LiveControl,
     mut tracer: Option<&mut Tracer>,
-) -> Result<(RrtWorkload<D>, RrtRun), SimError> {
+) -> Result<LiveOutcome<(RrtWorkload<D>, RrtRun)>, ExecError> {
     if threads == 0 {
-        return Err(SimError::NoPes);
+        return Err(SimError::NoPes.into());
     }
+    let run_start = Instant::now();
     let p = threads;
     let root = cfg.env.bounds().center();
     let sub = RadialSubdivision::sample(
@@ -555,8 +578,10 @@ pub fn run_parallel_rrt_live_observed<const D: usize>(
     let phase_track = p as u32;
     let trace_on = tracer.is_some();
     let naive = naive_block(nr, p);
+    // Each phase gets a fresh executor carrying the control bundle; the
+    // deadline each one receives is the whole-run budget *remaining*.
     let mk_exec = |trace: bool| {
-        let ex = LiveExecutor::new(p, tuning);
+        let ex = control.phase_executor(p, run_start);
         if trace {
             ex.with_tracing()
         } else {
@@ -618,8 +643,12 @@ pub fn run_parallel_rrt_live_observed<const D: usize>(
         steal,
         seed: derive_seed(cfg.seed, p as u64, 3),
     };
-    let con_out = ex.execute(&con_spec, &|r| grow_branch(cfg, &sub, r))?;
-    let con_makespan = con_out.report.makespan;
+    let con_full = ex.execute_resilient(&con_spec, &|r| grow_branch(cfg, &sub, r))?;
+    let (con_results, con_report) = match phase_complete(con_full, "construction")? {
+        Ok(done) => done,
+        Err(partial) => return Ok(LiveOutcome::Partial(partial)),
+    };
+    let con_makespan = con_report.makespan;
     if let Some(tr) = tracer.as_deref_mut() {
         tr.set_base(offset);
         tr.begin(0, phase_track, cat::PHASE, "construction");
@@ -627,8 +656,8 @@ pub fn run_parallel_rrt_live_observed<const D: usize>(
         tr.end(con_makespan, phase_track, cat::PHASE);
     }
     offset += con_makespan;
-    let final_owner: Vec<u32> = con_out.report.executed_by.clone();
-    let branches = con_out.results;
+    let final_owner: Vec<u32> = con_report.executed_by.clone();
+    let branches = con_results;
 
     // Phase 3: region connection — each region-graph edge runs on the
     // final owner of its first region.
@@ -646,7 +675,7 @@ pub fn run_parallel_rrt_live_observed<const D: usize>(
         steal: None,
         seed: derive_seed(cfg.seed, p as u64, 4),
     };
-    let cross_out = ex.execute(&cross_spec, &|i| {
+    let cross_full = ex.execute_resilient(&cross_spec, &|i| {
         let (a, b) = edges[i as usize];
         rrt_cross_edge(
             cfg,
@@ -656,7 +685,11 @@ pub fn run_parallel_rrt_live_observed<const D: usize>(
             &branches[b as usize].cfgs,
         )
     })?;
-    let cross_makespan = cross_out.report.makespan;
+    let (cross_results, cross_report) = match phase_complete(cross_full, "region_connection")? {
+        Ok(done) => done,
+        Err(partial) => return Ok(LiveOutcome::Partial(partial)),
+    };
+    let cross_makespan = cross_report.makespan;
     if let Some(tr) = tracer {
         tr.set_base(offset);
         tr.begin(0, phase_track, cat::PHASE, "region_connection");
@@ -667,7 +700,7 @@ pub fn run_parallel_rrt_live_observed<const D: usize>(
 
     // Logical remote-access accounting, as in the PRM live path.
     let mut remote = RemoteAccessCounter::new();
-    for c in &cross_out.results {
+    for c in &cross_results {
         let (a, b) = c.regions;
         let oa = final_owner[a as usize];
         let ob = final_owner[b as usize];
@@ -697,7 +730,7 @@ pub fn run_parallel_rrt_live_observed<const D: usize>(
         node_connection: con_makespan,
         region_connection: cross_makespan,
     };
-    let construction = con_out.report.to_sim_report();
+    let construction = con_report.to_sim_report();
 
     let krays_weights =
         krays_weights.unwrap_or_else(|| weights::krays_weights(cfg.env, &sub, cfg.krays, cfg.seed));
@@ -705,7 +738,7 @@ pub fn run_parallel_rrt_live_observed<const D: usize>(
         sub,
         region_graph,
         regions: branches,
-        cross: cross_out.results,
+        cross: cross_results,
         krays_weights,
         seed: cfg.seed,
     };
@@ -736,7 +769,7 @@ pub fn run_parallel_rrt_live_observed<const D: usize>(
         migrations,
         metrics,
     };
-    Ok((workload, run))
+    Ok(LiveOutcome::Complete((workload, run)))
 }
 
 /// Backend-agnostic entry point, mirroring
@@ -750,7 +783,7 @@ pub fn run_parallel_rrt_on<const D: usize>(
     p: usize,
     strategy: &Strategy,
     backend: Backend,
-) -> Result<(RrtWorkload<D>, RrtRun), SimError> {
+) -> Result<(RrtWorkload<D>, RrtRun), ExecError> {
     match backend {
         Backend::Des => {
             let workload = build_rrt_workload(cfg);

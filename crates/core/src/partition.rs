@@ -52,6 +52,7 @@ pub fn greedy_lpt(weights: &[f64], p: usize) -> OwnerMap {
     for item in order {
         let pe = (0..p)
             .min_by(|&i, &j| load[i].total_cmp(&load[j]).then(i.cmp(&j)))
+            // INVARIANT: the range is non-empty — `assert!(p > 0)` at entry.
             .expect("p > 0");
         owner[item as usize] = pe as u32;
         load[pe] += weights[item as usize] + eps;

@@ -1,0 +1,79 @@
+//! Cooperative cancellation for live execution.
+//!
+//! A [`CancelToken`] is a cheaply-cloneable handle to a shared flag.
+//! Holders of a clone may request cancellation at any time from any
+//! thread; the live executor's workers poll the flag between region
+//! tasks (never mid-task), so a cancelled phase stops at *task
+//! granularity*: every task either ran to completion exactly once or
+//! never started. That boundary is what keeps partial results usable —
+//! a cancelled run's completed tasks are byte-identical to the same
+//! tasks of an uncancelled run.
+//!
+//! Deadlines reuse the same mechanism: [`crate::live::LiveExecutor`]
+//! converts a deadline into an internal poll against the phase epoch, so
+//! "stop after 200 ms" and "stop when this token fires" take the same
+//! cooperative path and produce the same structured partial outcome
+//! (DESIGN.md §13).
+//!
+//! ```
+//! use smp_runtime::CancelToken;
+//! let token = CancelToken::new();
+//! let watcher = token.clone();
+//! assert!(!watcher.is_cancelled());
+//! token.cancel();
+//! assert!(watcher.is_cancelled());
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancel flag: clone it into whatever should be able to stop a
+/// live run (a timeout thread, a portfolio controller, a request
+/// handler). Cancellation is sticky — once fired it cannot be reset.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent and safe from any thread;
+    /// workers observe it at their next task boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        // sticky: cancelling again changes nothing
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

@@ -42,21 +42,136 @@
 //!     let outcome = match backend {
 //!         Backend::Des => DesExecutor::new(MachineModel::hopper())
 //!             .execute(&spec, &work)
-//!             .unwrap(),
+//!             .expect("des run"),
 //!         Backend::Live(tuning) => LiveExecutor::new(2, tuning)
 //!             .execute(&spec, &work)
-//!             .unwrap(),
+//!             .expect("live run"),
 //!     };
 //!     // Work-product determinism: results are identical across backends.
 //!     assert_eq!(outcome.results, vec![0, 10, 20, 30, 40, 50]);
 //! }
 //! ```
+//!
+//! Failures surface as structured [`ExecError`]s — malformed specs
+//! ([`ExecError::Sim`]), unrecovered worker panics
+//! ([`ExecError::WorkerPanic`]), or cooperative stops
+//! ([`ExecError::Cancelled`] / [`ExecError::DeadlineExceeded`]) — never
+//! as a process abort. The live backend's resilient entry point
+//! ([`crate::live::LiveExecutor::execute_resilient`]) additionally
+//! returns partial results with a [`RunStatus`] instead of an error when
+//! a run is stopped on purpose.
 
 use crate::live::LiveTuning;
 use crate::machine::MachineModel;
 use crate::sim::{simulate_with_payloads, SimConfig, SimError, SimReport, StealConfig};
 use crate::VTime;
 use smp_obs::MetricsSnapshot;
+
+/// Why an execution did not complete normally.
+///
+/// Every failure mode of either backend is representable here, so callers
+/// can match on the cause instead of unwinding: spec/plan validation
+/// failures wrap the existing [`SimError`] taxonomy, and the live
+/// backend's runtime failures (panics that killed every recovery path,
+/// cooperative stops) get their own variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Spec or fault-plan validation failed, or the DES itself erred.
+    Sim(SimError),
+    /// One or more live workers panicked and recovery could not complete
+    /// the phase (no survivor was left to adopt the orphaned tasks).
+    WorkerPanic {
+        /// Workers that died, in death order.
+        workers: Vec<usize>,
+        /// Panic message of the first death.
+        message: String,
+        /// Tasks that never produced a result.
+        missing: usize,
+    },
+    /// A task produced no result despite a normally-terminated phase.
+    /// Indicates an executor bug — surfaced as an error rather than an
+    /// abort so callers can report it.
+    MissingResult {
+        /// The task without a result.
+        task: u32,
+    },
+    /// The run was stopped by its [`crate::CancelToken`].
+    Cancelled {
+        /// Tasks that completed before the stop.
+        executed: usize,
+        /// Total tasks in the phase.
+        total: usize,
+    },
+    /// The run exceeded its deadline and stopped cooperatively.
+    DeadlineExceeded {
+        /// Tasks that completed before the stop.
+        executed: usize,
+        /// Total tasks in the phase.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Sim(e) => write!(f, "{e}"),
+            ExecError::WorkerPanic {
+                workers,
+                message,
+                missing,
+            } => write!(
+                f,
+                "worker(s) {workers:?} panicked ({message}); {missing} task(s) unrecovered"
+            ),
+            ExecError::MissingResult { task } => {
+                write!(f, "task {task} produced no result (executor bug)")
+            }
+            ExecError::Cancelled { executed, total } => {
+                write!(f, "run cancelled after {executed}/{total} tasks")
+            }
+            ExecError::DeadlineExceeded { executed, total } => {
+                write!(f, "deadline exceeded after {executed}/{total} tasks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> Self {
+        ExecError::Sim(e)
+    }
+}
+
+/// How a resilient live run ended (see
+/// [`crate::live::LiveExecutor::execute_resilient`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every task executed; results are complete.
+    Completed,
+    /// Stopped by the [`crate::CancelToken`]; results are partial.
+    Cancelled {
+        /// Tasks that completed before the stop.
+        executed: usize,
+        /// Total tasks in the phase.
+        total: usize,
+    },
+    /// Stopped at the deadline; results are partial.
+    DeadlineExceeded {
+        /// Tasks that completed before the stop.
+        executed: usize,
+        /// Total tasks in the phase.
+        total: usize,
+    },
+}
+
+impl RunStatus {
+    /// Did the run execute every task?
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunStatus::Completed)
+    }
+}
 
 /// Which execution backend runs a phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -174,6 +289,18 @@ impl ExecReport {
         }
     }
 
+    /// Makespan relative to a fault-free baseline, mirroring
+    /// [`SimReport::degradation_ratio`]: `1.0` = faults cost nothing,
+    /// `2.0` = the faulted run took twice as long (and `1.0` when the
+    /// baseline is degenerate).
+    pub fn degradation_ratio(&self, fault_free_makespan: u64) -> f64 {
+        if fault_free_makespan == 0 {
+            1.0
+        } else {
+            self.makespan as f64 / fault_free_makespan as f64
+        }
+    }
+
     fn from_sim_report(r: SimReport) -> Self {
         ExecReport {
             mode: ExecMode::VirtualNs,
@@ -225,7 +352,7 @@ pub trait Executor {
         &mut self,
         spec: &ExecSpec<'_>,
         work: &(dyn Fn(u32) -> R + Sync),
-    ) -> Result<ExecOutcome<R>, SimError>;
+    ) -> Result<ExecOutcome<R>, ExecError>;
 }
 
 /// Validate an [`ExecSpec`] assignment: every task in `0..n` appears
@@ -283,13 +410,14 @@ impl Executor for DesExecutor {
         &mut self,
         spec: &ExecSpec<'_>,
         work: &(dyn Fn(u32) -> R + Sync),
-    ) -> Result<ExecOutcome<R>, SimError> {
+    ) -> Result<ExecOutcome<R>, ExecError> {
         let costs = spec.costs.ok_or(SimError::MissingCosts)?;
         if costs.len() != spec.n_tasks {
             return Err(SimError::TaskOutOfRange {
                 task: spec.n_tasks as u32,
                 n: costs.len(),
-            });
+            }
+            .into());
         }
         let cfg = SimConfig {
             machine: self.machine.clone(),
@@ -355,7 +483,62 @@ mod tests {
         let err = DesExecutor::new(MachineModel::hopper())
             .execute(&spec, &|t| t)
             .unwrap_err();
-        assert_eq!(err, SimError::MissingCosts);
+        assert_eq!(err, ExecError::Sim(SimError::MissingCosts));
+    }
+
+    #[test]
+    fn exec_error_displays_and_converts() {
+        let e: ExecError = SimError::MissingCosts.into();
+        assert_eq!(e, ExecError::Sim(SimError::MissingCosts));
+        let msg = ExecError::WorkerPanic {
+            workers: vec![2],
+            message: "boom".into(),
+            missing: 3,
+        }
+        .to_string();
+        assert!(msg.contains("[2]") && msg.contains("boom") && msg.contains('3'));
+        assert!(ExecError::Cancelled {
+            executed: 1,
+            total: 4
+        }
+        .to_string()
+        .contains("1/4"));
+        assert!(ExecError::DeadlineExceeded {
+            executed: 0,
+            total: 4
+        }
+        .to_string()
+        .contains("deadline"));
+        assert!(RunStatus::Completed.is_complete());
+        assert!(!RunStatus::Cancelled {
+            executed: 0,
+            total: 1
+        }
+        .is_complete());
+    }
+
+    #[test]
+    fn degradation_ratio_matches_definition() {
+        let costs = spec_costs();
+        let assignment = vec![vec![0, 1, 2, 3, 4, 5]];
+        let spec = ExecSpec {
+            n_tasks: costs.len(),
+            costs: Some(&costs),
+            payloads: None,
+            assignment: &assignment,
+            steal: None,
+            seed: 0,
+        };
+        let out = DesExecutor::new(MachineModel::hopper())
+            .execute(&spec, &|t| t)
+            .expect("executor");
+        assert_eq!(out.report.degradation_ratio(0), 1.0);
+        let base = out.report.makespan;
+        assert_eq!(out.report.degradation_ratio(base), 1.0);
+        assert_eq!(
+            out.report.degradation_ratio(base / 2),
+            out.report.makespan as f64 / (base / 2) as f64
+        );
     }
 
     #[test]

@@ -25,11 +25,17 @@
 //! [`comm`] the migration message encoding.
 
 #![warn(missing_docs)]
+// Hot paths must not abort: recoverable failures return `Result`, and the
+// few justified invariant `expect`s carry per-site allows with comments.
+// Tests keep their unwraps (the lint is scoped out of `cfg(test)` builds).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cancel;
 pub mod comm;
 pub mod executor;
 pub mod fault;
 pub mod live;
+pub mod live_fault;
 pub mod machine;
 pub mod metrics;
 pub mod sim;
@@ -37,9 +43,14 @@ pub mod steal;
 pub mod threadpool;
 pub mod topology;
 
-pub use executor::{Backend, DesExecutor, ExecMode, ExecOutcome, ExecReport, ExecSpec, Executor};
+pub use cancel::CancelToken;
+pub use executor::{
+    Backend, DesExecutor, ExecError, ExecMode, ExecOutcome, ExecReport, ExecSpec, Executor,
+    RunStatus,
+};
 pub use fault::{Crash, FaultPlan, Straggler};
-pub use live::{LiveExecutor, LiveTuning};
+pub use live::{LiveControl, LiveExecutor, LiveOutcome, LivePartial, LiveTuning, ResilientOutcome};
+pub use live_fault::{LiveFaultPlan, PanicSpec, SleepSpec};
 pub use machine::{LatencyModel, MachineModel, OpCosts};
 pub use sim::{
     simulate, simulate_explored, simulate_faulted, simulate_observed, simulate_with_payloads,

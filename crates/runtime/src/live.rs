@@ -18,8 +18,9 @@
 //! * a fully-denied round backs off (yield, then capped exponential
 //!   sleep) so thieves do not spin while the last tasks finish — the
 //!   wall-clock analogue of the DES's `steal_backoff` latency;
-//! * the phase ends when every task has executed exactly once (a shared
-//!   remaining-task counter reaches zero).
+//! * the phase ends when every *completable* task has executed exactly
+//!   once (a shared remaining-task counter meets the lost-task counter,
+//!   which is zero unless every worker died).
 //!
 //! **Determinism contract.** The live backend is *result-deterministic*,
 //! not schedule-deterministic: task closures must derive everything from
@@ -29,22 +30,42 @@
 //! The [`ExecReport`] (timings, who-stole-what) genuinely varies run to
 //! run; that is the point of a wall-clock backend.
 //!
+//! **Fault tolerance** (DESIGN.md §13). Each task runs inside
+//! `catch_unwind`, so a panicking task kills only its worker, not the
+//! process: the dying worker drains its own queue (plus the in-flight
+//! task, which produced no result) and re-enqueues the orphans onto
+//! surviving workers under a global death lock. Because the orphans
+//! never completed, exactly-once execution is preserved and — results
+//! being location-independent — the merged output of a recovered run is
+//! byte-identical to a fault-free one. Runs can also be stopped
+//! cooperatively, via a [`CancelToken`] or a deadline, at task
+//! granularity: [`LiveExecutor::execute_resilient`] then returns the
+//! partial results with a [`RunStatus`] instead of an error. A
+//! deterministic [`LiveFaultPlan`] injects panics, stragglers, and
+//! steal-grant drops for testing; the fault-handling counters surface in
+//! [`ExecReport::resilience`] and the `live.faults.*` metrics.
+//!
 //! Instrumentation: with [`LiveExecutor::with_tracing`], every worker
 //! records task spans, steal instants, and queue-length counters into a
 //! worker-local [`TraceBuf`] (wall-clock nanoseconds since the phase
 //! epoch); [`LiveExecutor::replay_trace_into`] splices the buffers onto
 //! per-worker tracks of a [`Tracer`] after the join — same event
-//! vocabulary as the DES, different timeline semantics.
+//! vocabulary as the DES, different timeline semantics. Injected and
+//! recovered faults appear as [`cat::FAULT`] instants.
 
-use crate::executor::{validate_assignment, ExecMode, ExecOutcome, ExecReport, ExecSpec, Executor};
-use crate::sim::SimError;
+use crate::cancel::CancelToken;
+use crate::executor::{
+    validate_assignment, ExecError, ExecMode, ExecOutcome, ExecReport, ExecSpec, Executor,
+    RunStatus,
+};
+use crate::live_fault::LiveFaultPlan;
 use crate::topology::Mesh;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smp_obs::{cat, MetricsRegistry, TraceBuf, Tracer};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Knobs for the thief back-off loop (wall-clock analogue of the DES's
@@ -66,6 +87,16 @@ impl Default for LiveTuning {
     }
 }
 
+/// Why the workers stopped before draining every task.
+const CAUSE_NONE: u8 = 0;
+const CAUSE_CANCELLED: u8 = 1;
+const CAUSE_DEADLINE: u8 = 2;
+
+/// Message attached to panics injected by a [`LiveFaultPlan`]. Injected
+/// panics unwind via `resume_unwind`, which skips the global panic hook,
+/// so fault-injection tests stay quiet on stderr.
+const INJECTED_PANIC_MSG: &str = "injected panic (live fault plan)";
+
 /// Per-worker tallies carried back through the scoped-thread join.
 #[derive(Default)]
 struct WorkerLocal {
@@ -77,11 +108,174 @@ struct WorkerLocal {
     hits: u64,
     misses: u64,
     transferred: u64,
+    grant_drops: u64,
+    wasted_ns: u64,
+    /// `Some(death instant)` if this worker died to a panic.
+    death_ns: Option<u64>,
     buf: Option<TraceBuf>,
 }
 
+/// Death bookkeeping shared by all workers; every field is only touched
+/// under the death lock, which serializes concurrent worker deaths.
+#[derive(Default)]
+struct DeathLedger {
+    /// `(worker, panic message)` in death order.
+    deaths: Vec<(usize, String)>,
+    /// Orphaned tasks re-enqueued onto survivors.
+    recovered: u64,
+    /// In-flight tasks whose partial execution was lost and re-ran.
+    reexecuted: u64,
+}
+
+/// Partial or complete results of a resilient live run: `results[task]`
+/// is `None` exactly for the tasks a cooperative stop prevented from
+/// running ([`RunStatus`] says which stop, and guarantees completeness
+/// when it is [`RunStatus::Completed`]).
+#[derive(Debug)]
+pub struct ResilientOutcome<R> {
+    /// Per-task results; `None` = not executed before the stop.
+    pub results: Vec<Option<R>>,
+    /// Scheduling + resilience statistics (wall-clock nanoseconds).
+    pub report: ExecReport,
+    /// How the run ended.
+    pub status: RunStatus,
+}
+
+impl<R> ResilientOutcome<R> {
+    /// Unwrap a completed run into its results and report; a cooperative
+    /// stop converts to the matching [`ExecError`], and a completed run
+    /// with a hole converts to [`ExecError::MissingResult`] (an executor
+    /// bug, never a user-visible abort).
+    pub fn into_complete(self) -> Result<(Vec<R>, ExecReport), ExecError> {
+        match self.status {
+            RunStatus::Completed => {
+                let mut results = Vec::with_capacity(self.results.len());
+                for (t, slot) in self.results.into_iter().enumerate() {
+                    match slot {
+                        Some(v) => results.push(v),
+                        None => return Err(ExecError::MissingResult { task: t as u32 }),
+                    }
+                }
+                Ok((results, self.report))
+            }
+            RunStatus::Cancelled { executed, total } => {
+                Err(ExecError::Cancelled { executed, total })
+            }
+            RunStatus::DeadlineExceeded { executed, total } => {
+                Err(ExecError::DeadlineExceeded { executed, total })
+            }
+        }
+    }
+}
+
+/// Controls a planner threads through every live phase it runs:
+/// executor tuning plus the optional cancel token, whole-run deadline,
+/// and fault plan. `LiveControl::default()` reproduces an uncontrolled
+/// run exactly.
+#[derive(Debug, Clone, Default)]
+pub struct LiveControl {
+    /// Back-off tuning for every phase executor.
+    pub tuning: LiveTuning,
+    /// Cooperative cancellation observed by every phase.
+    pub cancel: Option<CancelToken>,
+    /// Wall-clock budget for the *whole run* (all phases); each phase
+    /// executor receives the remaining budget as its deadline.
+    pub deadline: Option<Duration>,
+    /// Fault plan injected into every phase.
+    pub faults: Option<LiveFaultPlan>,
+}
+
+impl LiveControl {
+    /// Control bundle with explicit tuning and nothing else.
+    pub fn new(tuning: LiveTuning) -> Self {
+        LiveControl {
+            tuning,
+            ..Default::default()
+        }
+    }
+
+    /// Observe `token` in every phase.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Bound the whole run to `deadline` of wall-clock time.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Inject `plan` into every phase.
+    pub fn with_faults(mut self, plan: LiveFaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Build the executor for one phase of a run that started at
+    /// `run_start`: tuning, token, and faults apply as-is; the deadline
+    /// becomes the budget *remaining* since `run_start` (zero if already
+    /// spent, which stops the phase at its first task boundary).
+    pub fn phase_executor(&self, threads: usize, run_start: Instant) -> LiveExecutor {
+        let mut ex = LiveExecutor::new(threads, self.tuning);
+        if let Some(token) = &self.cancel {
+            ex = ex.with_cancel(token.clone());
+        }
+        if let Some(budget) = self.deadline {
+            ex = ex.with_deadline(budget.saturating_sub(run_start.elapsed()));
+        }
+        if let Some(plan) = &self.faults {
+            ex = ex.with_faults(plan.clone());
+        }
+        ex
+    }
+}
+
+/// What a controlled live planner run produced: the full result, or —
+/// after a cooperative stop — a structured description of where it
+/// stopped.
+#[derive(Debug)]
+pub enum LiveOutcome<T> {
+    /// Every phase completed; here is the planner's normal output.
+    Complete(T),
+    /// A cancel/deadline stop ended the run inside a phase. Boxed: the
+    /// report inside dwarfs most `T`s.
+    Partial(Box<LivePartial>),
+}
+
+/// Where and how a controlled live run stopped.
+#[derive(Debug, Clone)]
+pub struct LivePartial {
+    /// Planner phase the stop landed in (e.g. `"node_connection"`).
+    pub phase: &'static str,
+    /// The stop itself, with executed/total task counts.
+    pub status: RunStatus,
+    /// Report of the stopped phase (wall-clock nanoseconds).
+    pub report: ExecReport,
+}
+
+impl<T> LiveOutcome<T> {
+    /// The complete value, or the stop converted to its [`ExecError`]
+    /// (for callers that treat any stop as a failure).
+    pub fn into_result(self) -> Result<T, ExecError> {
+        match self {
+            LiveOutcome::Complete(v) => Ok(v),
+            LiveOutcome::Partial(p) => match p.status {
+                RunStatus::Cancelled { executed, total } => {
+                    Err(ExecError::Cancelled { executed, total })
+                }
+                RunStatus::DeadlineExceeded { executed, total } => {
+                    Err(ExecError::DeadlineExceeded { executed, total })
+                }
+                RunStatus::Completed => Err(ExecError::MissingResult { task: 0 }),
+            },
+        }
+    }
+}
+
 /// The live backend: executes one phase on real OS threads with work
-/// stealing and ownership handoff (module docs have the protocol).
+/// stealing, ownership handoff, and panic recovery (module docs have the
+/// protocol).
 ///
 /// The worker count is `spec.assignment.len()` — one thread per queue —
 /// so the same `ExecSpec` that the DES treats as `p` virtual PEs runs
@@ -92,6 +286,9 @@ pub struct LiveExecutor {
     threads: usize,
     tuning: LiveTuning,
     record: bool,
+    cancel: Option<CancelToken>,
+    deadline: Option<Duration>,
+    faults: Option<LiveFaultPlan>,
     last_bufs: Vec<TraceBuf>,
 }
 
@@ -103,6 +300,9 @@ impl LiveExecutor {
             threads: threads.max(1),
             tuning,
             record: false,
+            cancel: None,
+            deadline: None,
+            faults: None,
             last_bufs: Vec::new(),
         }
     }
@@ -113,6 +313,28 @@ impl LiveExecutor {
     /// [`LiveExecutor::replay_trace_into`] after the phase.
     pub fn with_tracing(mut self) -> Self {
         self.record = true;
+        self
+    }
+
+    /// Stop runs cooperatively when `token` fires: workers observe the
+    /// token at task boundaries and between steal victims, so a
+    /// cancelled phase never abandons a task mid-execution.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Stop runs cooperatively once `deadline` has elapsed since the
+    /// phase epoch (checked at the same boundaries as cancellation).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Inject deterministic faults (panics, stragglers, grant drops)
+    /// into every phase this executor runs.
+    pub fn with_faults(mut self, plan: LiveFaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -131,24 +353,26 @@ impl LiveExecutor {
             buf.replay_into(tracer);
         }
     }
-}
 
-impl Executor for LiveExecutor {
-    fn name(&self) -> &'static str {
-        "live"
-    }
-
-    fn mode(&self) -> ExecMode {
-        ExecMode::WallClockNs
-    }
-
-    fn execute<R: Send>(
+    /// Run a phase with the full fault-tolerance contract: injected and
+    /// genuine worker panics are recovered onto survivors (exactly-once
+    /// preserved), and a cancel/deadline stop returns *partial* results
+    /// with a [`RunStatus`] instead of an error.
+    ///
+    /// Errors are reserved for runs that cannot produce a meaningful
+    /// outcome: malformed specs/plans ([`ExecError::Sim`]) and panics
+    /// that left orphaned tasks with no survivor to adopt them
+    /// ([`ExecError::WorkerPanic`]).
+    pub fn execute_resilient<R: Send>(
         &mut self,
         spec: &ExecSpec<'_>,
         work: &(dyn Fn(u32) -> R + Sync),
-    ) -> Result<ExecOutcome<R>, SimError> {
+    ) -> Result<ResilientOutcome<R>, ExecError> {
         let initial_owner = validate_assignment(spec.n_tasks, spec.assignment)?;
         let p = spec.assignment.len();
+        if let Some(plan) = &self.faults {
+            plan.validate(p)?;
+        }
         let trace_on = self.record;
 
         let queues: Vec<Mutex<VecDeque<u32>>> = spec
@@ -158,8 +382,14 @@ impl Executor for LiveExecutor {
             .collect();
         let results: Vec<Mutex<Option<R>>> = (0..spec.n_tasks).map(|_| Mutex::new(None)).collect();
         let remaining = AtomicUsize::new(spec.n_tasks);
+        let lost = AtomicUsize::new(0);
+        let alive: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(true)).collect();
+        let death_lock: Mutex<DeathLedger> = Mutex::new(DeathLedger::default());
+        let stop_cause = AtomicU8::new(CAUSE_NONE);
+        let grant_seq = AtomicU64::new(0);
         let mesh = Mesh::new(p);
         let epoch = Instant::now();
+        let deadline_at = self.deadline.map(|d| epoch + d);
 
         let locals: Vec<WorkerLocal> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..p)
@@ -167,20 +397,35 @@ impl Executor for LiveExecutor {
                     let queues = &queues;
                     let results = &results;
                     let remaining = &remaining;
+                    let lost = &lost;
+                    let alive = &alive;
+                    let death_lock = &death_lock;
+                    let stop_cause = &stop_cause;
+                    let grant_seq = &grant_seq;
                     let mesh = &mesh;
                     let initial_owner = &initial_owner;
                     let tuning = self.tuning;
+                    let cancel = self.cancel.clone();
+                    let faults = self.faults.clone();
                     s.spawn(move || {
                         worker_loop(WorkerCtx {
                             w,
                             queues,
                             results,
                             remaining,
+                            lost,
+                            alive,
+                            death_lock,
+                            stop_cause,
+                            grant_seq,
                             mesh,
                             initial_owner,
                             steal: spec.steal,
                             seed: spec.seed,
                             tuning,
+                            cancel,
+                            deadline_at,
+                            faults,
                             epoch,
                             trace_on,
                             work,
@@ -188,12 +433,43 @@ impl Executor for LiveExecutor {
                     })
                 })
                 .collect();
+            // Workers catch task panics themselves; a panic escaping the
+            // worker loop is an executor bug, but even then we degrade to
+            // an empty tally instead of aborting the caller.
             handles
                 .into_iter()
-                .map(|h| h.join().expect("live worker panicked"))
+                .map(|h| h.join().unwrap_or_default())
                 .collect()
         });
         let makespan = elapsed_ns(epoch);
+        let not_executed = remaining.load(Ordering::Acquire);
+        let executed = spec.n_tasks - not_executed;
+        let ledger = death_lock.into_inner();
+
+        let status = match stop_cause.load(Ordering::Acquire) {
+            CAUSE_CANCELLED => RunStatus::Cancelled {
+                executed,
+                total: spec.n_tasks,
+            },
+            CAUSE_DEADLINE => RunStatus::DeadlineExceeded {
+                executed,
+                total: spec.n_tasks,
+            },
+            _ => RunStatus::Completed,
+        };
+        if status == RunStatus::Completed && not_executed > 0 {
+            // The phase terminated only because orphaned tasks were
+            // declared lost: every surviving path died.
+            let (workers, message) = match ledger.deaths.first() {
+                Some((_, msg)) => (ledger.deaths.iter().map(|&(w, _)| w).collect(), msg.clone()),
+                None => (Vec::new(), "tasks lost without a recorded death".into()),
+            };
+            return Err(ExecError::WorkerPanic {
+                workers,
+                message,
+                missing: not_executed,
+            });
+        }
 
         // Merge worker-local tallies into the phase report.
         let mut report = ExecReport {
@@ -227,7 +503,15 @@ impl Executor for LiveExecutor {
             report.steal_hits += l.hits;
             report.steal_misses += l.misses;
             report.tasks_transferred += l.transferred;
+            report.resilience.retransmissions += l.grant_drops;
+            report.resilience.wasted_work += l.wasted_ns;
+            if let Some(death_ns) = l.death_ns {
+                report.resilience.per_pe_dead_time[w] = makespan.saturating_sub(death_ns);
+            }
         }
+        report.resilience.crashes = ledger.deaths.len() as u64;
+        report.resilience.tasks_recovered = ledger.recovered;
+        report.resilience.tasks_reexecuted = ledger.reexecuted;
         // Shared memory sends no real messages; count the protocol's
         // request + grant traffic so conservation-style checks still hold.
         report.messages = report.steal_attempts + report.steal_hits;
@@ -235,7 +519,7 @@ impl Executor for LiveExecutor {
         let mut reg = MetricsRegistry::new();
         reg.set_gauge("live.workers", p as u64);
         reg.set_gauge("live.makespan_ns", makespan);
-        reg.inc("live.tasks.executed", spec.n_tasks as u64);
+        reg.inc("live.tasks.executed", executed as u64);
         reg.inc(
             "live.tasks.stolen_executed",
             report
@@ -248,41 +532,170 @@ impl Executor for LiveExecutor {
         reg.inc("live.steal.requests", report.steal_attempts);
         reg.inc("live.steal.hits", report.steal_hits);
         reg.inc("live.steal.misses", report.steal_misses);
+        reg.inc("live.faults.crashes", report.resilience.crashes);
+        reg.inc(
+            "live.faults.tasks_recovered",
+            report.resilience.tasks_recovered,
+        );
+        reg.inc(
+            "live.faults.tasks_reexecuted",
+            report.resilience.tasks_reexecuted,
+        );
+        reg.inc("live.faults.grant_drops", report.resilience.retransmissions);
+        reg.set_gauge("live.faults.wasted_ns", report.resilience.wasted_work);
+        reg.set_gauge("live.tasks.not_executed", not_executed as u64);
         report.metrics = reg.snapshot();
 
         self.last_bufs = locals.into_iter().filter_map(|l| l.buf).collect();
 
-        let results = results
-            .into_iter()
-            .enumerate()
-            .map(|(t, slot)| {
-                slot.lock()
-                    .take()
-                    .unwrap_or_else(|| panic!("task {t} produced no result"))
-            })
-            .collect();
+        let results: Vec<Option<R>> = results.into_iter().map(|slot| slot.into_inner()).collect();
+        Ok(ResilientOutcome {
+            results,
+            report,
+            status,
+        })
+    }
+}
+
+impl Executor for LiveExecutor {
+    fn name(&self) -> &'static str {
+        "live"
+    }
+
+    fn mode(&self) -> ExecMode {
+        ExecMode::WallClockNs
+    }
+
+    fn execute<R: Send>(
+        &mut self,
+        spec: &ExecSpec<'_>,
+        work: &(dyn Fn(u32) -> R + Sync),
+    ) -> Result<ExecOutcome<R>, ExecError> {
+        let (results, report) = self.execute_resilient(spec, work)?.into_complete()?;
         Ok(ExecOutcome { results, report })
     }
 }
 
-/// Everything one worker thread needs, borrowed from `execute`.
+/// Everything one worker thread needs, borrowed from `execute_resilient`.
 struct WorkerCtx<'a, R> {
     w: usize,
     queues: &'a [Mutex<VecDeque<u32>>],
     results: &'a [Mutex<Option<R>>],
     remaining: &'a AtomicUsize,
+    /// Tasks orphaned with no survivor to adopt them; the phase
+    /// terminates when `remaining <= lost`.
+    lost: &'a AtomicUsize,
+    alive: &'a [AtomicBool],
+    death_lock: &'a Mutex<DeathLedger>,
+    stop_cause: &'a AtomicU8,
+    grant_seq: &'a AtomicU64,
     mesh: &'a Mesh,
     initial_owner: &'a [u32],
     steal: Option<crate::sim::StealConfig>,
     seed: u64,
     tuning: LiveTuning,
+    cancel: Option<CancelToken>,
+    deadline_at: Option<Instant>,
+    faults: Option<LiveFaultPlan>,
     epoch: Instant,
     trace_on: bool,
     work: &'a (dyn Fn(u32) -> R + Sync),
 }
 
+impl<R> WorkerCtx<'_, R> {
+    /// Has the phase been stopped cooperatively? First observer of a
+    /// fired token / passed deadline publishes the cause for everyone.
+    fn stop_requested(&self) -> bool {
+        if self.stop_cause.load(Ordering::Acquire) != CAUSE_NONE {
+            return true;
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                let _ = self.stop_cause.compare_exchange(
+                    CAUSE_NONE,
+                    CAUSE_CANCELLED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                return true;
+            }
+        }
+        if let Some(at) = self.deadline_at {
+            if Instant::now() >= at {
+                let _ = self.stop_cause.compare_exchange(
+                    CAUSE_NONE,
+                    CAUSE_DEADLINE,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All completable tasks are done: every task has either executed or
+    /// been declared lost (the latter only when every owner died).
+    fn phase_over(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) <= self.lost.load(Ordering::Acquire)
+    }
+}
+
 fn elapsed_ns(epoch: Instant) -> u64 {
     u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Best-effort panic message, matching the threadpool's convention.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The death path: called by a worker whose task panicked. Serialized
+/// under the global death lock so concurrent deaths redistribute onto a
+/// consistent survivor set. The in-flight task plus the dead worker's
+/// whole queue are re-enqueued round-robin onto surviving workers; if no
+/// survivor exists they are counted as lost so the phase can terminate
+/// (and `execute_resilient` then reports [`ExecError::WorkerPanic`]).
+fn die<R>(ctx: &WorkerCtx<'_, R>, local: &mut WorkerLocal, in_flight: u32, message: String) {
+    let mut ledger = ctx.death_lock.lock();
+    ctx.alive[ctx.w].store(false, Ordering::Release);
+    let mut orphans = vec![in_flight];
+    orphans.extend(ctx.queues[ctx.w].lock().drain(..));
+    let survivors: Vec<usize> = (0..ctx.queues.len())
+        .filter(|&v| v != ctx.w && ctx.alive[v].load(Ordering::Acquire))
+        .collect();
+    let now = elapsed_ns(ctx.epoch);
+    if survivors.is_empty() {
+        ctx.lost.fetch_add(orphans.len(), Ordering::AcqRel);
+    } else {
+        for (i, &t) in orphans.iter().enumerate() {
+            ctx.queues[survivors[i % survivors.len()]]
+                .lock()
+                .push_back(t);
+        }
+        ledger.recovered += orphans.len() as u64;
+        ledger.reexecuted += 1; // the in-flight task re-runs from scratch
+    }
+    if let Some(buf) = &mut local.buf {
+        buf.instant(
+            now,
+            cat::FAULT,
+            "worker_panic",
+            &[
+                ("task", u64::from(in_flight)),
+                ("orphans", orphans.len() as u64),
+                ("survivors", survivors.len() as u64),
+            ],
+        );
+    }
+    ledger.deaths.push((ctx.w, message));
+    local.death_ns = Some(now);
 }
 
 fn worker_loop<R: Send>(ctx: WorkerCtx<'_, R>) -> WorkerLocal {
@@ -295,7 +708,13 @@ fn worker_loop<R: Send>(ctx: WorkerCtx<'_, R>) -> WorkerLocal {
     let mut rng =
         StdRng::seed_from_u64(ctx.seed ^ (ctx.w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut backoff_us = ctx.tuning.backoff_base_us;
+    let mut attempts = 0usize; // task attempts, drives injected panics
     loop {
+        // 0. Cooperative stop: observed at task boundaries only, so a
+        // stopped run never abandons a task mid-execution.
+        if ctx.stop_requested() {
+            break;
+        }
         // 1. Drain own queue from the front.
         let popped = {
             let mut q = ctx.queues[ctx.w].lock();
@@ -303,37 +722,86 @@ fn worker_loop<R: Send>(ctx: WorkerCtx<'_, R>) -> WorkerLocal {
             (t, q.len())
         };
         if let Some(task) = popped.0 {
+            attempts += 1;
+            // Induced straggler sleep (deterministic fault injection).
+            if let Some(plan) = &ctx.faults {
+                let sleep_us = plan.sleep_us(ctx.w, local.executed_tasks.len());
+                if sleep_us > 0 {
+                    if let Some(buf) = &mut local.buf {
+                        buf.instant(
+                            elapsed_ns(ctx.epoch),
+                            cat::FAULT,
+                            "fault_sleep",
+                            &[("us", sleep_us)],
+                        );
+                    }
+                    std::thread::sleep(Duration::from_micros(sleep_us));
+                }
+            }
             let start = elapsed_ns(ctx.epoch);
             if let Some(buf) = &mut local.buf {
                 buf.counter(start, "queue_len", popped.1 as u64);
                 buf.begin(start, cat::TASK, "task", &[("task", u64::from(task))]);
             }
-            let value = (ctx.work)(task);
+            // Panic isolation: a panicking task (injected or genuine)
+            // kills only this worker; survivors adopt its tasks.
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(plan) = &ctx.faults {
+                    if plan.trips_panic(ctx.w, attempts) {
+                        // resume_unwind skips the panic hook: no stderr
+                        // noise from planned faults.
+                        std::panic::resume_unwind(Box::new(INJECTED_PANIC_MSG));
+                    }
+                }
+                (ctx.work)(task)
+            }));
             let end = elapsed_ns(ctx.epoch);
             if let Some(buf) = &mut local.buf {
                 buf.end(end, cat::TASK, &[("task", u64::from(task))]);
             }
-            *ctx.results[task as usize].lock() = Some(value);
-            local.busy_ns += end - start;
-            local.finish_ns = end;
-            local.executed_tasks.push(task);
-            if ctx.initial_owner[task as usize] != ctx.w as u32 {
-                local.stolen_executed += 1;
+            match attempt {
+                Ok(value) => {
+                    *ctx.results[task as usize].lock() = Some(value);
+                    local.busy_ns += end - start;
+                    local.finish_ns = end;
+                    local.executed_tasks.push(task);
+                    if ctx.initial_owner[task as usize] != ctx.w as u32 {
+                        local.stolen_executed += 1;
+                    }
+                    ctx.remaining.fetch_sub(1, Ordering::AcqRel);
+                    backoff_us = ctx.tuning.backoff_base_us;
+                    continue;
+                }
+                Err(payload) => {
+                    local.wasted_ns += end - start;
+                    die(&ctx, &mut local, task, panic_message(&*payload));
+                    return local;
+                }
             }
-            ctx.remaining.fetch_sub(1, Ordering::AcqRel);
-            backoff_us = ctx.tuning.backoff_base_us;
-            continue;
         }
-        if ctx.remaining.load(Ordering::Acquire) == 0 {
+        if ctx.phase_over() {
             break;
         }
         // 2. Own queue empty but tasks remain elsewhere.
         let Some(steal) = ctx.steal else {
-            // Static schedule: nothing will ever enter this queue again.
-            break;
+            if ctx.queues.len() == 1 {
+                // Single worker, static schedule: nothing can ever enter
+                // this queue again.
+                break;
+            }
+            // Static schedule, several workers: stay parked so this
+            // worker can adopt orphans if another worker dies. The
+            // capped backoff bounds the wake-up cost.
+            std::thread::sleep(Duration::from_micros(backoff_us));
+            backoff_us = (backoff_us * 2).min(ctx.tuning.backoff_cap_us);
+            continue;
         };
         let mut got_work = false;
         for victim in steal.policy.round_victims(ctx.w, ctx.mesh, &mut rng) {
+            // A stop fired mid-round ends the round immediately.
+            if ctx.stop_cause.load(Ordering::Acquire) != CAUSE_NONE {
+                break;
+            }
             local.attempts += 1;
             let batch: Vec<u32> = {
                 let mut q = ctx.queues[victim].lock();
@@ -351,6 +819,34 @@ fn worker_loop<R: Send>(ctx: WorkerCtx<'_, R>) -> WorkerLocal {
                 local.misses += 1;
                 if let Some(buf) = &mut local.buf {
                     buf.instant(now, cat::STEAL, "steal_miss", &[("victim", victim as u64)]);
+                }
+                continue;
+            }
+            // Injected grant drop: the batch "never arrives" — push it
+            // back where it came from (reverse order restores the
+            // queue) and retry like a denied round. The wall-clock
+            // analogue of a dropped task-carrying message riding the
+            // DES's reliable channel: detection + retransmit cost, no
+            // lost payload.
+            let seq = ctx.grant_seq.fetch_add(1, Ordering::AcqRel) + 1;
+            if ctx
+                .faults
+                .as_ref()
+                .is_some_and(|plan| plan.drops_grant(seq))
+            {
+                let mut q = ctx.queues[victim].lock();
+                for &t in batch.iter().rev() {
+                    q.push_back(t);
+                }
+                local.misses += 1;
+                local.grant_drops += 1;
+                if let Some(buf) = &mut local.buf {
+                    buf.instant(
+                        now,
+                        cat::FAULT,
+                        "grant_drop",
+                        &[("victim", victim as u64), ("batch", batch.len() as u64)],
+                    );
                 }
                 continue;
             }
@@ -376,7 +872,7 @@ fn worker_loop<R: Send>(ctx: WorkerCtx<'_, R>) -> WorkerLocal {
         if got_work {
             backoff_us = ctx.tuning.backoff_base_us;
         } else {
-            if ctx.remaining.load(Ordering::Acquire) == 0 {
+            if ctx.phase_over() {
                 break;
             }
             // Fully-denied round: the remaining tasks are in flight on
@@ -386,13 +882,20 @@ fn worker_loop<R: Send>(ctx: WorkerCtx<'_, R>) -> WorkerLocal {
             backoff_us = (backoff_us * 2).min(ctx.tuning.backoff_cap_us);
         }
     }
+    // Leaving on any path marks the worker as no longer able to adopt
+    // orphans; done under the death lock so a concurrent death sees a
+    // consistent survivor set.
+    {
+        let _ledger = ctx.death_lock.lock();
+        ctx.alive[ctx.w].store(false, Ordering::Release);
+    }
     local
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::{StealAmount, StealConfig};
+    use crate::sim::{SimError, StealAmount, StealConfig};
     use crate::steal::StealPolicyKind;
 
     fn spec<'a>(n: usize, assignment: &'a [Vec<u32>], steal: Option<StealConfig>) -> ExecSpec<'a> {
@@ -418,6 +921,20 @@ mod tests {
 
     fn expected(n: usize) -> Vec<u64> {
         (0..n as u32).map(region_work).collect()
+    }
+
+    /// Serializes tests that swap the process-global panic hook (to
+    /// silence expected genuine panics) so they cannot clobber each
+    /// other's restore.
+    static HOOK_GUARD: Mutex<()> = Mutex::new(());
+
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = HOOK_GUARD.lock();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
     }
 
     #[test]
@@ -552,11 +1069,255 @@ mod tests {
         let bad = vec![vec![0u32, 0u32]];
         assert_eq!(
             ex.execute(&spec(1, &bad, None), &region_work).unwrap_err(),
-            SimError::DuplicateAssignment { task: 0 }
+            ExecError::Sim(SimError::DuplicateAssignment { task: 0 })
         );
         assert_eq!(
             ex.execute(&spec(1, &[], None), &region_work).unwrap_err(),
-            SimError::NoPes
+            ExecError::Sim(SimError::NoPes)
         );
+    }
+
+    #[test]
+    fn malformed_fault_plans_are_rejected() {
+        let assignment = vec![vec![0u32], vec![1u32]];
+        let mut ex = LiveExecutor::new(2, LiveTuning::default())
+            .with_faults(LiveFaultPlan::new(0).with_panic(5, 0));
+        let err = ex
+            .execute(&spec(2, &assignment, None), &region_work)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Sim(SimError::InvalidFaultPlan(_))));
+    }
+
+    #[test]
+    fn injected_panic_recovers_with_identical_results() {
+        let n = 24;
+        let assignment: Vec<Vec<u32>> = (0..3)
+            .map(|w| (0..n as u32).filter(|t| (*t as usize) % 3 == w).collect())
+            .collect();
+        for steal in [None, Some(StealConfig::new(StealPolicyKind::rand8()))] {
+            let mut ex = LiveExecutor::new(3, LiveTuning::default())
+                .with_faults(LiveFaultPlan::new(7).with_panic(1, 2));
+            let out = ex
+                .execute(&spec(n, &assignment, steal), &region_work)
+                .expect("recovered run");
+            assert_eq!(out.results, expected(n), "steal={steal:?}");
+            if steal.is_none() {
+                // Static schedule: worker 1 deterministically dies on its
+                // third task; its in-flight task plus queue are adopted.
+                assert_eq!(out.report.resilience.crashes, 1);
+                assert!(out.report.resilience.tasks_recovered > 0);
+                assert_eq!(out.report.resilience.tasks_reexecuted, 1);
+                assert!(out.report.resilience.per_pe_dead_time[1] > 0);
+                // The dead worker executed exactly the tasks before its panic.
+                assert_eq!(out.report.per_pe_executed[1], 2);
+                assert_eq!(out.report.metrics.expect("live.faults.crashes"), 1);
+            } else {
+                // With stealing the doomed worker may run out of work
+                // before its third attempt; recovery still never loses a
+                // task (the byte-identical results above prove it).
+                assert!(out.report.resilience.crashes <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn genuine_task_panic_is_recovered_too() {
+        // No fault plan: task 5 panics on its first attempt only (a
+        // transient fault — a deterministic poison task would rightly
+        // kill every worker that adopts it).
+        let n = 12;
+        let assignment = vec![vec![0, 1, 2, 3, 4, 5], vec![6, 7, 8, 9, 10, 11]];
+        let flaky = AtomicBool::new(true);
+        let result = with_quiet_panics(|| {
+            let mut ex = LiveExecutor::new(2, LiveTuning::default());
+            ex.execute(&spec(n, &assignment, None), &|t: u32| {
+                if t == 5 && flaky.swap(false, Ordering::SeqCst) {
+                    panic!("task 5 exploded");
+                }
+                region_work(t)
+            })
+        });
+        let out = result.expect("recovered run");
+        assert_eq!(out.results, expected(n));
+        assert_eq!(out.report.resilience.crashes, 1);
+        assert_eq!(out.report.executed_by[5], 1, "task 5 re-ran on worker 1");
+    }
+
+    #[test]
+    fn unrecoverable_panic_returns_structured_error() {
+        // Single worker, injected panic: no survivor to adopt the queue.
+        let n = 4;
+        let assignment = vec![vec![0, 1, 2, 3]];
+        let mut ex = LiveExecutor::new(1, LiveTuning::default())
+            .with_faults(LiveFaultPlan::new(0).with_panic(0, 1));
+        // The plan validator rejects killing the only worker; force the
+        // equivalent via a genuine panic to exercise the lost path.
+        let err = ex
+            .execute(&spec(n, &assignment, None), &region_work)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Sim(SimError::InvalidFaultPlan(_))));
+
+        let result = with_quiet_panics(|| {
+            let mut ex = LiveExecutor::new(1, LiveTuning::default());
+            ex.execute(&spec(n, &assignment, None), &|t: u32| {
+                if t == 1 {
+                    panic!("irrecoverable");
+                }
+                region_work(t)
+            })
+        });
+        match result.unwrap_err() {
+            ExecError::WorkerPanic {
+                workers,
+                message,
+                missing,
+            } => {
+                assert_eq!(workers, vec![0]);
+                assert!(message.contains("irrecoverable"));
+                assert_eq!(missing, 3); // tasks 1, 2, 3 never completed
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stragglers_delay_but_do_not_change_results() {
+        let n = 16;
+        let assignment = vec![
+            vec![0, 1, 2, 3, 4, 5, 6, 7],
+            vec![8, 9, 10, 11, 12, 13, 14, 15],
+        ];
+        let mut ex = LiveExecutor::new(2, LiveTuning::default())
+            .with_faults(LiveFaultPlan::new(0).with_straggler(0, 200, 4));
+        let out = ex
+            .execute(
+                &spec(
+                    n,
+                    &assignment,
+                    Some(StealConfig::new(StealPolicyKind::rand8())),
+                ),
+                &region_work,
+            )
+            .expect("straggler run");
+        assert_eq!(out.results, expected(n));
+        assert_eq!(out.report.resilience.crashes, 0);
+    }
+
+    #[test]
+    fn grant_drops_force_retries_but_preserve_results() {
+        let n = 48;
+        let assignment = vec![(0..n as u32).collect::<Vec<_>>(), vec![], vec![]];
+        let mut ex = LiveExecutor::new(3, LiveTuning::default())
+            .with_faults(LiveFaultPlan::new(3).with_grant_drop_rate(0.5));
+        let out = ex
+            .execute(
+                &spec(
+                    n,
+                    &assignment,
+                    Some(StealConfig::new(StealPolicyKind::rand8())),
+                ),
+                &region_work,
+            )
+            .expect("drop run");
+        assert_eq!(out.results, expected(n));
+        // Dropped grants count as misses, so the accounting law holds.
+        assert_eq!(
+            out.report.steal_attempts,
+            out.report.steal_hits + out.report.steal_misses
+        );
+        assert_eq!(
+            out.report.resilience.retransmissions,
+            out.report.metrics.expect("live.faults.grant_drops")
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_task() {
+        let n = 8;
+        let assignment = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+        let token = CancelToken::new();
+        token.cancel();
+        let mut ex = LiveExecutor::new(2, LiveTuning::default()).with_cancel(token);
+        let out = ex
+            .execute_resilient(&spec(n, &assignment, None), &region_work)
+            .expect("cancelled run");
+        assert_eq!(
+            out.status,
+            RunStatus::Cancelled {
+                executed: 0,
+                total: n
+            }
+        );
+        assert!(out.results.iter().all(|r| r.is_none()));
+        // The trait-level entry point surfaces the same stop as an error.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut ex = LiveExecutor::new(2, LiveTuning::default()).with_cancel(token);
+        assert_eq!(
+            ex.execute(&spec(n, &assignment, None), &region_work)
+                .unwrap_err(),
+            ExecError::Cancelled {
+                executed: 0,
+                total: n
+            }
+        );
+    }
+
+    #[test]
+    fn deadline_returns_partial_results_without_hanging() {
+        // Tasks sleep long enough that an immediate deadline must stop
+        // the run with only a prefix executed.
+        let n = 64;
+        let assignment = vec![(0..n as u32).collect::<Vec<_>>()];
+        let mut ex =
+            LiveExecutor::new(1, LiveTuning::default()).with_deadline(Duration::from_millis(5));
+        let out = ex
+            .execute_resilient(&spec(n, &assignment, None), &|t: u32| {
+                std::thread::sleep(Duration::from_millis(1));
+                region_work(t)
+            })
+            .expect("deadline run");
+        match out.status {
+            RunStatus::DeadlineExceeded { executed, total } => {
+                assert_eq!(total, n);
+                assert!(executed < n, "deadline should stop the run early");
+                // Completed prefix is intact and correct.
+                let done = out.results.iter().filter(|r| r.is_some()).count();
+                assert_eq!(done, executed);
+                for (t, r) in out.results.iter().enumerate() {
+                    if let Some(v) = r {
+                        assert_eq!(*v, region_work(t as u32));
+                    }
+                }
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_keeps_completed_prefix() {
+        let n = 32;
+        let assignment = vec![(0..n as u32).collect::<Vec<_>>()];
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let mut ex = LiveExecutor::new(1, LiveTuning::default()).with_cancel(token);
+        let out = ex
+            .execute_resilient(&spec(n, &assignment, None), &|t: u32| {
+                if t == 4 {
+                    canceller.cancel(); // fires mid-run, observed at the next boundary
+                }
+                region_work(t)
+            })
+            .expect("cancelled run");
+        match out.status {
+            RunStatus::Cancelled { executed, total } => {
+                assert_eq!(total, n);
+                assert!(executed >= 5, "tasks before the cancel completed");
+                assert!(executed < n, "cancellation stopped the run");
+                assert!(out.results[4].is_some());
+                assert!(out.results[n - 1].is_none());
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 }

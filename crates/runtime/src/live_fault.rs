@@ -1,0 +1,332 @@
+//! Deterministic fault injection for the live OS-thread backend.
+//!
+//! A [`LiveFaultPlan`] is the wall-clock sibling of the DES
+//! [`crate::FaultPlan`]: a serializable description of what goes wrong
+//! during a live phase, consulted by the executor at well-defined points
+//! so the *set of injected faults* is reproducible even though thread
+//! interleavings are not. Three fault kinds map onto the DES model:
+//!
+//! * **Injected panic** ([`PanicSpec`]) — the live analogue of a DES
+//!   crash. Worker `worker` panics when it *begins* its
+//!   `after_tasks + 1`-th task attempt; the executor recovers by
+//!   re-enqueueing the dead worker's queue (including the in-flight
+//!   task, which never produced a result) onto survivors.
+//! * **Straggler** ([`SleepSpec`]) — the live analogue of a DES slow-PE
+//!   window. Worker `worker` sleeps `sleep_us` before each of its first
+//!   `first_tasks` task executions, stretching its wall-clock profile
+//!   without touching results.
+//! * **Steal-grant drop** — the live analogue of DES task-message loss
+//!   on the reliable channel. A would-be-granted steal batch is pushed
+//!   back to the victim and the round counts as a miss plus a
+//!   retransmission; the thief retries via normal backoff, so every
+//!   task still executes exactly once.
+//!
+//! Because live panics are keyed by *task attempt count* rather than by
+//! wall-clock time (which is not reproducible), a plan fires the same
+//! faults on every run; what varies is only which tasks the scheduler
+//! happened to hand the doomed worker first. Results stay byte-identical
+//! to fault-free runs whenever recovery succeeds, which is exactly the
+//! property `tests/live_resilience.rs` pins.
+
+use crate::{FaultPlan, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Kill one live worker after it has completed a number of tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PanicSpec {
+    /// Worker index to kill.
+    pub worker: usize,
+    /// The worker panics when starting task attempt `after_tasks + 1`
+    /// (so `0` means it dies on its very first task).
+    pub after_tasks: usize,
+}
+
+/// Slow one live worker down by sleeping before its early tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SleepSpec {
+    /// Worker index to slow down.
+    pub worker: usize,
+    /// Microseconds slept before each affected task execution.
+    pub sleep_us: u64,
+    /// Number of initial task executions the sleep applies to.
+    pub first_tasks: usize,
+}
+
+/// A deterministic, serializable description of live-backend faults.
+///
+/// Build with the `with_*` methods, mirroring [`FaultPlan`]:
+///
+/// ```
+/// use smp_runtime::LiveFaultPlan;
+/// let plan = LiveFaultPlan::new(42)
+///     .with_panic(1, 3)
+///     .with_straggler(0, 200, 4)
+///     .with_grant_drop_rate(0.25);
+/// assert!(!plan.is_zero());
+/// assert!(LiveFaultPlan::new(42).is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct LiveFaultPlan {
+    /// Seed for the per-grant drop decisions. Independent of the steal
+    /// policy's victim-selection seed — faults never perturb victim
+    /// choice, only whether a granted batch is "lost".
+    pub seed: u64,
+    /// Injected worker panics.
+    pub panics: Vec<PanicSpec>,
+    /// Induced worker sleeps.
+    pub stragglers: Vec<SleepSpec>,
+    /// Probability in `[0, 1]` that any given steal grant is dropped
+    /// (pushed back to the victim and retried by the thief).
+    pub grant_drop_rate: f64,
+    /// Targeted grant drops by grant sequence number (1-based, in
+    /// grant-attempt order — note that under real threads the *mapping*
+    /// of sequence numbers to specific steals varies run to run).
+    pub drop_grant_seqs: Vec<u64>,
+}
+
+impl LiveFaultPlan {
+    /// An empty (zero-fault) plan with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        LiveFaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Kill `worker` when it starts its `after_tasks + 1`-th task.
+    pub fn with_panic(mut self, worker: usize, after_tasks: usize) -> Self {
+        self.panics.push(PanicSpec {
+            worker,
+            after_tasks,
+        });
+        self
+    }
+
+    /// Sleep `sleep_us` µs on `worker` before each of its first
+    /// `first_tasks` task executions.
+    pub fn with_straggler(mut self, worker: usize, sleep_us: u64, first_tasks: usize) -> Self {
+        self.stragglers.push(SleepSpec {
+            worker,
+            sleep_us,
+            first_tasks,
+        });
+        self
+    }
+
+    /// Drop each steal grant independently with probability `rate`.
+    pub fn with_grant_drop_rate(mut self, rate: f64) -> Self {
+        self.grant_drop_rate = rate;
+        self
+    }
+
+    /// Force-drop the steal grant with 1-based sequence `grant_seq`.
+    pub fn with_dropped_grant(mut self, grant_seq: u64) -> Self {
+        self.drop_grant_seqs.push(grant_seq);
+        self
+    }
+
+    /// True if this plan injects nothing — the executor's fast path.
+    pub fn is_zero(&self) -> bool {
+        self.panics.is_empty()
+            && self.stragglers.is_empty()
+            && self.grant_drop_rate == 0.0
+            && self.drop_grant_seqs.is_empty()
+    }
+
+    /// Reject malformed plans before any thread spawns (rates outside
+    /// `[0, 1]`, fault targets beyond the worker count, a plan that
+    /// would kill every worker and leave no survivor to recover onto).
+    pub fn validate(&self, p: usize) -> Result<(), SimError> {
+        if !(0.0..=1.0).contains(&self.grant_drop_rate) {
+            return Err(SimError::InvalidFaultPlan(format!(
+                "grant_drop_rate {} outside [0, 1]",
+                self.grant_drop_rate
+            )));
+        }
+        for spec in &self.panics {
+            if spec.worker >= p {
+                return Err(SimError::InvalidFaultPlan(format!(
+                    "panic worker {} out of range (p = {p})",
+                    spec.worker
+                )));
+            }
+        }
+        for spec in &self.stragglers {
+            if spec.worker >= p {
+                return Err(SimError::InvalidFaultPlan(format!(
+                    "straggler worker {} out of range (p = {p})",
+                    spec.worker
+                )));
+            }
+        }
+        let mut doomed: Vec<usize> = self.panics.iter().map(|s| s.worker).collect();
+        doomed.sort_unstable();
+        doomed.dedup();
+        if !doomed.is_empty() && doomed.len() >= p {
+            return Err(SimError::InvalidFaultPlan(format!(
+                "plan panics all {p} workers — no survivor to recover onto"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Should `worker` panic when starting a task, given it has already
+    /// attempted `attempts` tasks this phase?
+    pub fn trips_panic(&self, worker: usize, attempts: usize) -> bool {
+        self.panics
+            .iter()
+            .any(|s| s.worker == worker && attempts > s.after_tasks)
+    }
+
+    /// Microseconds `worker` must sleep before executing a task, given it
+    /// has already executed `done` tasks this phase. Overlapping specs sum.
+    pub fn sleep_us(&self, worker: usize, done: usize) -> u64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.worker == worker && done < s.first_tasks)
+            .map(|s| s.sleep_us)
+            .sum()
+    }
+
+    /// Should steal grant `grant_seq` be dropped?
+    pub fn drops_grant(&self, grant_seq: u64) -> bool {
+        if self.drop_grant_seqs.contains(&grant_seq) {
+            return true;
+        }
+        self.grant_drop_rate > 0.0 && self.unit(grant_seq, 0) < self.grant_drop_rate
+    }
+
+    /// Derive a live plan from a DES [`FaultPlan`], preserving the fault
+    /// *shape* across backends: each DES crash becomes a live panic on
+    /// the same index (crash time, a virtual instant, degrades to
+    /// "after one task" since wall-clock instants are not reproducible);
+    /// each straggler window becomes an induced sleep proportional to the
+    /// slowdown factor; message loss becomes grant-drop probability.
+    pub fn mirroring(des: &FaultPlan) -> Self {
+        let mut plan = LiveFaultPlan::new(des.seed);
+        for c in &des.crashes {
+            plan = plan.with_panic(c.pe, 1);
+        }
+        for s in &des.stragglers {
+            let slow_us = ((s.factor - 1.0).max(0.0) * 100.0).min(5_000.0) as u64;
+            if slow_us > 0 {
+                plan = plan.with_straggler(s.pe, slow_us, 4);
+            }
+        }
+        plan = plan.with_grant_drop_rate(des.msg_loss);
+        plan
+    }
+
+    /// Stateless uniform draw in `[0, 1)` for one (grant, decision) pair.
+    /// Same construction as [`FaultPlan`]'s message draws.
+    fn unit(&self, grant_seq: u64, salt: u64) -> f64 {
+        let h = splitmix64(
+            self.seed ^ splitmix64(grant_seq.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt),
+        );
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_is_zero() {
+        assert!(LiveFaultPlan::new(7).is_zero());
+        assert!(!LiveFaultPlan::new(7).with_panic(0, 0).is_zero());
+        assert!(!LiveFaultPlan::new(7).with_straggler(0, 10, 1).is_zero());
+        assert!(!LiveFaultPlan::new(7).with_grant_drop_rate(0.1).is_zero());
+        assert!(!LiveFaultPlan::new(7).with_dropped_grant(3).is_zero());
+    }
+
+    #[test]
+    fn panic_trips_after_threshold() {
+        let plan = LiveFaultPlan::new(0).with_panic(2, 3);
+        assert!(!plan.trips_panic(2, 3)); // still on its 3rd attempt
+        assert!(plan.trips_panic(2, 4)); // starting the 4th
+        assert!(plan.trips_panic(2, 10));
+        assert!(!plan.trips_panic(1, 10)); // other worker
+    }
+
+    #[test]
+    fn sleeps_apply_to_early_tasks_and_sum() {
+        let plan = LiveFaultPlan::new(0)
+            .with_straggler(1, 100, 2)
+            .with_straggler(1, 50, 1);
+        assert_eq!(plan.sleep_us(1, 0), 150);
+        assert_eq!(plan.sleep_us(1, 1), 100);
+        assert_eq!(plan.sleep_us(1, 2), 0);
+        assert_eq!(plan.sleep_us(0, 0), 0);
+    }
+
+    #[test]
+    fn grant_drops_are_deterministic_and_seed_dependent() {
+        let a = LiveFaultPlan::new(1).with_grant_drop_rate(0.5);
+        let b = LiveFaultPlan::new(1).with_grant_drop_rate(0.5);
+        let c = LiveFaultPlan::new(2).with_grant_drop_rate(0.5);
+        let drops = |p: &LiveFaultPlan| (0..200).map(|s| p.drops_grant(s)).collect::<Vec<_>>();
+        assert_eq!(drops(&a), drops(&b));
+        assert_ne!(drops(&a), drops(&c));
+        let hit = drops(&a).iter().filter(|&&d| d).count();
+        assert!((60..140).contains(&hit), "{hit} drops out of 200 at p=0.5");
+    }
+
+    #[test]
+    fn targeted_grant_drops() {
+        let plan = LiveFaultPlan::new(1).with_dropped_grant(17);
+        assert!(plan.drops_grant(17));
+        assert!(!plan.drops_grant(16));
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        assert!(LiveFaultPlan::new(0)
+            .with_grant_drop_rate(1.5)
+            .validate(4)
+            .is_err());
+        assert!(LiveFaultPlan::new(0).with_panic(4, 0).validate(4).is_err());
+        assert!(LiveFaultPlan::new(0)
+            .with_straggler(4, 10, 1)
+            .validate(4)
+            .is_err());
+        // killing every worker is rejected — nobody left to recover
+        assert!(LiveFaultPlan::new(0).with_panic(0, 0).validate(1).is_err());
+        assert!(LiveFaultPlan::new(0)
+            .with_panic(0, 0)
+            .with_panic(1, 2)
+            .validate(2)
+            .is_err());
+        assert!(LiveFaultPlan::new(0).with_panic(0, 0).validate(2).is_ok());
+    }
+
+    #[test]
+    fn mirroring_preserves_fault_shape() {
+        let des = FaultPlan::new(9)
+            .with_crash(1, 2_000_000)
+            .with_straggler(0, 0, 1_000_000, 4.0)
+            .with_message_loss(0.1);
+        let live = LiveFaultPlan::mirroring(&des);
+        assert_eq!(live.seed, 9);
+        assert_eq!(
+            live.panics,
+            vec![PanicSpec {
+                worker: 1,
+                after_tasks: 1
+            }]
+        );
+        assert_eq!(live.stragglers.len(), 1);
+        assert_eq!(live.stragglers[0].worker, 0);
+        assert!(live.stragglers[0].sleep_us > 0);
+        assert_eq!(live.grant_drop_rate, 0.1);
+    }
+}

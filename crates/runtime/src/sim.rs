@@ -748,6 +748,9 @@ impl Sim<'_> {
             // a woken thief may have been re-activated already; pushing
             // work to a busy PE is harmless (it queues), but prefer the
             // dormant ones
+            // INVARIANT: the loop condition just checked len() >= 2, and
+            // nothing between the check and the pop touches this queue.
+            #[allow(clippy::expect_used)]
             let task = self.queues[pe].pop_back().expect("len checked");
             self.lifeline_pushes += 1;
             self.batch_hist.observe(1);
@@ -786,6 +789,9 @@ impl Sim<'_> {
         let t = t + self.cfg.machine.lat.steal_service;
         self.report.steal_attempts += 1;
         let avail = self.queues[victim].len();
+        // INVARIANT: steal events are only ever scheduled when a steal
+        // config exists (`schedule_steal_round` gates on it).
+        #[allow(clippy::expect_used)]
         let steal = self.cfg.steal.expect("steal event without config");
         if avail > 0 {
             let n = steal.amount.take(avail);
@@ -793,6 +799,9 @@ impl Sim<'_> {
             // their relative order
             let mut tasks = Vec::with_capacity(n);
             for _ in 0..n {
+                // INVARIANT: `n <= avail` by StealAmount::take's contract,
+                // and the DES is single-threaded — no concurrent drain.
+                #[allow(clippy::expect_used)]
                 tasks.push(self.queues[victim].pop_back().expect("avail checked"));
             }
             tasks.reverse();

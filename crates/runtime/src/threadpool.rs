@@ -191,6 +191,11 @@ impl WorkStealingPool {
             }
         });
 
+        // INVARIANT: the scope above joins every worker, and workers
+        // write a `Result` (value or caught panic) for each claimed task
+        // before decrementing the remaining counter that ends the scope —
+        // so every slot is filled by the time the threads are joined.
+        #[allow(clippy::expect_used)]
         let out: Vec<Result<R, TaskPanic>> = results
             .into_iter()
             .map(|m| m.into_inner().expect("task not executed"))
