@@ -16,6 +16,10 @@
 //! `smp_bench::kernels`); `probe scaling [...]` runs the live-backend
 //! strong-scaling harness (see `smp_bench::scaling`).
 //!
+//! `probe portfolio [...]` runs the DES restart-portfolio tail benchmark
+//! (see `smp_bench::portfolio`) and emits/validates
+//! `BENCH_portfolio.json`.
+//!
 //! `probe resilience [...]` runs the live PRM under a fault plan built
 //! from the command line (injected panics, stragglers, dropped steal
 //! grants, deadline, pre-cancellation), verifies the merged-roadmap
@@ -260,6 +264,73 @@ fn scaling_probe(args: impl Iterator<Item = String>) {
     }
 }
 
+/// Restart-portfolio tail-latency probe:
+/// `probe portfolio [--quick] [--out FILE] [--check FILE]`.
+///
+/// Runs the DES restart-portfolio sweep (see `smp_bench::portfolio`),
+/// prints per-configuration tail statistics, asserts the headline claim
+/// (the Luby portfolio must beat the single run's p99), and optionally
+/// writes/validates `BENCH_portfolio.json`. Everything is virtual time,
+/// so the gate digests are deterministic in both quick and full mode.
+fn portfolio_probe(args: impl Iterator<Item = String>) {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next(),
+            "--check" => check = args.next(),
+            other => panic!("unknown portfolio argument: {other}"),
+        }
+    }
+    let report = smp_bench::portfolio::run(quick);
+    println!(
+        "restart portfolio on the heavy-tail walls scenario ({} DES trials/config):",
+        report.trials
+    );
+    for c in &report.configs {
+        println!(
+            "{:10} solved={:>3}/{:<3} p50={:>12}ns p99={:>12}ns tail_mass={:>6.3} wasted={:>11} rounds={:>5.2} digest={:#018x}",
+            c.label,
+            c.solved,
+            c.trials,
+            c.p50_ns,
+            c.p99_ns,
+            c.tail_mass,
+            c.mean_wasted_vcost,
+            c.mean_rounds,
+            c.gate_digest
+        );
+    }
+    let tail = smp_bench::portfolio::tail_violations(&report);
+    for v in &tail {
+        eprintln!("tail violation: {v}");
+    }
+    if let Some(path) = &out {
+        std::fs::write(path, smp_bench::portfolio::to_json(&report)).expect("write portfolio json");
+        eprintln!("wrote {path}");
+    }
+    let mut failed = !tail.is_empty();
+    if let Some(path) = &check {
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let drift = smp_bench::portfolio::check_against(&report, &committed);
+        if drift.is_empty() {
+            println!("gate: all digests match {path}");
+        } else {
+            for d in &drift {
+                eprintln!("gate: {d}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 /// Live fault-injection probe:
 /// `probe resilience [--threads N] [--panic W:AFTER] [--straggler W:US:FIRST]
 ///                   [--drop-rate R] [--deadline-ms MS] [--cancelled]`.
@@ -399,6 +470,10 @@ fn main() {
     }
     if std::env::args().nth(1).as_deref() == Some("scaling") {
         scaling_probe(std::env::args().skip(2));
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("portfolio") {
+        portfolio_probe(std::env::args().skip(2));
         return;
     }
     if std::env::args().nth(1).as_deref() == Some("resilience") {

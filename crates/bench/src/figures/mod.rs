@@ -9,6 +9,7 @@ pub mod fig4;
 pub mod hopper;
 pub mod opteron;
 pub mod resilience;
+pub mod restarts;
 pub mod rrt;
 
 use crate::config::HarnessConfig;
@@ -194,6 +195,7 @@ pub const ALL_ABLATIONS: &[&str] = &[
     "ablation-granularity",
     "ablation-overlap",
     "resilience",
+    "restarts",
 ];
 
 /// Run one figure (or ablation) by id.
@@ -228,6 +230,7 @@ pub fn run(id: &str, suite: &mut Suite) -> Vec<Table> {
             resilience::message_loss(suite),
             resilience::crash(suite),
         ],
+        "restarts" => vec![restarts::restarts(suite)],
         other => panic!("unknown figure id: {other}"),
     }
 }

@@ -20,10 +20,17 @@
 //! backend at 1/2/4/8 host threads per strategy and emits
 //! `BENCH_scaling.json`: wall-clock times (informative, host-dependent)
 //! plus merged-roadmap digests (gated — DESIGN.md §12).
+//!
+//! A fifth, the **restart-portfolio tail benchmark** ([`portfolio`], run
+//! as `probe portfolio`), sweeps Luby/fixed/no-restart portfolios over a
+//! heavy-tailed narrow-passage scenario on the DES and emits
+//! `BENCH_portfolio.json`: p50/p99/tail-mass of virtual solve time plus
+//! per-configuration ledger digests (gated — DESIGN.md §14).
 
 pub mod config;
 pub mod figures;
 pub mod kernels;
+pub mod portfolio;
 pub mod scaling;
 pub mod table;
 

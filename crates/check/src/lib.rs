@@ -40,12 +40,20 @@
 //! recovery to complete with results byte-identical to the fault-free
 //! baseline ([`live::check_live_case_faulted`]).
 //! Run it: `cargo run -p smp-check -- --live-smoke 200 --faults`.
+//!
+//! A third sweep targets the **restart-portfolio engine** ([`portfolio`]):
+//! generated `(members, workers, schedule, steal)` cases must settle a
+//! deterministic winner and a closing wasted-work ledger on both
+//! backends, with cancellation overshoot bounded by one in-flight
+//! attempt per worker.
+//! Run it: `cargo run -p smp-check -- --portfolio-smoke 50`.
 
 pub mod case;
 pub mod gen;
 pub mod harness;
 pub mod live;
 pub mod oracles;
+pub mod portfolio;
 pub mod repro;
 pub mod shrink;
 
@@ -53,5 +61,6 @@ pub use case::{CaseSpec, MachineKind, SchedulePlan};
 pub use harness::{fuzz, FuzzConfig, FuzzOutcome};
 pub use live::{check_live_case, check_live_case_faulted, live_smoke, live_smoke_faulted};
 pub use oracles::{check_case, check_outcome, Violation};
+pub use portfolio::{check_portfolio_case, generate_portfolio_case, portfolio_smoke};
 pub use repro::{parse, serialize};
 pub use shrink::shrink;

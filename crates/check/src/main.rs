@@ -4,6 +4,7 @@
 //! smp-check [--runs N] [--seed S] [--out DIR] [--fail-fast]
 //! smp-check --replay FILE
 //! smp-check --live-smoke N [--seed S] [--faults]
+//! smp-check --portfolio-smoke N [--seed S]
 //! ```
 //!
 //! Exit status is 0 only if every run satisfied every oracle.
@@ -22,6 +23,7 @@ fn main() -> ExitCode {
     };
     let mut replay: Option<PathBuf> = None;
     let mut live_smoke: Option<u64> = None;
+    let mut portfolio_smoke: Option<u64> = None;
     let mut live_faults = false;
 
     let mut args = std::env::args().skip(1);
@@ -59,11 +61,19 @@ fn main() -> ExitCode {
                 }));
             }
             "--faults" => live_faults = true,
+            "--portfolio-smoke" => {
+                let v = take("a run count");
+                portfolio_smoke = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("smp-check: bad --portfolio-smoke {v:?}: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: smp-check [--runs N] [--seed S] [--out DIR | --no-out] [--fail-fast]\n\
                      \x20      smp-check --replay FILE\n\
-                     \x20      smp-check --live-smoke N [--seed S] [--faults]"
+                     \x20      smp-check --live-smoke N [--seed S] [--faults]\n\
+                     \x20      smp-check --portfolio-smoke N [--seed S]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -76,6 +86,30 @@ fn main() -> ExitCode {
 
     if let Some(path) = replay {
         return run_replay(&path);
+    }
+
+    if let Some(runs) = portfolio_smoke {
+        println!(
+            "smp-check: portfolio smoke — {runs} restart-portfolio cases on both backends (seed {})",
+            cfg.base_seed
+        );
+        let failures = smp_check::portfolio_smoke(runs, cfg.base_seed);
+        return if failures.is_empty() {
+            println!("smp-check: OK — {runs} portfolio cases, all oracles satisfied");
+            ExitCode::SUCCESS
+        } else {
+            for (seed, violations) in &failures {
+                eprintln!("smp-check: portfolio seed {seed} FAILED:");
+                for v in violations {
+                    eprintln!("  {v}");
+                }
+            }
+            eprintln!(
+                "smp-check: {} of {runs} portfolio cases violated an oracle",
+                failures.len()
+            );
+            ExitCode::FAILURE
+        };
     }
 
     if let Some(runs) = live_smoke {

@@ -1,0 +1,321 @@
+//! Portfolio smoke oracles: randomized restart-portfolio cases checked
+//! for deterministic settlement and bounded cancellation overshoot.
+//!
+//! The portfolio engine promises (DESIGN.md §14) that the winner and the
+//! wasted-work ledger are pure functions of the case — independent of
+//! backend, worker count, and physical completion order — and that
+//! first-success cancellation stops a round with at most one in-flight
+//! attempt per worker still finishing. This module sweeps that contract
+//! over generated cases:
+//!
+//! - **ledger_closure** — every launched attempt is either required or
+//!   avoided, and the wasted/winner vcosts match a direct recomputation
+//!   of the deterministic settle order;
+//! - **determinism_des** — two DES runs produce byte-identical ledgers;
+//! - **differential_backends** — the live ledger, winner, and winner
+//!   payload equal the DES ones at the case's worker count;
+//! - **determinism_live** — two racing live runs agree with each other;
+//! - **cancel_overshoot** — in every fired live round, completions after
+//!   the cancel fired are bounded by one in-flight task per worker
+//!   ("no work after global cancel beyond one in-flight task per
+//!   worker"); DES rounds may have none at all.
+//!
+//! Run it: `cargo run -p smp-check -- --portfolio-smoke 50`.
+
+use crate::oracles::Violation;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use smp_core::portfolio::{run_portfolio_on, Attempt, PortfolioSpec};
+use smp_core::restart::RestartSchedule;
+use smp_runtime::{Backend, LiveTuning, MachineModel, StealAmount, StealConfig, StealPolicyKind};
+
+macro_rules! fail {
+    ($out:expr, $oracle:literal, $($fmt:tt)+) => {
+        $out.push(Violation { oracle: $oracle, detail: format!($($fmt)+) })
+    };
+}
+
+/// One generated portfolio case: shape, schedule, and attempt seed.
+#[derive(Debug, Clone)]
+pub struct PortfolioCase {
+    /// Portfolio size K.
+    pub members: usize,
+    /// Worker count for both backends.
+    pub workers: usize,
+    /// Restart schedule under test.
+    pub schedule: RestartSchedule,
+    /// Round cap.
+    pub max_rounds: usize,
+    /// Optional steal configuration.
+    pub steal: Option<StealConfig>,
+    /// Engine seed (round-seed derivation).
+    pub seed: u64,
+    /// Seed of the synthetic attempt family.
+    pub attempt_seed: u64,
+}
+
+/// Generate a random case from `seed`: 1–6 members on 1–4 workers, any
+/// schedule kind, with and without stealing.
+pub fn generate_portfolio_case(seed: u64) -> PortfolioCase {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00F0_1105);
+    let members = rng.random_range(1usize..7);
+    let workers = rng.random_range(1usize..5);
+    let schedule = match rng.random_range(0u32..3) {
+        0 => RestartSchedule::None,
+        1 => RestartSchedule::Fixed(rng.random_range(32u64..512)),
+        _ => RestartSchedule::Luby(rng.random_range(16u64..128)),
+    };
+    let steal = if rng.random_range(0u32..2) == 0 {
+        None
+    } else {
+        let policy = match rng.random_range(0u32..3) {
+            0 => StealPolicyKind::RandK(rng.random_range(1usize..9)),
+            1 => StealPolicyKind::Diffusive,
+            _ => StealPolicyKind::Hybrid(rng.random_range(2usize..9)),
+        };
+        let mut sc = StealConfig::new(policy);
+        if rng.random_range(0u32..2) == 0 {
+            sc.amount = StealAmount::Half;
+        }
+        Some(sc)
+    };
+    PortfolioCase {
+        members,
+        workers,
+        schedule,
+        max_rounds: rng.random_range(1usize..25),
+        steal,
+        seed: rng.next_u64(),
+        attempt_seed: rng.next_u64(),
+    }
+}
+
+/// The synthetic pure attempt family: solved-ness and vcost are a
+/// splitmix-style hash of `(attempt_seed, member, round)` scaled by the
+/// budget; a short spin gives live cancellation something to race.
+fn synth_attempt(attempt_seed: u64, m: usize, r: usize, budget: Option<u64>) -> Attempt<u64> {
+    let mut x = attempt_seed
+        ^ (m as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (r as u64 + 1).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    let mut spin = x | 1;
+    for _ in 0..256 {
+        spin = spin.rotate_left(13) ^ spin.wrapping_mul(5);
+    }
+    // Deeper budgets solve more often — a crude heavy-tail stand-in.
+    let b = budget.unwrap_or(1 << 16).min(1 << 16);
+    Attempt {
+        solved: x % (1 << 16) < b.saturating_mul(4),
+        vcost: 1_000 + (x ^ spin) % 9_000,
+        payload: x,
+    }
+}
+
+fn spec_for<'a>(case: &PortfolioCase, machine: &'a MachineModel) -> PortfolioSpec<'a> {
+    PortfolioSpec {
+        members: case.members,
+        workers: case.workers,
+        schedule: case.schedule,
+        max_rounds: case.max_rounds,
+        machine,
+        steal: case.steal,
+        seed: case.seed,
+        faults: None,
+    }
+}
+
+/// Run every portfolio oracle on one case.
+pub fn check_portfolio_case(case: &PortfolioCase) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let machine = MachineModel::hopper();
+    let spec = spec_for(case, &machine);
+    let aseed = case.attempt_seed;
+    let attempt = move |m: usize, r: usize, b: Option<u64>| synth_attempt(aseed, m, r, b);
+
+    let des = match run_portfolio_on(&spec, Backend::Des, attempt) {
+        Ok(o) => o,
+        Err(e) => {
+            fail!(out, "differential_backends", "DES run failed: {e}");
+            return out;
+        }
+    };
+    let des2 = match run_portfolio_on(&spec, Backend::Des, attempt) {
+        Ok(o) => o,
+        Err(e) => {
+            fail!(out, "determinism_des", "second DES run failed: {e}");
+            return out;
+        }
+    };
+    if des.ledger != des2.ledger || des.winner != des2.winner {
+        fail!(
+            out,
+            "determinism_des",
+            "two DES runs disagree: {:?} vs {:?}",
+            des.ledger,
+            des2.ledger
+        );
+    }
+
+    // Ledger closure + direct recomputation of the deterministic settle
+    // order: rounds run until the first round with a solving member; in
+    // that round the winner is the lowest solving member id.
+    if !des.ledger.closes() {
+        fail!(
+            out,
+            "ledger_closure",
+            "ledger does not close: {:?}",
+            des.ledger
+        );
+    }
+    let k = case.members.max(1);
+    let n_rounds = case.schedule.max_rounds(case.max_rounds);
+    let mut ref_winner = None;
+    let mut ref_wasted = 0u64;
+    let mut ref_winner_vcost = 0u64;
+    let mut ref_rounds = 0u64;
+    'rounds: for r in 0..n_rounds {
+        ref_rounds += 1;
+        let budget = case.schedule.cutoff(r);
+        for m in 0..k {
+            let a = synth_attempt(aseed, m, r, budget);
+            if a.solved {
+                ref_winner = Some((m as u64, r as u64));
+                ref_winner_vcost = a.vcost;
+                break 'rounds;
+            }
+            ref_wasted += a.vcost;
+        }
+    }
+    if des.ledger.winner != ref_winner
+        || des.ledger.winner_vcost != ref_winner_vcost
+        || des.ledger.wasted_vcost != ref_wasted
+        || des.ledger.rounds_run != ref_rounds
+    {
+        fail!(
+            out,
+            "ledger_closure",
+            "ledger disagrees with direct recomputation: got {:?}, want winner {:?} vcost {} wasted {} rounds {}",
+            des.ledger,
+            ref_winner,
+            ref_winner_vcost,
+            ref_wasted,
+            ref_rounds
+        );
+    }
+
+    let live = match run_portfolio_on(&spec, Backend::Live(LiveTuning::default()), attempt) {
+        Ok(o) => o,
+        Err(e) => {
+            fail!(out, "differential_backends", "live run failed: {e}");
+            return out;
+        }
+    };
+    if live.ledger != des.ledger {
+        fail!(
+            out,
+            "differential_backends",
+            "live ledger {:?} != DES ledger {:?}",
+            live.ledger,
+            des.ledger
+        );
+    }
+    if live.winner != des.winner {
+        fail!(
+            out,
+            "differential_backends",
+            "live winner payload {:?} != DES {:?}",
+            live.winner,
+            des.winner
+        );
+    }
+
+    let live2 = match run_portfolio_on(&spec, Backend::Live(LiveTuning::default()), attempt) {
+        Ok(o) => o,
+        Err(e) => {
+            fail!(out, "determinism_live", "second live run failed: {e}");
+            return out;
+        }
+    };
+    if live2.ledger != live.ledger || live2.winner != live.winner {
+        fail!(
+            out,
+            "determinism_live",
+            "two live runs disagree: {:?} vs {:?}",
+            live.ledger,
+            live2.ledger
+        );
+    }
+
+    // Cancellation overshoot: after the round's token fires, each worker
+    // may finish at most its one in-flight attempt.
+    for r in &live.rounds {
+        let overshoot = r.post_fire_completions();
+        if overshoot > case.workers as u64 {
+            fail!(
+                out,
+                "cancel_overshoot",
+                "round {}: {} completions after fire > {} workers",
+                r.round,
+                overshoot,
+                case.workers
+            );
+        }
+    }
+    for r in &des.rounds {
+        if r.post_fire_completions() != 0 {
+            fail!(
+                out,
+                "cancel_overshoot",
+                "DES round {} reports {} post-fire completions (must be 0)",
+                r.round,
+                r.post_fire_completions()
+            );
+        }
+    }
+    out
+}
+
+/// Sweep `runs` generated cases; returns `(case seed, violations)` for
+/// every failing case.
+pub fn portfolio_smoke(runs: u64, base_seed: u64) -> Vec<(u64, Vec<Violation>)> {
+    let mut failures = Vec::new();
+    for i in 0..runs {
+        let seed = base_seed.wrapping_add(i);
+        let case = generate_portfolio_case(seed);
+        let violations = check_portfolio_case(&case);
+        if !violations.is_empty() {
+            failures.push((seed, violations));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_covers_every_schedule_kind() {
+        let mut none = 0;
+        let mut fixed = 0;
+        let mut luby = 0;
+        for s in 0..64 {
+            match generate_portfolio_case(s).schedule {
+                RestartSchedule::None => none += 1,
+                RestartSchedule::Fixed(_) => fixed += 1,
+                RestartSchedule::Luby(_) => luby += 1,
+            }
+        }
+        assert!(none > 0 && fixed > 0 && luby > 0);
+    }
+
+    #[test]
+    fn smoke_passes_on_a_small_sweep() {
+        let failures = portfolio_smoke(8, 0);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+}

@@ -23,7 +23,12 @@
 //! * [`phases`] — the phase breakdown reported in Figure 7(a);
 //! * [`assemble`] — merging regional roadmaps/trees into the global result;
 //! * [`adaptive`] — weight-driven hierarchical subdivision (extension:
-//!   balancing by refinement instead of redistribution).
+//!   balancing by refinement instead of redistribution);
+//! * [`restart`] + [`portfolio`] — competitive restart schedules (None /
+//!   Fixed / Luby) and the restart-portfolio engine: K independently
+//!   seeded planner instances race on the runtime, losers are cancelled
+//!   the moment one succeeds, and the wasted work is accounted in a
+//!   deterministic ledger (`run_portfolio_rrt_on`).
 //!
 //! Both planners run on either execution backend (DESIGN.md §12): the
 //! deterministic DES (virtual time on a simulated machine) via
@@ -42,6 +47,8 @@ pub mod parallel_prm;
 pub mod parallel_rrt;
 pub mod partition;
 pub mod phases;
+pub mod portfolio;
+pub mod restart;
 pub mod strategy;
 pub mod weights;
 
@@ -59,4 +66,9 @@ pub use parallel_rrt::{
     run_parallel_rrt_on, ParallelRrtConfig, RrtRun, RrtWorkload,
 };
 pub use phases::PhaseBreakdown;
+pub use portfolio::{
+    run_portfolio_rrt_faulted, run_portfolio_rrt_on, Attempt, PlannerKind, PortfolioLedger,
+    PortfolioOutcome, RoundReport, RrtPortfolioConfig,
+};
+pub use restart::{luby, RestartSchedule};
 pub use strategy::{Strategy, WeightKind};

@@ -688,7 +688,7 @@ pub(crate) fn phase_complete<R>(
 
 /// Run the full parallel PRM **live** on `threads` OS threads: the four
 /// phases of [`run_parallel_prm`] with real work (sampling, kNN, local
-/// planning) executed through [`LiveExecutor`] in wall-clock time, with
+/// planning) executed through [`smp_runtime::LiveExecutor`] in wall-clock time, with
 /// real ownership handoff on steal.
 ///
 /// Returns the workload the live run *produced* alongside the run report.

@@ -509,7 +509,7 @@ pub fn run_parallel_rrt_observed<const D: usize>(
 }
 
 /// Run the full parallel RRT **live** on `threads` OS threads: branch
-/// growth and cross-connection really execute through [`LiveExecutor`] in
+/// growth and cross-connection really execute through [`smp_runtime::LiveExecutor`] in
 /// wall-clock time, with real ownership handoff on steal.
 ///
 /// Returns the workload the live run produced alongside the run report.

@@ -1,0 +1,176 @@
+//! Restart schedules for planner portfolios.
+//!
+//! RRT run times are heavy-tailed: a fixed fraction of seeds stall in a
+//! narrow passage for orders of magnitude longer than the median seed.
+//! Competitive restart schedules bound that tail — kill an attempt at a
+//! cutoff and retry with a fresh seed — and the Luby sequence is the
+//! universal schedule: within a log factor of the optimal cutoff without
+//! knowing the run-time distribution ("Faster Motion Planning via
+//! Restarts", PAPERS.md; Luby, Sinclair, Zuckerman 1993).
+//!
+//! A [`RestartSchedule`] maps a round index to the virtual budget (in
+//! planner iterations) each portfolio member receives that round; the
+//! [`crate::portfolio`] engine runs the rounds on either execution
+//! backend.
+
+/// The `i`-th term of the Luby "reluctant doubling" sequence
+/// (1-indexed): `1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …`.
+///
+/// Defined by: `luby(2^m − 1) = 2^(m−1)`, and for `2^m − 1 < i <
+/// 2^(m+1) − 1`, `luby(i) = luby(i − 2^m + 1)`. Every term is a power of
+/// two, and the prefix sums satisfy `Σ_{i=1}^{2^k − 1} luby(i) =
+/// k·2^(k−1)` — the property tests in `tests/portfolio.rs` pin both.
+///
+/// Overflow-safe over the whole `u64` domain: `luby(u64::MAX)` (the term
+/// at index `2^64 − 1`) is `2^63`, computed without wrapping.
+///
+/// # Panics
+/// If `i == 0` (the sequence is 1-indexed).
+pub fn luby(i: u64) -> u64 {
+    assert!(i >= 1, "the Luby sequence is 1-indexed");
+    let mut i = i;
+    loop {
+        // i = 2^m − 1 (all-ones)? Then the term is 2^(m−1). The mask
+        // check and the `(i >> 1) + 1` form both avoid computing i + 1,
+        // which would overflow at i = u64::MAX.
+        if i & i.wrapping_add(1) == 0 {
+            return (i >> 1) + 1;
+        }
+        // Otherwise recurse on i − (2^m − 1) for the largest 2^m − 1 < i.
+        let bits = 64 - i.leading_zeros();
+        i -= (1u64 << (bits - 1)) - 1;
+    }
+}
+
+/// When (and whether) portfolio members are cut off and restarted.
+///
+/// `cutoff(round)` yields the per-attempt iteration budget of a round;
+/// `None` means "no cutoff" — the attempt runs to its planner's own
+/// limit, so the schedule degenerates to a single round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartSchedule {
+    /// No restarts: one round, full budget (the plain parallel
+    /// portfolio baseline).
+    None,
+    /// The same fixed cutoff every round. Optimal when the run-time
+    /// distribution is known; brittle otherwise.
+    Fixed(u64),
+    /// `base · luby(round + 1)` iterations in `round` — the universal
+    /// schedule for unknown distributions.
+    Luby(u64),
+}
+
+impl RestartSchedule {
+    /// Iteration budget of `round` (0-indexed), or `None` for
+    /// uncapped.
+    pub fn cutoff(&self, round: usize) -> Option<u64> {
+        match self {
+            RestartSchedule::None => None,
+            RestartSchedule::Fixed(c) => Some(*c),
+            RestartSchedule::Luby(base) => Some(base.saturating_mul(luby(round as u64 + 1))),
+        }
+    }
+
+    /// How many rounds this schedule can run: schedules without a cutoff
+    /// never kill their single attempt, so they get exactly one round.
+    pub fn max_rounds(&self, requested: usize) -> usize {
+        match self {
+            RestartSchedule::None => 1,
+            _ => requested.max(1),
+        }
+    }
+
+    /// Total iteration budget granted per member across the first
+    /// `rounds` rounds (`None` if any round is uncapped). Monotone
+    /// non-decreasing in `rounds` — pinned by the property tests.
+    pub fn total_budget(&self, rounds: usize) -> Option<u64> {
+        let mut total = 0u64;
+        for r in 0..rounds {
+            total = total.saturating_add(self.cutoff(r)?);
+        }
+        Some(total)
+    }
+
+    /// Short label for tables and artifacts (`"none"`, `"fixed-800"`,
+    /// `"luby-200"`).
+    pub fn label(&self) -> String {
+        match self {
+            RestartSchedule::None => "none".into(),
+            RestartSchedule::Fixed(c) => format!("fixed-{c}"),
+            RestartSchedule::Luby(b) => format!("luby-{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix_matches_the_reference_sequence() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1];
+        let got: Vec<u64> = (1..=16).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn luby_peaks_are_powers_of_two() {
+        for m in 1..=10u32 {
+            assert_eq!(luby((1u64 << m) - 1), 1u64 << (m - 1));
+        }
+    }
+
+    #[test]
+    fn luby_survives_the_u64_extremes() {
+        assert_eq!(luby(u64::MAX), 1u64 << 63);
+        assert_eq!(luby(u64::MAX - 1), 1u64 << 62);
+        assert_eq!(luby((1u64 << 63) - 1), 1u64 << 62);
+        assert_eq!(luby(1u64 << 63), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-indexed")]
+    fn luby_rejects_index_zero() {
+        luby(0);
+    }
+
+    #[test]
+    fn cutoffs_follow_their_schedule() {
+        assert_eq!(RestartSchedule::None.cutoff(0), None);
+        assert_eq!(RestartSchedule::None.cutoff(7), None);
+        assert_eq!(RestartSchedule::Fixed(800).cutoff(3), Some(800));
+        let l = RestartSchedule::Luby(100);
+        assert_eq!(l.cutoff(0), Some(100));
+        assert_eq!(l.cutoff(2), Some(200));
+        assert_eq!(l.cutoff(6), Some(400));
+    }
+
+    #[test]
+    fn luby_cutoff_saturates_instead_of_overflowing() {
+        let l = RestartSchedule::Luby(u64::MAX / 2);
+        assert_eq!(l.cutoff(6), Some(u64::MAX)); // base · 4 saturates
+    }
+
+    #[test]
+    fn uncapped_schedules_get_one_round() {
+        assert_eq!(RestartSchedule::None.max_rounds(10), 1);
+        assert_eq!(RestartSchedule::Fixed(5).max_rounds(10), 10);
+        assert_eq!(RestartSchedule::Luby(5).max_rounds(0), 1);
+    }
+
+    #[test]
+    fn total_budget_accumulates() {
+        assert_eq!(RestartSchedule::None.total_budget(1), None);
+        assert_eq!(RestartSchedule::Fixed(10).total_budget(3), Some(30));
+        // Luby prefix-sum identity: Σ of the first 2^k − 1 terms = k·2^(k−1)
+        assert_eq!(RestartSchedule::Luby(1).total_budget(7), Some(12));
+        assert_eq!(RestartSchedule::Luby(1).total_budget(15), Some(32));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RestartSchedule::None.label(), "none");
+        assert_eq!(RestartSchedule::Fixed(800).label(), "fixed-800");
+        assert_eq!(RestartSchedule::Luby(200).label(), "luby-200");
+    }
+}

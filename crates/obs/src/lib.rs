@@ -60,4 +60,11 @@ pub mod cat {
     pub const PHASE: &str = "phase";
     /// Host thread-pool events.
     pub const POOL: &str = "pool";
+    /// Restart-portfolio events: round starts, first-success cancellation
+    /// fan-out, loser settlement. The matching metrics taxonomy is
+    /// `portfolio.*` — deterministic ledger fields (members, rounds,
+    /// winner, wasted/required/avoided attempt counts) plus run-dependent
+    /// counters (`portfolio.attempts.completed`,
+    /// `portfolio.cancel.post_fire_completions`).
+    pub const PORTFOLIO: &str = "portfolio";
 }

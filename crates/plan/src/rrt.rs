@@ -78,6 +78,75 @@ where
     R: Rng + ?Sized,
     F: Fn(&Cfg<D>) -> bool,
 {
+    grow_rrt_impl(
+        root,
+        target,
+        in_region,
+        sampler,
+        validity,
+        local_planner,
+        params,
+        rng,
+        false,
+    )
+}
+
+/// Single-query variant of [`grow_rrt`]: stops at the first node within
+/// `step_size` of `target` instead of growing the tree to its full size.
+///
+/// The regional variant deliberately keeps growing after a target hit —
+/// Algorithm 2 wants a tree of `num_nodes` covering the region — but a
+/// restart portfolio charges every wasted iteration to the tail, so its
+/// attempts must return the moment the query is answered. Work counters
+/// are charged identically up to the stopping iteration.
+#[allow(clippy::too_many_arguments)] // mirrors grow_rrt's parameter list
+pub fn grow_rrt_until_target<const D: usize, S, V, L, R>(
+    root: Cfg<D>,
+    target: Cfg<D>,
+    sampler: &S,
+    validity: &V,
+    local_planner: &L,
+    params: &RrtParams,
+    rng: &mut R,
+) -> RrtResult<D>
+where
+    S: Sampler<D>,
+    V: ValidityChecker<D>,
+    L: LocalPlanner<D>,
+    R: Rng + ?Sized,
+{
+    grow_rrt_impl(
+        root,
+        Some(target),
+        |_| true,
+        sampler,
+        validity,
+        local_planner,
+        params,
+        rng,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow_rrt_impl<const D: usize, S, V, L, R, F>(
+    root: Cfg<D>,
+    target: Option<Cfg<D>>,
+    in_region: F,
+    sampler: &S,
+    validity: &V,
+    local_planner: &L,
+    params: &RrtParams,
+    rng: &mut R,
+    stop_on_target: bool,
+) -> RrtResult<D>
+where
+    S: Sampler<D>,
+    V: ValidityChecker<D>,
+    L: LocalPlanner<D>,
+    R: Rng + ?Sized,
+    F: Fn(&Cfg<D>) -> bool,
+{
     let mut work = WorkCounters::new();
     let mut tree: Roadmap<D> = Roadmap::new();
     let mut reached = false;
@@ -142,6 +211,9 @@ where
         if let Some(t) = target {
             if q_new.dist(&t) <= params.step_size {
                 reached = true;
+                if stop_on_target {
+                    break;
+                }
             }
         }
     }

@@ -61,7 +61,8 @@
 //! returns partial results with a [`RunStatus`] instead of an error when
 //! a run is stopped on purpose.
 
-use crate::live::LiveTuning;
+use crate::cancel::CancelToken;
+use crate::live::{LiveTuning, ResilientOutcome};
 use crate::machine::MachineModel;
 use crate::sim::{simulate_with_payloads, SimConfig, SimError, SimReport, StealConfig};
 use crate::VTime;
@@ -388,12 +389,137 @@ pub(crate) fn validate_assignment(n: usize, assignment: &[Vec<u32>]) -> Result<V
 pub struct DesExecutor {
     /// The virtual machine the phase is replayed on.
     pub machine: MachineModel,
+    cancel: Option<CancelToken>,
 }
 
 impl DesExecutor {
     /// A DES backend replaying phases on `machine`.
     pub fn new(machine: MachineModel) -> Self {
-        DesExecutor { machine }
+        DesExecutor {
+            machine,
+            cancel: None,
+        }
+    }
+
+    /// Attach a cancellation token, observed by
+    /// [`DesExecutor::execute_resilient`] between task closures.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Run the phase with cooperative cancellation, mirroring
+    /// [`crate::live::LiveExecutor::execute_resilient`] semantics on the
+    /// deterministic backend.
+    ///
+    /// The DES runs task closures serially on the calling thread (the
+    /// simulated schedule never touches real work), so its cancellation
+    /// boundary is a task boundary: the token is checked before each
+    /// closure, and a fired token leaves exactly the already-run **task-id
+    /// prefix** executed — the deterministic analogue of the live
+    /// backend's "finish your in-flight task, then stop" rule. The report
+    /// replays only the executed prefix through the simulator, so the
+    /// virtual makespan reflects the truncated phase; `executed_by` is
+    /// padded back to full length with `0` for unexecuted tasks, exactly
+    /// as the live backend reports them.
+    ///
+    /// There is no DES deadline: wall-clock deadlines are meaningless in
+    /// virtual time, so a run stopped here is always
+    /// [`RunStatus::Cancelled`] (or [`RunStatus::Completed`]).
+    pub fn execute_resilient<R: Send>(
+        &mut self,
+        spec: &ExecSpec<'_>,
+        work: &(dyn Fn(u32) -> R + Sync),
+    ) -> Result<ResilientOutcome<R>, ExecError> {
+        let costs = spec.costs.ok_or(SimError::MissingCosts)?;
+        if costs.len() != spec.n_tasks {
+            return Err(SimError::TaskOutOfRange {
+                task: spec.n_tasks as u32,
+                n: costs.len(),
+            }
+            .into());
+        }
+        // Validate the full assignment up front so malformed specs fail
+        // identically whether or not the token fires.
+        validate_assignment(spec.n_tasks, spec.assignment)?;
+
+        let mut results: Vec<Option<R>> = Vec::with_capacity(spec.n_tasks);
+        let mut executed = 0usize;
+        for t in 0..spec.n_tasks as u32 {
+            if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                break;
+            }
+            results.push(Some(work(t)));
+            executed += 1;
+        }
+        results.resize_with(spec.n_tasks, || None);
+
+        let cfg = SimConfig {
+            machine: self.machine.clone(),
+            steal: spec.steal,
+            seed: spec.seed,
+        };
+        let (status, report) = if executed == spec.n_tasks {
+            let report = simulate_with_payloads(costs, spec.payloads, spec.assignment, &cfg)?;
+            (RunStatus::Completed, report)
+        } else {
+            // Replay only the executed prefix: queues keep their order but
+            // drop the tasks the stop prevented (prefix ids are unchanged,
+            // so no renumbering is needed).
+            let prefix_assignment: Vec<Vec<u32>> = spec
+                .assignment
+                .iter()
+                .map(|q| {
+                    q.iter()
+                        .copied()
+                        .filter(|&t| (t as usize) < executed)
+                        .collect()
+                })
+                .collect();
+            let prefix_payloads: Vec<u64>;
+            let payloads = match spec.payloads {
+                Some(p) => {
+                    prefix_payloads = p[..executed].to_vec();
+                    Some(prefix_payloads.as_slice())
+                }
+                None => None,
+            };
+            let mut report = if executed == 0 {
+                // Nothing ran: an all-zero report over the full worker set
+                // (the simulator has no empty-phase notion).
+                let p = spec.assignment.len();
+                SimReport {
+                    makespan: 0,
+                    per_pe_busy: vec![0; p],
+                    per_pe_finish: vec![0; p],
+                    per_pe_executed: vec![0; p],
+                    per_pe_stolen_executed: vec![0; p],
+                    executed_by: Vec::new(),
+                    steal_attempts: 0,
+                    steal_hits: 0,
+                    steal_misses: 0,
+                    tasks_transferred: 0,
+                    messages: 0,
+                    resilience: crate::sim::ResilienceStats::default(),
+                    metrics: MetricsSnapshot::default(),
+                }
+            } else {
+                simulate_with_payloads(&costs[..executed], payloads, &prefix_assignment, &cfg)?
+            };
+            report.executed_by.resize(spec.n_tasks, 0);
+            (
+                RunStatus::Cancelled {
+                    executed,
+                    total: spec.n_tasks,
+                },
+                report,
+            )
+        };
+        Ok(ResilientOutcome {
+            results,
+            report: ExecReport::from_sim_report(report),
+            status,
+        })
     }
 }
 
@@ -539,6 +665,138 @@ mod tests {
             out.report.degradation_ratio(base / 2),
             out.report.makespan as f64 / (base / 2) as f64
         );
+    }
+
+    #[test]
+    fn des_resilient_without_a_token_completes_and_matches_execute() {
+        let costs = spec_costs();
+        let assignment = vec![vec![0, 2, 4], vec![1, 3, 5]];
+        let spec = ExecSpec {
+            n_tasks: costs.len(),
+            costs: Some(&costs),
+            payloads: None,
+            assignment: &assignment,
+            steal: Some(StealConfig::new(StealPolicyKind::rand8())),
+            seed: 3,
+        };
+        let plain = DesExecutor::new(MachineModel::hopper())
+            .execute(&spec, &|t| t * 2)
+            .expect("plain");
+        let resilient = DesExecutor::new(MachineModel::hopper())
+            .execute_resilient(&spec, &|t| t * 2)
+            .expect("resilient");
+        assert_eq!(resilient.status, RunStatus::Completed);
+        let (results, report) = resilient.into_complete().expect("complete");
+        assert_eq!(results, plain.results);
+        assert_eq!(report, plain.report);
+    }
+
+    #[test]
+    fn des_resilient_cancel_leaves_a_task_id_prefix() {
+        let costs = spec_costs();
+        let assignment = vec![vec![0, 2, 4], vec![1, 3, 5]];
+        let spec = ExecSpec {
+            n_tasks: costs.len(),
+            costs: Some(&costs),
+            payloads: None,
+            assignment: &assignment,
+            steal: None,
+            seed: 0,
+        };
+        let token = CancelToken::new();
+        let tok = token.clone();
+        // Fire the token from inside task 2's closure: tasks 0..=2 run,
+        // the boundary check stops task 3 onward.
+        let out = DesExecutor::new(MachineModel::hopper())
+            .with_cancel(token)
+            .execute_resilient(&spec, &|t| {
+                if t == 2 {
+                    tok.cancel();
+                }
+                t
+            })
+            .expect("resilient");
+        assert_eq!(
+            out.status,
+            RunStatus::Cancelled {
+                executed: 3,
+                total: 6
+            }
+        );
+        assert_eq!(
+            out.results,
+            vec![Some(0), Some(1), Some(2), None, None, None]
+        );
+        assert_eq!(out.report.executed_by.len(), 6);
+        assert_eq!(out.report.per_pe_executed.iter().sum::<u32>(), 3);
+        // The virtual makespan covers only the executed prefix.
+        let full = DesExecutor::new(MachineModel::hopper())
+            .execute(&spec, &|t| t)
+            .expect("full");
+        assert!(out.report.makespan < full.report.makespan);
+    }
+
+    #[test]
+    fn des_resilient_pre_fired_token_executes_nothing() {
+        let costs = spec_costs();
+        let assignment = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let spec = ExecSpec {
+            n_tasks: costs.len(),
+            costs: Some(&costs),
+            payloads: None,
+            assignment: &assignment,
+            steal: None,
+            seed: 0,
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let out = DesExecutor::new(MachineModel::hopper())
+            .with_cancel(token)
+            .execute_resilient(&spec, &|t| t)
+            .expect("resilient");
+        assert_eq!(
+            out.status,
+            RunStatus::Cancelled {
+                executed: 0,
+                total: 6
+            }
+        );
+        assert!(out.results.iter().all(Option::is_none));
+        assert_eq!(out.report.makespan, 0);
+        assert_eq!(out.report.per_pe_busy, vec![0, 0]);
+        assert_eq!(out.report.executed_by, vec![0; 6]);
+    }
+
+    #[test]
+    fn des_resilient_cancelled_replay_is_deterministic() {
+        let costs = spec_costs();
+        let assignment = vec![vec![0, 2, 4], vec![1, 3, 5]];
+        let spec = ExecSpec {
+            n_tasks: costs.len(),
+            costs: Some(&costs),
+            payloads: None,
+            assignment: &assignment,
+            steal: Some(StealConfig::new(StealPolicyKind::rand8())),
+            seed: 9,
+        };
+        let run = || {
+            let token = CancelToken::new();
+            let tok = token.clone();
+            DesExecutor::new(MachineModel::hopper())
+                .with_cancel(token)
+                .execute_resilient(&spec, &|t| {
+                    if t == 3 {
+                        tok.cancel();
+                    }
+                    t
+                })
+                .expect("resilient")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.report, b.report);
     }
 
     #[test]

@@ -123,8 +123,11 @@ struct DeathLedger {
     deaths: Vec<(usize, String)>,
     /// Orphaned tasks re-enqueued onto survivors.
     recovered: u64,
-    /// In-flight tasks whose partial execution was lost and re-ran.
-    reexecuted: u64,
+    /// In-flight tasks whose partial execution was lost at a death with
+    /// survivors. They only count as *re-executed* if the run later
+    /// produced their result — a cooperative stop can end the phase
+    /// before the re-enqueued task runs again.
+    in_flight: Vec<u32>,
 }
 
 /// Partial or complete results of a resilient live run: `results[task]`
@@ -511,7 +514,15 @@ impl LiveExecutor {
         }
         report.resilience.crashes = ledger.deaths.len() as u64;
         report.resilience.tasks_recovered = ledger.recovered;
-        report.resilience.tasks_reexecuted = ledger.reexecuted;
+        // A lost in-flight task only re-executed if its result slot was
+        // filled after the death — a cancel/deadline stop can terminate
+        // the phase first, and counting it anyway would break metrics
+        // conservation (executed < reexecuted-implied work).
+        report.resilience.tasks_reexecuted = ledger
+            .in_flight
+            .iter()
+            .filter(|&&t| results[t as usize].lock().is_some())
+            .count() as u64;
         // Shared memory sends no real messages; count the protocol's
         // request + grant traffic so conservation-style checks still hold.
         report.messages = report.steal_attempts + report.steal_hits;
@@ -680,7 +691,7 @@ fn die<R>(ctx: &WorkerCtx<'_, R>, local: &mut WorkerLocal, in_flight: u32, messa
                 .push_back(t);
         }
         ledger.recovered += orphans.len() as u64;
-        ledger.reexecuted += 1; // the in-flight task re-runs from scratch
+        ledger.in_flight.push(in_flight); // re-runs from scratch (if the run lasts)
     }
     if let Some(buf) = &mut local.buf {
         buf.instant(

@@ -114,6 +114,51 @@ fn live_rrt_digest_matches_des_across_threads_and_strategies() {
 }
 
 #[test]
+fn live_portfolio_matches_des_winner_ledger_and_payload() {
+    // The restart-portfolio layer extends the work-product contract to
+    // *competing* work: whichever attempt physically finishes first on
+    // the live backend, the deterministically-settled winner, its payload
+    // digest, and the wasted-work ledger must match the DES byte for
+    // byte at every thread count (DESIGN.md §14).
+    use smp_core::{run_portfolio_rrt_on, PlannerKind, RestartSchedule, RrtPortfolioConfig};
+    use smp_geom::Point;
+    use smp_runtime::{Backend, MachineModel};
+
+    let env = envs::walls(2, 0.04, 0.22);
+    let cfg = RrtPortfolioConfig {
+        members: 4,
+        planners: vec![PlannerKind::Rrt, PlannerKind::RrtConnect],
+        schedule: RestartSchedule::Luby(150),
+        max_rounds: 12,
+        seed: 42,
+        ..RrtPortfolioConfig::new(&env, Point::splat(0.08), Point::splat(0.92))
+    };
+    let machine = MachineModel::hopper();
+    let strategy = Strategy::WorkStealing(StealConfig::new(StealPolicyKind::RandK(8)));
+    let des = run_portfolio_rrt_on(&cfg, &machine, 2, strategy, Backend::Des).expect("des");
+    let des_digest = roadmap_digest(des.winner.as_ref().expect("des winner"));
+    for threads in THREAD_COUNTS {
+        let live = run_portfolio_rrt_on(
+            &cfg,
+            &machine,
+            threads,
+            strategy,
+            Backend::Live(LiveTuning::default()),
+        )
+        .expect("live");
+        assert_eq!(
+            live.ledger, des.ledger,
+            "portfolio ledger drift at {threads} threads"
+        );
+        assert_eq!(
+            roadmap_digest(live.winner.as_ref().expect("live winner")),
+            des_digest,
+            "portfolio winner payload drift at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn live_steal_counters_obey_conservation_laws() {
     // The live protocol must satisfy the same accounting invariants the
     // smp-check oracles enforce on the DES: attempts = hits + misses and

@@ -241,3 +241,85 @@ fn executor_level_deadline_yields_partial_results() {
     );
     assert!(out.results.iter().all(Option::is_none));
 }
+
+#[test]
+fn cancelled_partial_outcome_keeps_the_fault_metrics_conserved() {
+    // The latent gap this test closes: a `Cancelled` outcome's `executed`
+    // count was never cross-checked against the `live.*` metrics and the
+    // death ledger. The old ledger counted an orphaned in-flight task as
+    // *re-executed* at death time, even when the cancel stopped the run
+    // before the re-enqueued task ever ran again — so `tasks_reexecuted`
+    // could exceed the work the run actually did.
+    //
+    // Construction: worker 1's first task (task 1) panics in flight and
+    // its queue is adopted by worker 0, which is still inside task 0 —
+    // task 0 sleeps, then fires the cancel token, so worker 0 stops at
+    // the next boundary and (almost always) never re-runs the orphans.
+    let spec_queues = vec![vec![0u32], vec![1, 2, 3]];
+    let spec = ExecSpec {
+        n_tasks: 4,
+        costs: None,
+        payloads: None,
+        assignment: &spec_queues,
+        steal: None,
+        seed: 5,
+    };
+    let token = CancelToken::new();
+    let tok = token.clone();
+    let out = LiveExecutor::new(2, LiveTuning::default())
+        .with_cancel(token)
+        .with_faults(LiveFaultPlan::new(2).with_panic(1, 0))
+        .execute_resilient(&spec, &|t: u32| {
+            if t == 0 {
+                std::thread::sleep(Duration::from_millis(30));
+                tok.cancel();
+            }
+            t
+        })
+        .expect("cancelled run with survivors is not an error");
+
+    // Status / results / per-PE counters must agree on `executed`.
+    let executed = match out.status {
+        RunStatus::Cancelled { executed, total } => {
+            assert_eq!(total, 4);
+            executed
+        }
+        // The orphans could in principle all re-run before the stop is
+        // observed; conservation must hold in that schedule too.
+        RunStatus::Completed => 4,
+        other => panic!("unexpected status {other:?}"),
+    };
+    let with_result = out.results.iter().filter(|r| r.is_some()).count();
+    assert_eq!(with_result, executed, "result slots vs status.executed");
+    assert_eq!(
+        out.report
+            .per_pe_executed
+            .iter()
+            .map(|&x| x as usize)
+            .sum::<usize>(),
+        executed,
+        "per-PE tallies vs status.executed"
+    );
+    let m = &out.report.metrics;
+    assert_eq!(m.get("live.tasks.executed"), Some(executed as u64));
+    assert_eq!(m.get("live.tasks.not_executed"), Some(4 - executed as u64));
+
+    // Death accounting: the panic fired (static schedule guarantees it)
+    // and the three orphans were recovered onto worker 0.
+    assert_eq!(out.report.resilience.crashes, 1);
+    assert_eq!(out.report.resilience.tasks_recovered, 3);
+    // The repaired invariant: the lost in-flight task (task 1) counts as
+    // re-executed exactly when the run produced its result — never when
+    // the cancel got there first.
+    let expected_reexecuted = u64::from(out.results[1].is_some());
+    assert_eq!(
+        out.report.resilience.tasks_reexecuted, expected_reexecuted,
+        "tasks_reexecuted must match whether task 1's result exists"
+    );
+    assert_eq!(
+        m.get("live.faults.tasks_reexecuted"),
+        Some(expected_reexecuted)
+    );
+    assert_eq!(m.get("live.faults.crashes"), Some(1));
+    assert_eq!(m.get("live.faults.tasks_recovered"), Some(3));
+}
