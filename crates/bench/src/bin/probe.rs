@@ -20,6 +20,9 @@
 //! (see `smp_bench::portfolio`) and emits/validates
 //! `BENCH_portfolio.json`.
 //!
+//! `probe serve [...]` runs the planning-as-a-service load benchmark
+//! (see `smp_bench::serve`) and emits/validates `BENCH_serve.json`.
+//!
 //! `probe resilience [...]` runs the live PRM under a fault plan built
 //! from the command line (injected panics, stragglers, dropped steal
 //! grants, deadline, pre-cancellation), verifies the merged-roadmap
@@ -331,6 +334,74 @@ fn portfolio_probe(args: impl Iterator<Item = String>) {
     }
 }
 
+/// Planning-as-a-service load probe:
+/// `probe serve [--quick] [--out FILE] [--check FILE]`.
+///
+/// Runs the serve load sweep (see `smp_bench::serve`), prints per-level
+/// cold/warm latency and throughput, asserts the headline claims (warm
+/// p50 beats cold p50; batched answers byte-identical to sequential
+/// replay), and optionally writes/validates `BENCH_serve.json`.
+/// Everything is DES virtual time, so the gate digests are
+/// deterministic in both quick and full mode.
+fn serve_probe(args: impl Iterator<Item = String>) {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next(),
+            "--check" => check = args.next(),
+            other => panic!("unknown serve argument: {other}"),
+        }
+    }
+    let report = smp_bench::serve::run(quick);
+    println!(
+        "serve load sweep ({} requests/level over 3 tenant keys, DES virtual time):",
+        report.requests
+    );
+    for l in &report.levels {
+        println!(
+            "{:5} gap={:>9}ns cold p50={:>12}ns p99={:>12}ns | warm p50={:>12}ns p99={:>12}ns | {:>9.1} q/s batches={:>3} digest={:#018x}",
+            l.label,
+            l.arrival_gap_ns,
+            l.cold_p50_ns,
+            l.cold_p99_ns,
+            l.warm_p50_ns,
+            l.warm_p99_ns,
+            l.throughput_qps,
+            l.batches,
+            l.gate_digest
+        );
+    }
+    let violations = smp_bench::serve::load_violations(&report);
+    for v in &violations {
+        eprintln!("load violation: {v}");
+    }
+    if let Some(path) = &out {
+        std::fs::write(path, smp_bench::serve::to_json(&report)).expect("write serve json");
+        eprintln!("wrote {path}");
+    }
+    let mut failed = !violations.is_empty();
+    if let Some(path) = &check {
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let drift = smp_bench::serve::check_against(&report, &committed);
+        if drift.is_empty() {
+            println!("gate: all digests match {path}");
+        } else {
+            for d in &drift {
+                eprintln!("gate: {d}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 /// Live fault-injection probe:
 /// `probe resilience [--threads N] [--panic W:AFTER] [--straggler W:US:FIRST]
 ///                   [--drop-rate R] [--deadline-ms MS] [--cancelled]`.
@@ -474,6 +545,10 @@ fn main() {
     }
     if std::env::args().nth(1).as_deref() == Some("portfolio") {
         portfolio_probe(std::env::args().skip(2));
+        return;
+    }
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        serve_probe(std::env::args().skip(2));
         return;
     }
     if std::env::args().nth(1).as_deref() == Some("resilience") {

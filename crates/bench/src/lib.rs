@@ -26,12 +26,20 @@
 //! heavy-tailed narrow-passage scenario on the DES and emits
 //! `BENCH_portfolio.json`: p50/p99/tail-mass of virtual solve time plus
 //! per-configuration ledger digests (gated — DESIGN.md §14).
+//!
+//! A sixth, the **planning-as-a-service load benchmark** ([`serve`],
+//! run as `probe serve`), drives a multi-tenant query workload through
+//! `smp_serve::Server` at three offered-load levels, cold and
+//! prewarmed, and emits `BENCH_serve.json`: p50/p99 request latency and
+//! throughput per level plus per-level answer digests (gated —
+//! DESIGN.md §15).
 
 pub mod config;
 pub mod figures;
 pub mod kernels;
 pub mod portfolio;
 pub mod scaling;
+pub mod serve;
 pub mod table;
 
 pub use config::HarnessConfig;

@@ -47,6 +47,15 @@
 //! backends, with cancellation overshoot bounded by one in-flight
 //! attempt per worker.
 //! Run it: `cargo run -p smp-check -- --portfolio-smoke 50`.
+//!
+//! A fourth sweep targets the **planning-as-a-service layer** ([`serve`]):
+//! generated multi-tenant workloads — mixed classes, shared snapshot
+//! keys, unknown keys, logical-deadline pressure — must keep the
+//! request-conservation ledger closed and return byte-identical answer
+//! digests across batched/sequential modes and DES/live backends.
+//! Failures shrink to a minimal workload and serialize to an
+//! `smp-serve-repro v1` file that `--replay` re-executes.
+//! Run it: `cargo run -p smp-check -- --serve-smoke 200`.
 
 pub mod case;
 pub mod gen;
@@ -55,6 +64,7 @@ pub mod live;
 pub mod oracles;
 pub mod portfolio;
 pub mod repro;
+pub mod serve;
 pub mod shrink;
 
 pub use case::{CaseSpec, MachineKind, SchedulePlan};
@@ -63,4 +73,5 @@ pub use live::{check_live_case, check_live_case_faulted, live_smoke, live_smoke_
 pub use oracles::{check_case, check_outcome, Violation};
 pub use portfolio::{check_portfolio_case, generate_portfolio_case, portfolio_smoke};
 pub use repro::{parse, serialize};
+pub use serve::{check_serve_case, generate_serve_case, serve_smoke, shrink_serve_case, ServeCase};
 pub use shrink::shrink;

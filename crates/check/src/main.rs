@@ -5,6 +5,7 @@
 //! smp-check --replay FILE
 //! smp-check --live-smoke N [--seed S] [--faults]
 //! smp-check --portfolio-smoke N [--seed S]
+//! smp-check --serve-smoke N [--seed S] [--out DIR]
 //! ```
 //!
 //! Exit status is 0 only if every run satisfied every oracle.
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
     let mut replay: Option<PathBuf> = None;
     let mut live_smoke: Option<u64> = None;
     let mut portfolio_smoke: Option<u64> = None;
+    let mut serve_smoke: Option<u64> = None;
     let mut live_faults = false;
 
     let mut args = std::env::args().skip(1);
@@ -68,12 +70,20 @@ fn main() -> ExitCode {
                     std::process::exit(2);
                 }));
             }
+            "--serve-smoke" => {
+                let v = take("a run count");
+                serve_smoke = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("smp-check: bad --serve-smoke {v:?}: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: smp-check [--runs N] [--seed S] [--out DIR | --no-out] [--fail-fast]\n\
                      \x20      smp-check --replay FILE\n\
                      \x20      smp-check --live-smoke N [--seed S] [--faults]\n\
-                     \x20      smp-check --portfolio-smoke N [--seed S]"
+                     \x20      smp-check --portfolio-smoke N [--seed S]\n\
+                     \x20      smp-check --serve-smoke N [--seed S] [--out DIR]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -86,6 +96,10 @@ fn main() -> ExitCode {
 
     if let Some(path) = replay {
         return run_replay(&path);
+    }
+
+    if let Some(runs) = serve_smoke {
+        return run_serve_smoke(runs, cfg.base_seed, cfg.out_dir.as_deref());
     }
 
     if let Some(runs) = portfolio_smoke {
@@ -185,6 +199,46 @@ fn main() -> ExitCode {
     }
 }
 
+fn run_serve_smoke(runs: u64, base_seed: u64, out_dir: Option<&std::path::Path>) -> ExitCode {
+    println!(
+        "smp-check: serve smoke — {runs} multi-tenant workloads, batched vs sequential on both backends (seed {base_seed})"
+    );
+    let failures = smp_check::serve_smoke(runs, base_seed);
+    if failures.is_empty() {
+        println!("smp-check: OK — {runs} serve cases, all oracles satisfied");
+        return ExitCode::SUCCESS;
+    }
+    for (seed, violations) in &failures {
+        eprintln!("smp-check: serve seed {seed} FAILED:");
+        for v in violations {
+            eprintln!("  {v}");
+        }
+        let case = smp_check::generate_serve_case(*seed);
+        let shrunk =
+            smp_check::shrink_serve_case(&case, |c| !smp_check::check_serve_case(c).is_empty());
+        eprintln!(
+            "  shrunk to {} request(s), {} thread(s), batch_max {}",
+            shrunk.requests.len(),
+            shrunk.threads,
+            shrunk.batch_max
+        );
+        if let Some(dir) = out_dir {
+            let path = dir.join(format!("serve-{seed}.repro"));
+            match std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&path, smp_check::serve::serialize_serve(&shrunk)))
+            {
+                Ok(()) => eprintln!("  repro: {} (replay with --replay)", path.display()),
+                Err(e) => eprintln!("  could not write repro: {e}"),
+            }
+        }
+    }
+    eprintln!(
+        "smp-check: {} of {runs} serve cases violated an oracle",
+        failures.len()
+    );
+    ExitCode::FAILURE
+}
+
 fn run_replay(path: &std::path::Path) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -193,6 +247,37 @@ fn run_replay(path: &std::path::Path) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Dispatch on the header line: serve repro files carry their own
+    // format and oracle set.
+    if text.lines().next().map(str::trim) == Some("smp-serve-repro v1") {
+        let case = match smp_check::serve::parse_serve(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("smp-check: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        println!(
+            "smp-check: replaying {} ({} request(s), {} thread(s))",
+            path.display(),
+            case.requests.len(),
+            case.threads
+        );
+        let violations = smp_check::check_serve_case(&case);
+        return if violations.is_empty() {
+            println!("smp-check: replay PASSED — all oracles satisfied");
+            ExitCode::SUCCESS
+        } else {
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            eprintln!(
+                "smp-check: replay still violates {} oracle(s)",
+                violations.len()
+            );
+            ExitCode::FAILURE
+        };
+    }
     let spec = match repro::parse(&text) {
         Ok(s) => s,
         Err(e) => {

@@ -72,6 +72,34 @@ impl Histogram {
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
     }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`): the bound
+    /// of the first bucket whose cumulative count reaches `ceil(q * count)`.
+    /// Values that landed in the `+Inf` overflow bucket clamp to the
+    /// largest declared bound, so the estimate stays integer-valued and
+    /// deterministic. Returns `None` for an empty histogram.
+    ///
+    /// This is a bucketed estimate for dashboards (`serve.latency.p99_ns`
+    /// and friends); benchmark gates that need exact percentiles keep the
+    /// raw samples instead.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Some(match self.bounds.get(i) {
+                    Some(&b) => b,
+                    None => *self.bounds.last().unwrap_or(&0),
+                });
+            }
+        }
+        Some(*self.bounds.last().unwrap_or(&0))
+    }
 }
 
 /// One flattened metric row.
@@ -286,6 +314,25 @@ mod tests {
         assert_eq!(h.bucket_counts(), &[2, 2, 0, 1]); // <=10: {5,10}; <=100: {11,100}; inf: {5000}
         assert_eq!(h.count(), 5);
         assert_eq!(h.sum(), 5 + 10 + 11 + 100 + 5000);
+    }
+
+    #[test]
+    fn quantile_estimates_clamp_to_declared_bounds() {
+        let mut r = MetricsRegistry::new();
+        r.register_histogram("h", &[10, 100, 1000]);
+        assert_eq!(r.histogram("h").unwrap().quantile(0.5), None);
+        for v in [5, 10, 11, 100, 5000] {
+            r.observe("h", v);
+        }
+        let h = r.histogram("h").unwrap();
+        // cumulative counts per bucket: 2, 4, 4, 5
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert_eq!(h.quantile(0.4), Some(10));
+        assert_eq!(h.quantile(0.5), Some(100));
+        assert_eq!(h.quantile(0.8), Some(100));
+        // p99 falls in the overflow bucket -> clamps to the largest bound
+        assert_eq!(h.quantile(0.99), Some(1000));
+        assert_eq!(h.quantile(1.0), Some(1000));
     }
 
     #[test]

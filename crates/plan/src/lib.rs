@@ -21,7 +21,7 @@ pub mod smooth;
 
 pub use connect::{connect_roadmaps, CandidateEdge};
 pub use prm::{build_prm, build_prm_with, ConnectStrategy, PrmParams, PrmResult};
-pub use query::{solve_query, QueryResult};
+pub use query::{solve_query, solve_query_checked, QueryError, QueryIndex, QueryResult};
 pub use roadmap::Roadmap;
 pub use rrt::{grow_rrt, grow_rrt_until_target, RrtParams, RrtResult};
 pub use rrt_connect::{rrt_connect, RrtConnectParams, RrtConnectResult};

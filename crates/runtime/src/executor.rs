@@ -390,6 +390,7 @@ pub struct DesExecutor {
     /// The virtual machine the phase is replayed on.
     pub machine: MachineModel,
     cancel: Option<CancelToken>,
+    submissions: u64,
 }
 
 impl DesExecutor {
@@ -398,7 +399,16 @@ impl DesExecutor {
         DesExecutor {
             machine,
             cancel: None,
+            submissions: 0,
         }
+    }
+
+    /// Phases executed by this instance so far. Executors are long-lived:
+    /// a serving loop keeps one executor and submits many phases to it,
+    /// and this counter is the observable contract of that reuse (the
+    /// serve layer exports it as `serve.executor.submissions`).
+    pub fn submissions(&self) -> u64 {
+        self.submissions
     }
 
     /// Attach a cancellation token, observed by
@@ -431,6 +441,7 @@ impl DesExecutor {
         spec: &ExecSpec<'_>,
         work: &(dyn Fn(u32) -> R + Sync),
     ) -> Result<ResilientOutcome<R>, ExecError> {
+        self.submissions += 1;
         let costs = spec.costs.ok_or(SimError::MissingCosts)?;
         if costs.len() != spec.n_tasks {
             return Err(SimError::TaskOutOfRange {
@@ -537,6 +548,7 @@ impl Executor for DesExecutor {
         spec: &ExecSpec<'_>,
         work: &(dyn Fn(u32) -> R + Sync),
     ) -> Result<ExecOutcome<R>, ExecError> {
+        self.submissions += 1;
         let costs = spec.costs.ok_or(SimError::MissingCosts)?;
         if costs.len() != spec.n_tasks {
             return Err(SimError::TaskOutOfRange {

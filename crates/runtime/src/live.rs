@@ -293,6 +293,7 @@ pub struct LiveExecutor {
     deadline: Option<Duration>,
     faults: Option<LiveFaultPlan>,
     last_bufs: Vec<TraceBuf>,
+    submissions: u64,
 }
 
 impl LiveExecutor {
@@ -307,7 +308,20 @@ impl LiveExecutor {
             deadline: None,
             faults: None,
             last_bufs: Vec::new(),
+            submissions: 0,
         }
+    }
+
+    /// Phases executed by this instance so far.
+    ///
+    /// Executors are built to be **reused across submissions**: a serving
+    /// loop keeps one `LiveExecutor` and submits every batch to it, so
+    /// controls (tuning, cancellation token, per-phase deadline, fault
+    /// plan) are configured once and apply to each subsequent phase. This
+    /// counter is the observable contract of that reuse — the serve layer
+    /// exports it as `serve.executor.submissions`.
+    pub fn submissions(&self) -> u64 {
+        self.submissions
     }
 
     /// Enable wall-clock tracing: workers record task spans, steal
@@ -371,6 +385,7 @@ impl LiveExecutor {
         spec: &ExecSpec<'_>,
         work: &(dyn Fn(u32) -> R + Sync),
     ) -> Result<ResilientOutcome<R>, ExecError> {
+        self.submissions += 1;
         let initial_owner = validate_assignment(spec.n_tasks, spec.assignment)?;
         let p = spec.assignment.len();
         if let Some(plan) = &self.faults {
@@ -960,6 +975,31 @@ mod tests {
         assert_eq!(out.report.steal_attempts, 0);
         assert_eq!(out.report.executed_by, vec![0, 1, 0, 1, 0, 1]);
         assert_eq!(out.report.mode, ExecMode::WallClockNs);
+    }
+
+    #[test]
+    fn one_executor_serves_many_submissions_identically() {
+        // The serving contract: one long-lived executor accepts phase
+        // after phase, each result-deterministic, with the submission
+        // counter tracking reuse.
+        let mut reused = LiveExecutor::new(2, LiveTuning::default());
+        assert_eq!(reused.submissions(), 0);
+        for round in 0..5u32 {
+            let n = 4 + round as usize * 3;
+            let assignment: Vec<Vec<u32>> = (0..2)
+                .map(|w| (0..n as u32).filter(|t| t % 2 == w).collect())
+                .collect();
+            let out = reused
+                .execute(&spec(n, &assignment, None), &region_work)
+                .expect("reused execute");
+            let mut fresh = LiveExecutor::new(2, LiveTuning::default());
+            let fresh_out = fresh
+                .execute(&spec(n, &assignment, None), &region_work)
+                .expect("fresh execute");
+            assert_eq!(out.results, fresh_out.results, "round {round}");
+            assert_eq!(out.results, expected(n), "round {round}");
+            assert_eq!(reused.submissions(), u64::from(round) + 1);
+        }
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Planning-as-a-service demo: admit a small multi-tenant workload,
+//! serve it batched on the chosen backend, and print per-request
+//! outcomes plus the conservation ledger.
+//!
+//! ```text
+//! cargo run --release -p smp-serve --bin serve_demo -- [--live] [--threads N] [--sequential]
+//! ```
+
+use smp_geom::Point;
+use smp_runtime::{Backend, LiveTuning};
+use smp_serve::{PlanRequest, QueryClass, ServeConfig, Server};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut live = false;
+    let mut sequential = false;
+    let mut threads = 2usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--live" => live = true,
+            "--sequential" => sequential = true,
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"));
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    let cfg = ServeConfig {
+        backend: if live {
+            Backend::Live(LiveTuning::default())
+        } else {
+            Backend::Des
+        },
+        threads,
+        ..ServeConfig::default()
+    };
+    let backend_name = if sequential {
+        "sequential replay"
+    } else if live {
+        "live shared-memory"
+    } else {
+        "discrete-event simulation"
+    };
+    println!("serve_demo: backend = {backend_name}, threads = {threads}");
+
+    let mut server = Server::new(cfg);
+    let digest = server
+        .prewarm("med_cube", "point")
+        .unwrap_or_else(|e| usage(&format!("prewarm failed: {e}")));
+    println!("prewarmed med_cube/point snapshot, digest {digest:#018x}");
+
+    // Three tenants: two share the prewarmed med_cube/point snapshot, one
+    // plans a ball robot in the walls environment (cold build), and one
+    // request carries a hopeless logical deadline to show expiry.
+    let mk = |env: &str, robot: &str, s: [f64; 3], g: [f64; 3]| {
+        PlanRequest::new(env, robot, Point::new(s), Point::new(g))
+    };
+    let mut reqs = vec![
+        mk("med_cube", "point", [0.1, 0.1, 0.1], [0.9, 0.9, 0.9]),
+        mk("med_cube", "point", [0.2, 0.1, 0.2], [0.8, 0.9, 0.8]),
+        mk("walls", "ball", [0.1, 0.5, 0.5], [0.9, 0.5, 0.5]),
+        mk("med_cube", "point", [0.15, 0.2, 0.1], [0.85, 0.8, 0.9]),
+        mk("nowhere", "point", [0.1, 0.1, 0.1], [0.9, 0.9, 0.9]),
+    ];
+    reqs[1].class = QueryClass::Batch;
+    reqs[3].class = QueryClass::Batch;
+    reqs[3].deadline = Some(0); // expires: service index 4 > 0
+    for r in reqs {
+        server.submit(r);
+    }
+
+    let report = if sequential {
+        server.run_sequential()
+    } else {
+        server.run()
+    };
+    let report = report.unwrap_or_else(|e| usage(&format!("serve run failed: {e}")));
+
+    println!("\n seq  class        latency_ns    outcome");
+    for r in &report.records {
+        let outcome = match &r.outcome {
+            smp_serve::ServeOutcome::Solved { path, length } => {
+                format!("solved: {} waypoints, length {length:.3}", path.len())
+            }
+            smp_serve::ServeOutcome::NoPath => "no path".to_string(),
+            smp_serve::ServeOutcome::Rejected(e) => format!("rejected: {e}"),
+            smp_serve::ServeOutcome::Expired => "expired (logical deadline)".to_string(),
+        };
+        println!(
+            " {:>3}  {:<12} {:>12}    {outcome}",
+            r.seq,
+            r.class.name(),
+            r.latency_ns
+        );
+    }
+
+    let l = &report.ledger;
+    println!(
+        "\nledger: admitted {} = completed {} + rejected {} + expired {} (closes: {})",
+        l.admitted,
+        l.completed,
+        l.rejected,
+        l.expired,
+        l.closes()
+    );
+    println!(
+        "cache: {} hit(s), {} miss(es); {} batch(es) on {} executor submission(s)",
+        report.cache_hits, report.cache_misses, report.batches, report.submissions
+    );
+    println!(
+        "latency p50 {} ns, p99 {} ns; answers digest {:#018x}",
+        report.latency_percentile(0.50),
+        report.latency_percentile(0.99),
+        report.answers_digest
+    );
+    let violations = report.conservation_violations();
+    if violations.is_empty() {
+        println!("conservation oracle: ok");
+    } else {
+        println!("conservation oracle VIOLATED: {violations:?}");
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("serve_demo: {msg}");
+    eprintln!("usage: serve_demo [--live] [--threads N] [--sequential]");
+    std::process::exit(2);
+}

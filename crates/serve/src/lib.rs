@@ -1,0 +1,58 @@
+//! Planning-as-a-service front door (`smp-serve`).
+//!
+//! Sampling-based planners split naturally into an expensive, reusable
+//! phase (building a roadmap for an environment/robot pair) and a cheap,
+//! per-request phase (answering one start/goal query against that
+//! roadmap). This crate serves the second phase as a multi-tenant
+//! request/response loop while amortising the first:
+//!
+//! * **Admission** ([`AdmissionQueue`]) — requests get monotone sequence
+//!   numbers and a deterministic *service order*: interactive class
+//!   first, then batch, FIFO within each class. The order is a pure
+//!   function of the admitted set, never of thread scheduling.
+//! * **Snapshots** ([`RoadmapSnapshot`], [`SnapshotCache`]) — the PRM
+//!   roadmap for each `(environment, robot)` key is built **once** via
+//!   the existing parallel-construction pipeline, digest-pinned, and
+//!   published as a shared immutable `Arc` with lease-counted LRU
+//!   eviction (an in-use snapshot is never evicted).
+//! * **Batched service** ([`Server`]) — consecutive same-snapshot
+//!   queries become one phase on a single reused executor (DES or live
+//!   shared-memory). Answers are pure functions of `(snapshot,
+//!   request)`, so batching changes only *when* work runs, never *what*
+//!   it returns.
+//! * **Oracles** — every run carries a request-conservation ledger
+//!   (admitted = completed + rejected + expired) checked at runtime, and
+//!   an answers digest that must be byte-identical between a batched
+//!   concurrent run and a sequential one-at-a-time replay. The
+//!   `smp-check --serve-smoke` generator and the workspace differential
+//!   tests enforce both.
+//!
+//! ```
+//! use smp_serve::{PlanRequest, ServeConfig, Server};
+//! use smp_geom::Point;
+//!
+//! let mut server = Server::new(ServeConfig::default());
+//! server.submit(PlanRequest::new(
+//!     "small_cube",
+//!     "point",
+//!     Point::new([0.1, 0.1, 0.1]),
+//!     Point::new([0.9, 0.9, 0.9]),
+//! ));
+//! let report = server.run().unwrap();
+//! assert!(report.ledger.closes());
+//! assert!(report.conservation_violations().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod queue;
+pub mod registry;
+pub mod request;
+pub mod server;
+pub mod snapshot;
+
+pub use queue::{AdmissionQueue, Admitted, ServeLedger};
+pub use request::{answer_digest, fnv_mix, PlanRequest, QueryClass, ServeError, ServeOutcome};
+pub use server::{ServeConfig, ServeRecord, ServeReport, Server};
+pub use snapshot::{RoadmapSnapshot, SnapshotCache, SnapshotKey, SnapshotLease, SnapshotParams};

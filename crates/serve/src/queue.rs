@@ -1,0 +1,153 @@
+//! Admission queue and the request-conservation ledger.
+//!
+//! Admission assigns each request a monotone sequence number. Dispatch
+//! ("service") order is deterministic and mode-independent: all
+//! interactive requests first, then batch requests, FIFO within each
+//! class. Because the service order is a pure function of the admitted
+//! set — never of thread scheduling or batch sizing — a batched
+//! concurrent run and a sequential replay dispatch the same requests in
+//! the same order, which is what makes their answer digests comparable.
+//!
+//! The [`ServeLedger`] is the conservation law the `test`-archetype
+//! oracles enforce at runtime: every admitted request ends in exactly one
+//! of completed / rejected / expired, no request is lost, none is
+//! answered twice.
+
+use crate::request::{PlanRequest, QueryClass, ServeOutcome};
+use std::collections::VecDeque;
+
+/// One admitted request: the payload plus its admission sequence number.
+#[derive(Debug, Clone)]
+pub struct Admitted {
+    /// Admission sequence number (monotone, unique per server).
+    pub seq: u64,
+    /// The request.
+    pub req: PlanRequest,
+}
+
+/// Request-conservation ledger: `admitted = completed + rejected +
+/// expired` once the queue has drained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeLedger {
+    /// Requests admitted by the queue.
+    pub admitted: u64,
+    /// Requests answered (solved or proven no-path).
+    pub completed: u64,
+    /// Requests refused (unknown keys, invalid input, cancellation).
+    pub rejected: u64,
+    /// Requests whose logical deadline passed before dispatch.
+    pub expired: u64,
+}
+
+impl ServeLedger {
+    /// The conservation law: every admitted request is accounted for
+    /// exactly once.
+    pub fn closes(&self) -> bool {
+        self.admitted == self.completed + self.rejected + self.expired
+    }
+
+    /// Record one final outcome.
+    pub fn record(&mut self, outcome: &ServeOutcome) {
+        match outcome {
+            ServeOutcome::Solved { .. } | ServeOutcome::NoPath => self.completed += 1,
+            ServeOutcome::Rejected(_) => self.rejected += 1,
+            ServeOutcome::Expired => self.expired += 1,
+        }
+    }
+}
+
+/// FIFO-within-class admission queue.
+#[derive(Debug, Default)]
+pub struct AdmissionQueue {
+    next_seq: u64,
+    interactive: VecDeque<Admitted>,
+    batch: VecDeque<Admitted>,
+    /// Running conservation ledger (admissions counted here; outcomes are
+    /// recorded by the server as requests settle).
+    pub ledger: ServeLedger,
+}
+
+impl AdmissionQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        AdmissionQueue::default()
+    }
+
+    /// Admit `req`, returning its admission sequence number.
+    pub fn admit(&mut self, req: PlanRequest) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.ledger.admitted += 1;
+        let admitted = Admitted { seq, req };
+        match admitted.req.class {
+            QueryClass::Interactive => self.interactive.push_back(admitted),
+            QueryClass::Batch => self.batch.push_back(admitted),
+        }
+        seq
+    }
+
+    /// Requests waiting for dispatch.
+    pub fn len(&self) -> usize {
+        self.interactive.len() + self.batch.len()
+    }
+
+    /// True when no requests wait.
+    pub fn is_empty(&self) -> bool {
+        self.interactive.is_empty() && self.batch.is_empty()
+    }
+
+    /// Drain every waiting request in service order: interactive first,
+    /// then batch, FIFO (admission order) within each class.
+    pub fn drain_service_order(&mut self) -> Vec<Admitted> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.interactive.drain(..));
+        out.extend(self.batch.drain(..));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ServeError;
+    use smp_geom::Point;
+
+    fn req(class: QueryClass) -> PlanRequest {
+        PlanRequest {
+            class,
+            ..PlanRequest::new("free", "point", Point::splat(0.1), Point::splat(0.9))
+        }
+    }
+
+    #[test]
+    fn service_order_is_class_then_fifo() {
+        let mut q = AdmissionQueue::new();
+        let s0 = q.admit(req(QueryClass::Batch));
+        let s1 = q.admit(req(QueryClass::Interactive));
+        let s2 = q.admit(req(QueryClass::Batch));
+        let s3 = q.admit(req(QueryClass::Interactive));
+        assert_eq!((s0, s1, s2, s3), (0, 1, 2, 3));
+        let order: Vec<u64> = q.drain_service_order().iter().map(|a| a.seq).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+        assert!(q.is_empty());
+        assert_eq!(q.ledger.admitted, 4);
+    }
+
+    #[test]
+    fn ledger_closes_only_when_every_outcome_lands() {
+        let mut ledger = ServeLedger {
+            admitted: 3,
+            ..ServeLedger::default()
+        };
+        assert!(!ledger.closes());
+        ledger.record(&ServeOutcome::NoPath);
+        ledger.record(&ServeOutcome::Rejected(ServeError::Cancelled));
+        assert!(!ledger.closes());
+        ledger.record(&ServeOutcome::Expired);
+        assert!(ledger.closes());
+        assert_eq!(
+            (ledger.completed, ledger.rejected, ledger.expired),
+            (1, 1, 1)
+        );
+    }
+}

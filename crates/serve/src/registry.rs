@@ -1,0 +1,81 @@
+//! The tenant-facing key registry: string keys → concrete environments
+//! and robot radii.
+//!
+//! Keys are the untrusted boundary of the front door — everything behind
+//! them ([`crate::snapshot::SnapshotKey`]) is resolved, validated data.
+//! Unknown keys reject the request with a structured
+//! [`crate::ServeError`]; they never panic and never build a snapshot.
+
+use smp_geom::{envs, Environment};
+
+/// Resolve an environment key to its environment, or `None` if unknown.
+///
+/// Every key maps to a deterministic constructor, so two tenants naming
+/// the same key provably plan in the same world — the premise behind
+/// sharing one roadmap snapshot between them.
+pub fn resolve_env(key: &str) -> Option<Environment<3>> {
+    match key {
+        "free" => Some(envs::free_env()),
+        "small_cube" => Some(envs::small_cube()),
+        "med_cube" => Some(envs::med_cube()),
+        "mixed" => Some(envs::mixed()),
+        "mixed_30" => Some(envs::mixed_30()),
+        "walls" => Some(envs::walls(1, 0.10, 0.05)),
+        _ => None,
+    }
+}
+
+/// Resolve a robot key to its ball-robot radius, or `None` if unknown.
+pub fn resolve_robot(key: &str) -> Option<f64> {
+    match key {
+        "point" => Some(0.0),
+        "probe" => Some(0.02),
+        "ball" => Some(0.05),
+        _ => None,
+    }
+}
+
+/// Every registered environment key, in registry order.
+pub fn env_keys() -> &'static [&'static str] {
+    &[
+        "free",
+        "small_cube",
+        "med_cube",
+        "mixed",
+        "mixed_30",
+        "walls",
+    ]
+}
+
+/// Every registered robot key, in registry order.
+pub fn robot_keys() -> &'static [&'static str] {
+    &["point", "probe", "ball"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_key_resolves_and_unknowns_do_not() {
+        for k in env_keys() {
+            assert!(resolve_env(k).is_some(), "env key {k}");
+        }
+        for k in robot_keys() {
+            assert!(resolve_robot(k).is_some(), "robot key {k}");
+        }
+        assert!(resolve_env("no-such-env").is_none());
+        assert!(resolve_robot("no-such-robot").is_none());
+    }
+
+    #[test]
+    fn resolution_is_deterministic() {
+        let a = resolve_env("med_cube").unwrap();
+        let b = resolve_env("med_cube").unwrap();
+        assert_eq!(
+            a.blocked_fraction().to_bits(),
+            b.blocked_fraction().to_bits()
+        );
+        assert_eq!(a.obstacles().len(), b.obstacles().len());
+    }
+}

@@ -17,3 +17,4 @@ pub use smp_graph as graph;
 pub use smp_obs as obs;
 pub use smp_plan as plan;
 pub use smp_runtime as runtime;
+pub use smp_serve as serve;
