@@ -133,6 +133,46 @@ pub fn weight_quality(suite: &mut Suite) -> Table {
     t
 }
 
+/// Second-generation balancing head-to-head (DESIGN.md §16): static
+/// repartitioning — greedy LPT vs the rectangular recursive-bisection
+/// partitioner — against diffusive stealing — plain vs the
+/// convergence-aware adaptive-radius variant — with no balancing and
+/// Hybrid WS as the bookends. One DES run per strategy on the shared
+/// med-cube workload; writes `results/balance.csv`.
+pub fn balance(suite: &mut Suite) -> Table {
+    let p = suite.cfg.fig7a_p;
+    let machine = MachineModel::hopper();
+    let mut t = Table::new(
+        format!("Ablation: balancing strategies at {p} PEs (med-cube)"),
+        &[
+            "strategy",
+            "node_connection_s",
+            "cov_after",
+            "tasks_transferred",
+            "messages",
+        ],
+    );
+    for strategy in [
+        Strategy::NoLb,
+        Strategy::Repartition(WeightKind::SampleCount),
+        Strategy::RectPartition(WeightKind::SampleCount),
+        Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Diffusive)),
+        Strategy::WorkStealing(StealConfig::new(StealPolicyKind::DiffusiveAdaptive)),
+        Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8))),
+    ] {
+        let workload = suite.hopper_medcube();
+        let run = run_parallel_prm(workload, &machine, p, &strategy).expect("sim failed");
+        t.push_row(vec![
+            strategy.label(),
+            vsecs(run.phases.node_connection),
+            f4(run.cov_after()),
+            run.construction.tasks_transferred.to_string(),
+            run.construction.messages.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Partitioner comparison: the paper's greedy LPT (ignores edge cuts) vs
 /// geometry-preserving recursive coordinate bisection.
 pub fn partitioner(suite: &mut Suite) -> Table {

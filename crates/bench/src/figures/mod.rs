@@ -192,6 +192,7 @@ pub const ALL_ABLATIONS: &[&str] = &[
     "study-walls45",
     "ablation-weights",
     "ablation-partitioner",
+    "balance",
     "ablation-granularity",
     "ablation-overlap",
     "resilience",
@@ -223,6 +224,7 @@ pub fn run(id: &str, suite: &mut Suite) -> Vec<Table> {
         "study-walls45" => vec![ablations::walls45(suite)],
         "ablation-weights" => vec![ablations::weight_quality(suite)],
         "ablation-partitioner" => vec![ablations::partitioner(suite)],
+        "balance" => vec![ablations::balance(suite)],
         "ablation-granularity" => vec![ablations::granularity(suite)],
         "ablation-overlap" => vec![ablations::overlap(suite)],
         "resilience" => vec![

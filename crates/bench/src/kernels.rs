@@ -183,7 +183,8 @@ fn bench_kd_build(quick: bool) -> KernelReport {
 }
 
 // ---------------------------------------------------------------------------
-// 3. kNN query: fresh allocations per query (old) vs reused scratch (new)
+// 3. kNN query: fresh allocations per query (old) vs reused scratch +
+//    SoA leaf-span distance scans (new)
 // ---------------------------------------------------------------------------
 
 fn bench_knn_query(quick: bool) -> KernelReport {
@@ -211,12 +212,17 @@ fn bench_knn_query(quick: bool) -> KernelReport {
         let mut scratch = KnnScratch::new();
         let mut nns: Vec<(usize, f64)> = Vec::new();
         for q in &queries {
-            tree.k_nearest_into(q, k, None, &mut examined, &mut scratch, &mut nns);
+            tree.k_nearest_batched_into(q, k, None, &mut examined, &mut scratch, &mut nns);
             acc = fold(acc, nns[0].0 as u64);
         }
         (examined, acc)
     });
-    assert_eq!(base, opt, "scratch kNN diverged from allocating kNN");
+    // The batched kernel scans whole leaf spans through the SoA distance
+    // kernel instead of descending to single points, so it *visits* more
+    // candidates (`examined` differs by design) yet — being an exact
+    // algorithm under the same (distance, index) total order — returns the
+    // identical neighbour lists. The result checksum is the invariant.
+    assert_eq!(base.1, opt.1, "batched kNN results diverged from recursive");
 
     KernelReport {
         name: "knn_query",
@@ -273,6 +279,23 @@ fn bench_lp_check(quick: bool) -> KernelReport {
     // decode per step is visible; against real collision checking it is
     // noise, and the win is the removed per-call VecDeque allocation.)
     let env = envs::mixed();
+    // The baseline pays the pre-batch validity cost: the verbatim scalar
+    // broad-phase loop (`is_valid_scalar`), checked one interpolated point
+    // at a time — exactly what `EnvValidity` did before the SoA kernels.
+    struct ScalarValidity<'a> {
+        env: &'a smp_geom::Environment<3>,
+        clearance: f64,
+    }
+    impl ValidityChecker<3> for ScalarValidity<'_> {
+        fn is_valid(&self, q: &Cfg<3>, work: &mut WorkCounters) -> bool {
+            work.cd_checks += 1;
+            self.env.is_valid_scalar(q, self.clearance)
+        }
+    }
+    let scalar_validity = ScalarValidity {
+        env: &env,
+        clearance: 0.01,
+    };
     let validity = EnvValidity::new(&env, 0.01);
     let lp = StraightLinePlanner::new(0.002);
     let n_edges = 20_000;
@@ -295,7 +318,7 @@ fn bench_lp_check(quick: bool) -> KernelReport {
         let mut w = WorkCounters::new();
         let mut ok = 0u64;
         for (p, q) in a.iter().zip(&b) {
-            if reference_lp_check(p, q, 0.002, &validity, &mut w) {
+            if reference_lp_check(p, q, 0.002, &scalar_validity, &mut w) {
                 ok += 1;
             }
         }
@@ -372,7 +395,52 @@ fn bench_collision(quick: bool) -> KernelReport {
 }
 
 // ---------------------------------------------------------------------------
-// 6. End-to-end RRT growth: all old kernels (brute NN + queue LP + full
+// 6. Point validity: scalar broad-phase loop (old) vs the SoA
+//    four-obstacles-per-step batch kernel, both with early exit
+// ---------------------------------------------------------------------------
+
+fn bench_batch_validity(quick: bool) -> KernelReport {
+    // Unlike `collision_broadphase` (whose baseline is the PR-4-era full
+    // obstacle scan), this baseline is the *immediately* pre-batch kernel:
+    // the inline volume-descending broad-phase loop, kept verbatim as
+    // `Environment::is_valid_scalar`. The speedup isolates what the SoA
+    // lanes buy on top of an already early-exiting scalar scan.
+    let env = envs::mixed();
+    let nq = 200_000;
+    let queries = random_points(nq, 81);
+    let clearance = 0.02;
+
+    let (baseline_ns, base_valid) = time_ns(reps(quick), || {
+        let mut valid = 0u64;
+        for p in &queries {
+            valid += env.is_valid_scalar(p, clearance) as u64;
+        }
+        valid
+    });
+
+    let (optimized_ns, opt_valid) = time_ns(reps(quick), || {
+        let mut valid = 0u64;
+        for p in &queries {
+            valid += env.is_valid(p, clearance) as u64;
+        }
+        valid
+    });
+    assert_eq!(base_valid, opt_valid, "batch validity diverged from scalar");
+
+    KernelReport {
+        name: "batch_validity",
+        baseline_ns,
+        optimized_ns,
+        gates: vec![
+            ("queries", nq as u64),
+            ("obstacles", env.obstacles().len() as u64),
+            ("valid", opt_valid),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 7. End-to-end RRT growth: all old kernels (brute NN + queue LP + full
 //    scan) vs the shipped pipeline, same RNG stream, identical tree
 // ---------------------------------------------------------------------------
 
@@ -524,12 +592,13 @@ fn bench_end_to_end_rrt(quick: bool) -> KernelReport {
 /// problem sizes (and therefore all gates) are identical in both modes.
 pub fn run(quick: bool) -> Vec<KernelReport> {
     type Bench = fn(bool) -> KernelReport;
-    let benches: [(&str, Bench); 6] = [
+    let benches: [(&str, Bench); 7] = [
         ("rrt_extension", bench_rrt_extension),
         ("kd_build", bench_kd_build),
         ("knn_query", bench_knn_query),
         ("lp_check", bench_lp_check),
         ("collision_broadphase", bench_collision),
+        ("batch_validity", bench_batch_validity),
         ("end_to_end_rrt", bench_end_to_end_rrt),
     ];
     let mut out = Vec::new();

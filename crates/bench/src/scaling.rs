@@ -117,8 +117,10 @@ fn strategies() -> Vec<Strategy> {
     vec![
         Strategy::NoLb,
         Strategy::Repartition(WeightKind::SampleCount),
+        Strategy::RectPartition(WeightKind::SampleCount),
         Strategy::WorkStealing(StealConfig::new(StealPolicyKind::RandK(8))),
         Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Diffusive)),
+        Strategy::WorkStealing(StealConfig::new(StealPolicyKind::DiffusiveAdaptive)),
         Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Hybrid(8))),
     ]
 }

@@ -63,10 +63,11 @@ pub fn generate_case(seed: u64) -> CaseSpec {
     let steal = if rng.random_bool(0.18) {
         None
     } else {
-        let policy = match rng.random_range(0u32..4) {
+        let policy = match rng.random_range(0u32..5) {
             0 => StealPolicyKind::RandK(rng.random_range(1usize..9)),
             1 => StealPolicyKind::Diffusive,
             2 => StealPolicyKind::Hybrid(rng.random_range(2usize..9)),
+            3 => StealPolicyKind::DiffusiveAdaptive,
             _ => StealPolicyKind::Lifeline,
         };
         let amount = match rng.random_range(0u32..3) {

@@ -55,6 +55,7 @@ pub fn serialize(spec: &CaseSpec, context: &[String]) -> String {
             let policy = match cfg.policy {
                 StealPolicyKind::RandK(k) => format!("randk {k}"),
                 StealPolicyKind::Diffusive => "diffusive".to_string(),
+                StealPolicyKind::DiffusiveAdaptive => "diffusive-ca".to_string(),
                 StealPolicyKind::Hybrid(k) => format!("hybrid {k}"),
                 StealPolicyKind::Lifeline => "lifeline".to_string(),
             };
@@ -165,6 +166,7 @@ pub fn parse(text: &str) -> Result<CaseSpec, String> {
                             "randk" => (StealPolicyKind::RandK(num(1, "k")? as usize), 2),
                             "hybrid" => (StealPolicyKind::Hybrid(num(1, "k")? as usize), 2),
                             "diffusive" => (StealPolicyKind::Diffusive, 1),
+                            "diffusive-ca" => (StealPolicyKind::DiffusiveAdaptive, 1),
                             "lifeline" => (StealPolicyKind::Lifeline, 1),
                             _ => return Err(format!("{line:?}: unknown policy {kind:?}")),
                         };

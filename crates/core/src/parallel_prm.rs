@@ -23,7 +23,7 @@
 //!    partner region lives elsewhere (Figure 7(b)).
 
 use crate::cost::work_cost;
-use crate::partition::{greedy_lpt, loads, naive_block};
+use crate::partition::{greedy_lpt, loads, naive_block, rect_partition};
 use crate::phases::PhaseBreakdown;
 use crate::strategy::{Strategy, WeightKind};
 use crate::weights;
@@ -484,7 +484,7 @@ pub fn run_parallel_prm_observed<const D: usize>(
     let (connect_queues, steal) = match strategy {
         Strategy::NoLb => (naive_queues.clone(), None),
         Strategy::WorkStealing(sc) => (naive_queues.clone(), Some(*sc)),
-        Strategy::Repartition(kind) => {
+        Strategy::Repartition(kind) | Strategy::RectPartition(kind) => {
             let w: Vec<f64> = match custom_weights {
                 Some(w) => w.to_vec(),
                 None => resolve_weights(workload, *kind),
@@ -502,12 +502,23 @@ pub fn run_parallel_prm_observed<const D: usize>(
                 lb_time = machine.barrier(p) * 2 + partition_cpu;
                 (naive_queues.clone(), None)
             } else {
-                // Greedy global weight partitioning, ignoring edge cuts —
-                // the paper's partitioner (§IV-B); the induced edge-cut
-                // growth is what Figure 7(b) measures. The
-                // geometry-preserving alternative lives in
-                // `partition::spatial_bisection` (ablation bench).
-                let new_map = greedy_lpt(&w, p);
+                let new_map = if matches!(strategy, Strategy::RectPartition(_)) {
+                    // Rectangular repartition: recursive bisection with
+                    // grid-aligned cut planes, so every PE owns an
+                    // axis-aligned block of regions. Region ids vary
+                    // fastest along axis 0, so the dims are reversed to
+                    // match `rect_bisection`'s row-major strides.
+                    let mut rdims: Vec<usize> = workload.grid.dims().to_vec();
+                    rdims.reverse();
+                    rect_partition(&rdims, &w, p)
+                } else {
+                    // Greedy global weight partitioning, ignoring edge
+                    // cuts — the paper's partitioner (§IV-B); the induced
+                    // edge-cut growth is what Figure 7(b) measures. The
+                    // geometry-preserving alternative lives in
+                    // `partition::spatial_bisection` (ablation bench).
+                    greedy_lpt(&w, p)
+                };
                 migrations = naive.migration_count(&new_map);
                 // migration: each moved region ships its descriptor plus
                 // its already-generated samples; cost is the max per-PE
@@ -805,7 +816,7 @@ pub fn run_parallel_prm_live_controlled<const D: usize>(
     let (connect_queues, steal) = match strategy {
         Strategy::NoLb => (naive_queues.clone(), None),
         Strategy::WorkStealing(sc) => (naive_queues.clone(), Some(*sc)),
-        Strategy::Repartition(kind) => {
+        Strategy::Repartition(kind) | Strategy::RectPartition(kind) => {
             let w: Vec<f64> = match kind {
                 WeightKind::SampleCount => weights::sample_count_weights(&counts),
                 WeightKind::Vfree => vfree.clone(),
@@ -817,7 +828,16 @@ pub fn run_parallel_prm_live_controlled<const D: usize>(
             if mean <= 0.0 || max <= mean * 1.05 {
                 (naive_queues.clone(), None)
             } else {
-                let new_map = greedy_lpt(&w, p);
+                let new_map = if matches!(strategy, Strategy::RectPartition(_)) {
+                    // grid-aligned rectangular bisection; ids vary fastest
+                    // along axis 0, hence the reversed dims (see the DES
+                    // backend for the full rationale)
+                    let mut rdims: Vec<usize> = grid.dims().to_vec();
+                    rdims.reverse();
+                    rect_partition(&rdims, &w, p)
+                } else {
+                    greedy_lpt(&w, p)
+                };
                 migrations = naive.migration_count(&new_map);
                 (owner_queues(&new_map), None)
             }
@@ -1075,6 +1095,53 @@ mod tests {
     }
 
     #[test]
+    fn rect_repartition_balances_and_owns_rectangular_blocks() {
+        let w = small_workload();
+        let machine = MachineModel::hopper();
+        let p = 32;
+        let no_lb = run_parallel_prm(&w, &machine, p, &Strategy::NoLb).unwrap();
+        let rect = run_parallel_prm(
+            &w,
+            &machine,
+            p,
+            &Strategy::RectPartition(WeightKind::SampleCount),
+        )
+        .unwrap();
+        assert!(rect.migrations > 0);
+        let executed: u32 = rect.construction.per_pe_executed.iter().sum();
+        assert_eq!(executed as usize, w.num_regions());
+        // balances the skewed node load better than the naive mapping
+        assert!(
+            rect.cov_after() < no_lb.cov_after(),
+            "rect cov {} vs nolb cov {}",
+            rect.cov_after(),
+            no_lb.cov_after()
+        );
+        // no stealing: each region runs on its partition owner, so every
+        // PE's regions must form an axis-aligned block in grid index space
+        for pe in 0..p as u32 {
+            let cells: Vec<[usize; 3]> = (0..w.num_regions() as u32)
+                .filter(|&r| rect.construction.executed_by[r as usize] == pe)
+                .map(|r| w.grid.index_of(r))
+                .collect();
+            if cells.is_empty() {
+                continue;
+            }
+            let mut volume = 1usize;
+            for a in 0..3 {
+                let lo = cells.iter().map(|c| c[a]).min().unwrap();
+                let hi = cells.iter().map(|c| c[a]).max().unwrap();
+                volume *= hi - lo + 1;
+            }
+            assert_eq!(
+                cells.len(),
+                volume,
+                "pe {pe} does not own a rectangular block"
+            );
+        }
+    }
+
+    #[test]
     fn work_stealing_beats_no_lb() {
         let w = small_workload();
         let machine = MachineModel::hopper();
@@ -1201,6 +1268,7 @@ mod tests {
                 Strategy::NoLb,
                 Strategy::WorkStealing(StealConfig::new(StealPolicyKind::rand8())),
                 Strategy::Repartition(WeightKind::SampleCount),
+                Strategy::RectPartition(WeightKind::SampleCount),
             ] {
                 let (w, run) =
                     run_parallel_prm_live(&cfg, threads, &strategy, LiveTuning::default()).unwrap();

@@ -11,7 +11,7 @@
 
 use crate::cost::work_cost;
 use crate::parallel_prm::phase_complete;
-use crate::partition::{greedy_lpt, loads, naive_block};
+use crate::partition::{greedy_lpt, loads, naive_block, rect_partition};
 use crate::phases::PhaseBreakdown;
 use crate::strategy::{Strategy, WeightKind};
 use crate::weights;
@@ -371,7 +371,7 @@ pub fn run_parallel_rrt_observed<const D: usize>(
     let (queues, steal) = match strategy {
         Strategy::NoLb => (naive.items_per_pe(), None),
         Strategy::WorkStealing(sc) => (naive.items_per_pe(), Some(*sc)),
-        Strategy::Repartition(kind) => {
+        Strategy::Repartition(kind) | Strategy::RectPartition(kind) => {
             let w: Vec<f64> = match kind {
                 WeightKind::KRays(_) => workload.krays_weights.clone(),
                 other => panic!("RRT repartitioning requires KRays weights, got {other:?}"),
@@ -385,6 +385,18 @@ pub fn run_parallel_rrt_observed<const D: usize>(
             if mean <= 0.0 || max <= mean * 1.05 {
                 lb_time = machine.barrier(p) * 2 + krays_cost + (nr as u64 * 60) / p as u64;
                 (naive.items_per_pe(), None)
+            } else if matches!(strategy, Strategy::RectPartition(_)) {
+                // the radial cones form a 1-D index space, so rectangular
+                // bisection degenerates to weight-balanced contiguous
+                // interval splitting (spatially adjacent cones stay on the
+                // same PE, unlike greedy LPT's scatter)
+                let new_map = rect_partition(&[nr], &w, p);
+                migrations = naive.migration_count(&new_map);
+                lb_time = machine.barrier(p) * 2
+                    + krays_cost
+                    + machine.lat.per_task_transfer * migrations as u64 / p.max(1) as u64
+                    + (nr as u64 * 60) / p as u64;
+                (new_map.items_per_pe(), None)
             } else {
                 // greedy global weight partitioning (as for PRM); the
                 // weights are just a much worse predictor here
@@ -596,7 +608,7 @@ pub fn run_parallel_rrt_live_controlled<const D: usize>(
     let (queues, steal, krays_weights) = match strategy {
         Strategy::NoLb => (naive.items_per_pe(), None, None),
         Strategy::WorkStealing(sc) => (naive.items_per_pe(), Some(*sc), None),
-        Strategy::Repartition(kind) => {
+        Strategy::Repartition(kind) | Strategy::RectPartition(kind) => {
             let w: Vec<f64> = match kind {
                 WeightKind::KRays(k) => weights::krays_weights(cfg.env, &sub, *k, cfg.seed),
                 other => panic!("RRT repartitioning requires KRays weights, got {other:?}"),
@@ -607,7 +619,12 @@ pub fn run_parallel_rrt_live_controlled<const D: usize>(
             if mean <= 0.0 || max <= mean * 1.05 {
                 (naive.items_per_pe(), None, Some(w))
             } else {
-                let new_map = greedy_lpt(&w, p);
+                let new_map = if matches!(strategy, Strategy::RectPartition(_)) {
+                    // 1-D cone index space: contiguous interval splitting
+                    rect_partition(&[nr], &w, p)
+                } else {
+                    greedy_lpt(&w, p)
+                };
                 migrations = naive.migration_count(&new_map);
                 // pre-growth migration moves descriptors only — free in
                 // shared memory (the queues just start elsewhere)
@@ -881,6 +898,32 @@ mod tests {
     }
 
     #[test]
+    fn rect_repartition_keeps_cones_contiguous() {
+        let w = mixed_workload();
+        let machine = MachineModel::opteron();
+        let run = run_parallel_rrt(
+            &w,
+            &machine,
+            16,
+            &Strategy::RectPartition(WeightKind::KRays(4)),
+        )
+        .unwrap();
+        assert!(run.migrations > 0);
+        let executed: u32 = run.construction.per_pe_executed.iter().sum();
+        assert_eq!(executed as usize, w.num_regions());
+        // the 1-D cone index space makes the rectangular partition a set of
+        // contiguous intervals in ascending PE order — no stealing, so the
+        // executor assignment is the partition itself
+        let owner = &run.construction.executed_by;
+        for i in 1..owner.len() {
+            assert!(
+                owner[i] >= owner[i - 1],
+                "cone ownership not contiguous at {i}: {owner:?}"
+            );
+        }
+    }
+
+    #[test]
     fn all_rrt_strategies_conserve_work() {
         let w = mixed_workload();
         let machine = MachineModel::opteron();
@@ -960,6 +1003,7 @@ mod tests {
                 Strategy::NoLb,
                 Strategy::WorkStealing(StealConfig::new(StealPolicyKind::Diffusive)),
                 Strategy::Repartition(WeightKind::KRays(4)),
+                Strategy::RectPartition(WeightKind::KRays(4)),
             ] {
                 let (w, run) =
                     run_parallel_rrt_live(&cfg, threads, &strategy, LiveTuning::default()).unwrap();

@@ -150,6 +150,16 @@ fn bisect<const D: usize>(
     );
 }
 
+/// Rectangular partition over a row-major grid of regions: recursive
+/// bisection with grid-aligned cut planes (see
+/// [`smp_runtime::rect_bisection`]). Every PE owns an axis-aligned block
+/// of grid cells — the second-generation repartitioner used by
+/// [`crate::Strategy::RectPartition`]. RRT's radial cone index space is
+/// the 1-D case `dims = [num_regions]`.
+pub fn rect_partition(dims: &[usize], weights: &[f64], p: usize) -> OwnerMap {
+    OwnerMap::new(smp_runtime::rect_bisection(dims, weights, p), p)
+}
+
 /// Per-PE total weight under an assignment.
 pub fn loads(map: &OwnerMap, weights: &[f64]) -> Vec<f64> {
     let mut out = vec![0.0; map.num_pes()];

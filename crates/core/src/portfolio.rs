@@ -635,7 +635,7 @@ pub fn run_portfolio_rrt_faulted<const D: usize>(
 ) -> Result<PortfolioOutcome<Roadmap<D>>, ExecError> {
     let steal = match strategy {
         Strategy::WorkStealing(sc) => Some(sc),
-        Strategy::NoLb | Strategy::Repartition(_) => None,
+        Strategy::NoLb | Strategy::Repartition(_) | Strategy::RectPartition(_) => None,
     };
     let spec = PortfolioSpec {
         members: cfg.members,

@@ -41,6 +41,12 @@ pub enum Strategy {
     /// Bulk-synchronous repartitioning (Algorithm 4) using the given
     /// weight estimate.
     Repartition(WeightKind),
+    /// Bulk-synchronous repartitioning whose partitioner is recursive
+    /// bisection over the *grid index space* (rectangular partitions, after
+    /// Saule/Baş/Çatalyürek): every PE owns an axis-aligned block of
+    /// regions, trading a little load balance for minimal ghost surfaces
+    /// and deterministic, spatially-clean ownership.
+    RectPartition(WeightKind),
     /// Work stealing (Algorithm 3) with the given policy.
     WorkStealing(StealConfig),
 }
@@ -51,6 +57,7 @@ impl Strategy {
         match self {
             Strategy::NoLb => "Without LB".into(),
             Strategy::Repartition(_) => "Repartitioning".into(),
+            Strategy::RectPartition(_) => "Rect Repart".into(),
             Strategy::WorkStealing(sc) => sc.policy.label(),
         }
     }
@@ -98,6 +105,18 @@ mod tests {
         assert_eq!(Strategy::prm_set().len(), 4);
         assert_eq!(Strategy::rrt_set().len(), 4);
         assert_eq!(Strategy::prm_set()[0], Strategy::NoLb);
+    }
+
+    #[test]
+    fn rect_and_adaptive_labels() {
+        assert_eq!(
+            Strategy::RectPartition(WeightKind::SampleCount).label(),
+            "Rect Repart"
+        );
+        assert_eq!(
+            Strategy::WorkStealing(StealConfig::new(StealPolicyKind::DiffusiveAdaptive)).label(),
+            "Diff-CA WS"
+        );
     }
 
     #[test]

@@ -77,11 +77,21 @@ impl<const D: usize> LocalPlanner<D> for StraightLinePlanner {
         // ascending-k order restricted to non-empty nodes, so the visit
         // sequence — and therefore every counter and early-exit outcome —
         // is bit-identical to the queue version, with zero allocation.
+        //
+        // Interior points are buffered `LP_BATCH` at a time (still in visit
+        // order, still on the stack) and submitted to the checker's batched
+        // `first_invalid`, which charges counters for exactly the checked
+        // prefix — so verdict, `steps`, `lp_steps`, and `cd_checks` all
+        // match the point-at-a-time loop while the environment-backed
+        // checker runs the SoA distance kernels four points per step.
+        const LP_BATCH: usize = 8;
         let mut ok = true;
         if n > 1 {
             let total = n - 1;
             let mut emitted = 0u32;
             let mut k = 1u32;
+            let mut buf = [*a; LP_BATCH];
+            let mut len = 0usize;
             'nodes: while emitted < total {
                 let mut lo = 1u32;
                 let mut hi = total;
@@ -110,13 +120,23 @@ impl<const D: usize> LocalPlanner<D> for StraightLinePlanner {
                     continue 'nodes;
                 }
                 let mid = lo + (hi - lo) / 2;
-                let q = a.lerp(b, mid as f64 / n as f64);
-                steps += 1;
-                work.lp_steps += 1;
+                buf[len] = a.lerp(b, mid as f64 / n as f64);
+                len += 1;
                 emitted += 1;
-                if !validity.is_valid(&q, work) {
-                    ok = false;
-                    break;
+                if len == LP_BATCH || emitted == total {
+                    match validity.first_invalid(&buf[..len], work) {
+                        Some(j) => {
+                            steps += j as u32 + 1;
+                            work.lp_steps += j as u64 + 1;
+                            ok = false;
+                            break 'nodes;
+                        }
+                        None => {
+                            steps += len as u32;
+                            work.lp_steps += len as u64;
+                            len = 0;
+                        }
+                    }
                 }
             }
         }

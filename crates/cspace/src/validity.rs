@@ -16,6 +16,24 @@ use smp_geom::Environment;
 pub trait ValidityChecker<const D: usize>: Send + Sync {
     /// Is the configuration collision-free? Increments `work.cd_checks`.
     fn is_valid(&self, q: &Cfg<D>, work: &mut WorkCounters) -> bool;
+
+    /// Index of the first invalid configuration in `qs`, or `None` when all
+    /// are valid.
+    ///
+    /// Contract: the verdict and the counter charges must be exactly those of
+    /// calling [`Self::is_valid`] on each configuration in order and stopping
+    /// at the first failure (`cd_checks += j + 1` when `Some(j)` is returned,
+    /// `+= qs.len()` otherwise). The default implementation does literally
+    /// that; environment-backed checkers override it with the SoA batch
+    /// kernel, which is decision-identical.
+    fn first_invalid(&self, qs: &[Cfg<D>], work: &mut WorkCounters) -> Option<usize> {
+        for (i, q) in qs.iter().enumerate() {
+            if !self.is_valid(q, work) {
+                return Some(i);
+            }
+        }
+        None
+    }
 }
 
 /// Environment-backed validity for the ball robot.
@@ -47,6 +65,14 @@ impl<const D: usize> ValidityChecker<D> for EnvValidity<'_, D> {
     fn is_valid(&self, q: &Cfg<D>, work: &mut WorkCounters) -> bool {
         work.cd_checks += 1;
         self.env.is_valid(q, self.robot_radius)
+    }
+
+    fn first_invalid(&self, qs: &[Cfg<D>], work: &mut WorkCounters) -> Option<usize> {
+        let hit = self.env.first_invalid(qs, self.robot_radius);
+        // Charge exactly what the sequential scalar loop would have: one
+        // check per configuration up to and including the first failure.
+        work.cd_checks += hit.map_or(qs.len(), |j| j + 1) as u64;
+        hit
     }
 }
 

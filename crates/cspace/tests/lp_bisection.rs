@@ -6,23 +6,32 @@ use smp_cspace::validity::FnValidity;
 use smp_cspace::{Cfg, LocalPlanner, StraightLinePlanner, WorkCounters};
 use smp_geom::Point;
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 use std::sync::Mutex;
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+// Per-thread counter (const-init TLS never allocates on access), so the
+// libtest harness thread's own allocations — which can land anywhere on a
+// single-core host — cannot leak into the measurement window.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -139,11 +148,11 @@ fn check_allocates_nothing() {
     // warm-up (nothing to warm, but keep the shape of the other alloc tests)
     lp.check(&a, &b, &v, &mut w);
 
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = thread_allocs();
     for _ in 0..64 {
         std::hint::black_box(lp.check(&a, &b, &v, &mut w));
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = thread_allocs();
     assert_eq!(
         after - before,
         0,

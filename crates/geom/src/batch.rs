@@ -1,0 +1,355 @@
+//! SoA batch kernels for the hot geometric inner loops.
+//!
+//! [`BatchEnv`] stores the broad-phase obstacle set of an [`Environment`]
+//! **obstacles-in-lanes**: padded structure-of-arrays chunks of [`LANES`]
+//! obstacles, indexed `[chunk][axis][lane]`, so the validity kernel tests
+//! one point against four obstacles per step. [`BatchEnv::first_invalid`]
+//! (the local planner's edge check) walks its points *sequentially* through
+//! that kernel — keeping the scalar path's stop-at-first-invalid work
+//! profile, which dominates in cluttered environments, while every point's
+//! obstacle scan runs four-wide. The free-function distance kernels
+//! ([`dist_chunk`], [`dists_into`]) are the points-in-lanes counterpart
+//! used by the kNN leaf scans.
+//!
+//! The SoA layout preserves the environment's volume-descending broad-phase
+//! order, so the early-exit behaviour (biggest obstacle rejects first) is the
+//! same as the scalar path's.
+//!
+//! # Bit-identity
+//!
+//! Every kernel is **decision-identical** to the scalar reference
+//! (`Environment::is_valid_scalar`) by construction:
+//!
+//! * Per-pair arithmetic is unchanged. The box axis distance
+//!   `(lo - p).max(p - hi).max(0.0)` is value-identical to the branchy
+//!   `if p < lo { lo - p } else if p > hi { p - hi } else { 0.0 }` for every
+//!   finite input (exactly one of `lo - p`, `p - hi` can be positive when
+//!   `lo <= hi`), and the squared terms accumulate in the same axis order.
+//!   Sphere distances sum `(p[a] - c[a])²` in axis order and subtract the
+//!   radius after the square root, exactly as `Point::dist` does.
+//! * The accept/reject decision never crosses lanes: each lane's verdict is
+//!   computed from that lane's values alone with the scalar formulas
+//!   (including the one-ulp-inflated sqrt-free reject `sq > c²·(1+1e-15)`).
+//!   Chunk-level "all lanes far" fast paths only skip work whose outcome is
+//!   already decided per-lane; they never change a verdict.
+//! * Validity is an AND over obstacles, which is order-independent, so
+//!   checking all boxes, then all spheres, then the convex narrow phase
+//!   yields the same verdict as the scalar path's interleaved
+//!   volume-descending scan — only the early-exit granularity differs.
+//!
+//! Padding lanes use never-colliding sentinels (`lo = hi = f64::MAX` boxes,
+//! `center = f64::MAX, radius = 0` spheres): their squared distance to any
+//! finite point overflows to `+inf`, which takes the sqrt-free "far" path in
+//! every kernel and can never produce a NaN.
+
+use crate::aabb::Aabb;
+use crate::obstacle::Obstacle;
+use crate::point::Point;
+
+/// SIMD lane width of the batch kernels. `[f64; 4]` loops autovectorize to
+/// 256-bit (AVX) or wider vector code without any explicit intrinsics.
+pub const LANES: usize = 4;
+
+/// One-ulp inflation applied to squared thresholds so float rounding of the
+/// `clearance²` product can never flip a sqrt-free comparison (same constant
+/// as the scalar path).
+const SQ_ULP: f64 = 1.0 + 1e-15;
+
+/// Structure-of-arrays broad-phase obstacle storage (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct BatchEnv<const D: usize> {
+    /// Box lower corners, `[chunk][axis][lane]`, padded with `f64::MAX`.
+    box_lo: Vec<f64>,
+    /// Box upper corners, `[chunk][axis][lane]`, padded with `f64::MAX`.
+    box_hi: Vec<f64>,
+    /// Sphere centers, `[chunk][axis][lane]`, padded with `f64::MAX`.
+    sph_c: Vec<f64>,
+    /// Sphere radii, `[chunk][lane]`, padded with `0.0`.
+    sph_r: Vec<f64>,
+    /// Obstacle-list indices of convex polytopes (narrow phase only).
+    narrow: Vec<u32>,
+}
+
+impl<const D: usize> BatchEnv<D> {
+    /// Build from broad-phase-ordered parts. `boxes` and `spheres` must
+    /// already be in the environment's volume-descending order; `narrow`
+    /// holds obstacle-list indices of the convex polytopes.
+    pub fn from_parts(
+        boxes: Vec<Aabb<D>>,
+        spheres: Vec<(Point<D>, f64)>,
+        narrow: Vec<u32>,
+    ) -> Self {
+        let bc = boxes.len().div_ceil(LANES);
+        let sc = spheres.len().div_ceil(LANES);
+        let mut box_lo = vec![f64::MAX; bc * D * LANES];
+        let mut box_hi = vec![f64::MAX; bc * D * LANES];
+        for (i, bb) in boxes.iter().enumerate() {
+            let (ch, lane) = (i / LANES, i % LANES);
+            let (lo, hi) = (bb.lo(), bb.hi());
+            for a in 0..D {
+                box_lo[(ch * D + a) * LANES + lane] = lo[a];
+                box_hi[(ch * D + a) * LANES + lane] = hi[a];
+            }
+        }
+        let mut sph_c = vec![f64::MAX; sc * D * LANES];
+        let mut sph_r = vec![0.0; sc * LANES];
+        for (i, (c, r)) in spheres.iter().enumerate() {
+            let (ch, lane) = (i / LANES, i % LANES);
+            for a in 0..D {
+                sph_c[(ch * D + a) * LANES + lane] = c[a];
+            }
+            sph_r[ch * LANES + lane] = *r;
+        }
+        BatchEnv {
+            box_lo,
+            box_hi,
+            sph_c,
+            sph_r,
+            narrow,
+        }
+    }
+
+    /// Obstacle-list indices needing the convex narrow phase.
+    pub fn narrow_indices(&self) -> &[u32] {
+        &self.narrow
+    }
+
+    /// One point against every box and sphere (obstacles-in-lanes kernel).
+    /// Returns `false` iff some box or sphere invalidates `p` under the
+    /// scalar decision rule. The convex narrow phase is the caller's job.
+    #[inline]
+    pub fn boxes_spheres_valid(&self, p: &Point<D>, clearance: f64, c2: f64) -> bool {
+        for ch in 0..self.box_lo.len() / (D * LANES).max(1) {
+            let base = ch * D * LANES;
+            let mut sq = [0.0f64; LANES];
+            for a in 0..D {
+                let pa = p[a];
+                let lo = &self.box_lo[base + a * LANES..base + (a + 1) * LANES];
+                let hi = &self.box_hi[base + a * LANES..base + (a + 1) * LANES];
+                for l in 0..LANES {
+                    let d = (lo[l] - pa).max(pa - hi[l]).max(0.0);
+                    sq[l] += d * d;
+                }
+            }
+            // All four lanes strictly beyond the inflated clearance²: the
+            // scalar path would take the sqrt-free reject for each — skip.
+            if sq.iter().all(|&s| s > c2) {
+                continue;
+            }
+            for &s in &sq {
+                if s > c2 {
+                    continue;
+                }
+                let d = s.sqrt();
+                if d == 0.0 || d < clearance {
+                    return false;
+                }
+            }
+        }
+        for ch in 0..self.sph_r.len() / LANES.max(1) {
+            let base = ch * D * LANES;
+            let mut sq = [0.0f64; LANES];
+            for a in 0..D {
+                let pa = p[a];
+                let c = &self.sph_c[base + a * LANES..base + (a + 1) * LANES];
+                for l in 0..LANES {
+                    let d = pa - c[l];
+                    sq[l] += d * d;
+                }
+            }
+            let r = &self.sph_r[ch * LANES..(ch + 1) * LANES];
+            // Sqrt-free far test per lane: sq > (r+c)²·(1+ulp) implies the
+            // correctly-rounded sqrt is >= r+c and (since the margin exceeds
+            // one rounding step) > r, so the scalar verdict is "valid".
+            let mut all_far = true;
+            for l in 0..LANES {
+                let rc = r[l] + clearance;
+                all_far &= sq[l] > rc * rc * SQ_ULP;
+            }
+            if all_far {
+                continue;
+            }
+            for l in 0..LANES {
+                let d = (sq[l].sqrt() - r[l]).max(0.0);
+                if d == 0.0 || d < clearance {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Index of the first point in `pts` that is invalid (out of bounds or
+    /// colliding at `clearance`), or `None` when all are valid. Decision- and
+    /// order-identical to calling the scalar `is_valid` on each point in
+    /// sequence — points are visited one at a time so work stops exactly
+    /// where the scalar path would (no lane is ever checked past the first
+    /// failure), and each visit runs the four-obstacles-per-step SoA kernel.
+    pub fn first_invalid(
+        &self,
+        bounds: &Aabb<D>,
+        obstacles: &[Obstacle<D>],
+        pts: &[Point<D>],
+        clearance: f64,
+    ) -> Option<usize> {
+        let c2 = clearance * clearance * SQ_ULP;
+        pts.iter()
+            .position(|p| !self.point_valid(bounds, obstacles, p, clearance, c2))
+    }
+
+    /// Full scalar-rule validity of one point (bounds, batch broad phase,
+    /// convex narrow phase).
+    #[inline]
+    fn point_valid(
+        &self,
+        bounds: &Aabb<D>,
+        obstacles: &[Obstacle<D>],
+        p: &Point<D>,
+        clearance: f64,
+        c2: f64,
+    ) -> bool {
+        if !bounds.contains(p) {
+            return false;
+        }
+        if !self.boxes_spheres_valid(p, clearance, c2) {
+            return false;
+        }
+        self.narrow.iter().all(|&idx| {
+            let o = &obstacles[idx as usize];
+            !(o.contains(p) || o.distance(p) < clearance)
+        })
+    }
+}
+
+/// Distances from `q` to exactly [`LANES`] points: the axis-ordered sum of
+/// squares followed by one square root per lane — bit-identical to
+/// [`Point::dist`] per pair. Building block for allocation-free callers.
+///
+/// # Panics
+/// Panics when `chunk.len() != LANES`.
+#[inline]
+pub fn dist_chunk<const D: usize>(chunk: &[Point<D>], q: &Point<D>) -> [f64; LANES] {
+    assert_eq!(chunk.len(), LANES);
+    let mut sq = [0.0f64; LANES];
+    for a in 0..D {
+        let qa = q[a];
+        for l in 0..LANES {
+            let d = chunk[l][a] - qa;
+            sq[l] += d * d;
+        }
+    }
+    sq.map(f64::sqrt)
+}
+
+/// Fill `out` with `pts[i].dist(q)` for every point, [`LANES`] points per
+/// step. Each distance is the axis-ordered sum of squares followed by one
+/// square root — bit-identical to [`Point::dist`].
+pub fn dists_into<const D: usize>(pts: &[Point<D>], q: &Point<D>, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(pts.len());
+    let mut chunks = pts.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        out.extend_from_slice(&dist_chunk(chunk, q));
+    }
+    for p in chunks.remainder() {
+        out.push(p.dist(q));
+    }
+}
+
+/// Squared-distance variant of [`dists_into`]; bit-identical to
+/// [`Point::dist_sq`] per pair.
+pub fn dists_sq_into<const D: usize>(pts: &[Point<D>], q: &Point<D>, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(pts.len());
+    let mut chunks = pts.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        let mut sq = [0.0f64; LANES];
+        for a in 0..D {
+            let qa = q[a];
+            for l in 0..LANES {
+                let d = chunk[l][a] - qa;
+                sq[l] += d * d;
+            }
+        }
+        out.extend_from_slice(&sq);
+    }
+    for p in chunks.remainder() {
+        out.push(p.dist_sq(q));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envs;
+
+    #[test]
+    fn batch_matches_scalar_on_canned_envs() {
+        for env in [envs::med_cube(), envs::mixed(), envs::walls(4, 0.05, 0.3)] {
+            let mut x = 0x9e3779b97f4a7c15u64;
+            let mut next = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            };
+            for _ in 0..4000 {
+                let p = Point::new([next() * 1.2 - 0.1, next() * 1.2 - 0.1, next() * 1.2 - 0.1]);
+                for clearance in [0.0, 0.01, 0.05] {
+                    assert_eq!(
+                        env.is_valid(&p, clearance),
+                        env.is_valid_scalar(&p, clearance),
+                        "env {} p {:?} clearance {clearance}",
+                        env.name(),
+                        p
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_invalid_matches_sequential_scalar() {
+        let env = envs::mixed();
+        let mut x = 0xdeadbeefcafef00du64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..500 {
+            let n = 1 + (trial % 11);
+            let pts: Vec<Point<3>> = (0..n)
+                .map(|_| Point::new([next(), next(), next()]))
+                .collect();
+            let expect = pts.iter().position(|p| !env.is_valid_scalar(p, 0.01));
+            assert_eq!(env.first_invalid(&pts, 0.01), expect);
+        }
+    }
+
+    #[test]
+    fn dists_match_scalar() {
+        let pts: Vec<Point<2>> = (0..13)
+            .map(|i| Point::new([i as f64 * 0.37, (i * i) as f64 * 0.011]))
+            .collect();
+        let q = Point::new([0.4, 0.6]);
+        let mut out = Vec::new();
+        dists_into(&pts, &q, &mut out);
+        for (p, d) in pts.iter().zip(&out) {
+            assert_eq!(p.dist(&q).to_bits(), d.to_bits());
+        }
+        dists_sq_into(&pts, &q, &mut out);
+        for (p, d) in pts.iter().zip(&out) {
+            assert_eq!(p.dist_sq(&q).to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_environment_is_all_valid() {
+        let env: crate::Environment<2> = crate::Environment::free_space("f", Aabb::unit());
+        assert!(env.is_valid(&Point::splat(0.5), 0.1));
+        let pts = vec![Point::splat(0.2), Point::splat(1.5), Point::splat(0.8)];
+        assert_eq!(env.first_invalid(&pts, 0.0), Some(1)); // out of bounds
+    }
+}

@@ -1,10 +1,12 @@
 //! Workspace environments: bounds + obstacles + geometric queries.
 
 use crate::aabb::Aabb;
+use crate::batch::BatchEnv;
 use crate::obstacle::Obstacle;
 use crate::point::Point;
 use crate::ray::Ray;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A motion-planning workspace: a bounding box and a set of solid obstacles.
 ///
@@ -30,6 +32,11 @@ pub struct Environment<const D: usize> {
     disjoint_obstacles: bool,
     /// Broad-phase acceleration structure; see [`BroadEntry`].
     broad: Vec<BroadEntry<D>>,
+    /// Lazily-built SoA mirror of `broad` for the batch kernels (see
+    /// [`crate::batch`]). Skipped by serde and rebuilt on first use, so every
+    /// construction path — including deserialization — gets it for free.
+    #[serde(skip, default)]
+    batch: OnceLock<BatchEnv<D>>,
 }
 
 /// One broad-phase record, ordered by descending bounding-box volume (large
@@ -99,7 +106,27 @@ impl<const D: usize> Environment<D> {
             obstacles,
             disjoint_obstacles: disjoint,
             broad,
+            batch: OnceLock::new(),
         }
+    }
+
+    /// The SoA batch mirror of the broad phase, built on first use. The
+    /// builder walks `broad` in order, so both layouts share the
+    /// volume-descending obstacle order.
+    fn batch(&self) -> &BatchEnv<D> {
+        self.batch.get_or_init(|| {
+            let mut boxes = Vec::new();
+            let mut spheres = Vec::new();
+            let mut narrow = Vec::new();
+            for e in &self.broad {
+                match &e.phase {
+                    BroadPhase::Box(bb) => boxes.push(*bb),
+                    BroadPhase::Sphere { center, radius } => spheres.push((*center, *radius)),
+                    BroadPhase::Narrow => narrow.push(e.idx),
+                }
+            }
+            BatchEnv::from_parts(boxes, spheres, narrow)
+        })
     }
 
     /// Obstacle-free environment.
@@ -127,12 +154,49 @@ impl<const D: usize> Environment<D> {
     /// Is the ball of radius `clearance` centered at `p` inside the bounds
     /// and collision-free?
     ///
+    /// Routed through the SoA batch kernel ([`crate::batch`]): boxes and
+    /// spheres are tested four obstacles per step with per-lane scalar
+    /// decisions, so the verdict is bit-identical to [`Self::is_valid_scalar`]
+    /// (proven by differential tests); only convex polytopes pay for the
+    /// narrow phase.
+    pub fn is_valid(&self, p: &Point<D>, clearance: f64) -> bool {
+        if !self.bounds.contains(p) {
+            return false;
+        }
+        let c2 = clearance * clearance * (1.0 + 1e-15);
+        let batch = self.batch();
+        if !batch.boxes_spheres_valid(p, clearance, c2) {
+            return false;
+        }
+        for &idx in batch.narrow_indices() {
+            let o = &self.obstacles[idx as usize];
+            if o.contains(p) || o.distance(p) < clearance {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Index of the first point in `pts` that fails `is_valid`, or `None`
+    /// when all pass. Decision-identical to calling [`Self::is_valid`] on
+    /// each point in order, but batched four points at a time against the
+    /// SoA obstacle arrays — the local planner's edge checks go through here.
+    pub fn first_invalid(&self, pts: &[Point<D>], clearance: f64) -> Option<usize> {
+        self.batch()
+            .first_invalid(&self.bounds, &self.obstacles, pts, clearance)
+    }
+
+    /// Scalar reference implementation of [`Self::is_valid`]: the verbatim
+    /// pre-batch loop over the inline broad-phase entries, kept as the
+    /// baseline for benchmarks and the differential oracle the batch kernels
+    /// are proven against.
+    ///
     /// Broad-phase: boxes and spheres are decided by a single exact distance
     /// evaluation over an inline, volume-descending entry array (their
     /// containment test is exactly `distance == 0`); only convex polytopes
     /// pay for the narrow phase. The result is identical to testing every
     /// obstacle with `contains` + `distance`.
-    pub fn is_valid(&self, p: &Point<D>, clearance: f64) -> bool {
+    pub fn is_valid_scalar(&self, p: &Point<D>, clearance: f64) -> bool {
         if !self.bounds.contains(p) {
             return false;
         }

@@ -20,6 +20,7 @@
 
 pub mod aabb;
 pub mod array_serde;
+pub mod batch;
 pub mod convex;
 pub mod environment;
 pub mod envs;
@@ -30,6 +31,7 @@ pub mod sphere;
 pub mod subdivision;
 
 pub use aabb::Aabb;
+pub use batch::BatchEnv;
 pub use convex::{ConvexPolytope, Halfspace};
 pub use environment::Environment;
 pub use envs::*;

@@ -1,0 +1,240 @@
+//! Batch-vs-scalar equivalence properties.
+//!
+//! The SoA batch kernels (`smp_geom::batch`, routed through
+//! `Environment::is_valid` / `Environment::first_invalid`) replaced the
+//! scalar broad-phase scan. The replacement must be *exact*: for random
+//! mixed environments — including empty and single-obstacle ones — and
+//! random points and clearances — including exactly `0.0` and points one
+//! ulp either side of the sqrt-free reject boundary — every batch answer
+//! must equal the scalar rule bit for bit, and the distance kernels must
+//! reproduce `Point::dist` / `Point::dist_sq` exactly.
+
+use proptest::prelude::*;
+use smp_geom::{batch, Aabb, ConvexPolytope, Environment, Obstacle, Point};
+
+/// Same convex kind as `broadphase_prop.rs`: a diagonal slab whose
+/// `distance` is a conservative bound, forcing the narrow-phase path.
+fn tilted_slab(center: Point<3>, side: f64) -> ConvexPolytope<3> {
+    let bbox = Aabb::cube(center, side * 2.0);
+    ConvexPolytope::slab(center, Point::new([1.0, 1.0, 0.3]), side, bbox)
+}
+
+/// Obstacle side length from a unit-interval size knob — shared by the
+/// environment builder and the boundary-point crafter below so both agree
+/// on where each obstacle's surface sits.
+fn side_of(s: f64) -> f64 {
+    0.02 + s * 0.3
+}
+
+/// Build a random environment from compact obstacle descriptors:
+/// `(kind, center, size)` with kind 0 = box, 1 = sphere, 2 = convex.
+fn build_env(obs: &[(u8, [f64; 3], f64)]) -> Environment<3> {
+    let obstacles: Vec<Obstacle<3>> = obs
+        .iter()
+        .map(|&(kind, c, s)| {
+            let center = Point::new(c);
+            let side = side_of(s);
+            match kind % 3 {
+                0 => Obstacle::Box(Aabb::cube(center, side)),
+                1 => Obstacle::Sphere {
+                    center,
+                    radius: side / 2.0,
+                },
+                _ => Obstacle::Convex(tilted_slab(center, side)),
+            }
+        })
+        .collect();
+    Environment::new("prop", Aabb::unit(), obstacles, false)
+}
+
+/// Clearances worth testing: exactly zero (the contains-only fast path)
+/// half the time, otherwise the continuous range the planners use. The
+/// vendored proptest stub has no `prop_oneof`, so the choice rides in as
+/// a `(bool, f64)` pair.
+fn pick_clearance(zero: bool, c: f64) -> f64 {
+    if zero {
+        0.0
+    } else {
+        c
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `is_valid` (batch path) == `is_valid_scalar` (the verbatim
+    /// pre-batch kernel) on random environments, points inside and
+    /// outside bounds, and clearances including exactly 0.0.
+    #[test]
+    fn batch_validity_equals_scalar(
+        obs in prop::collection::vec(
+            (0u8..3, prop::array::uniform3(0.0f64..1.0), 0.0f64..1.0),
+            0..24,
+        ),
+        queries in prop::collection::vec(prop::array::uniform3(-0.2f64..1.2), 1..32),
+        zero in prop::bool::ANY,
+        c in 0.0f64..0.3,
+    ) {
+        let clearance = pick_clearance(zero, c);
+        let env = build_env(&obs);
+        for q in queries {
+            let p = Point::new(q);
+            prop_assert_eq!(
+                env.is_valid(&p, clearance),
+                env.is_valid_scalar(&p, clearance),
+                "divergence at {:?} clearance {}",
+                p,
+                clearance
+            );
+        }
+    }
+
+    /// Adversarial points *on* the sqrt-free reject boundary: for every
+    /// box and sphere, a point placed at surface-distance ≈ `clearance`
+    /// along +x, probed exactly there and one ulp to either side. The
+    /// batch kernel compares squared distances against `c²·(1+ε)`; these
+    /// points sit where that comparison and the scalar `distance(p) <
+    /// clearance` are closest to disagreeing — they still must not.
+    #[test]
+    fn boundary_points_agree(
+        obs in prop::collection::vec(
+            (0u8..2, prop::array::uniform3(0.2f64..0.8), 0.0f64..1.0),
+            1..12,
+        ),
+        zero in prop::bool::ANY,
+        cl in 0.0f64..0.3,
+    ) {
+        let clearance = pick_clearance(zero, cl);
+        let env = build_env(&obs);
+        for &(kind, c, s) in &obs {
+            // Box +x face and sphere +x surface both sit at center + side/2
+            // (the sphere's radius is side/2), so one formula covers both.
+            let _ = kind;
+            let surface_x = c[0] + side_of(s) / 2.0;
+            let x0 = surface_x + clearance;
+            for x in [x0.next_down(), x0, x0.next_up()] {
+                let p = Point::new([x, c[1], c[2]]);
+                prop_assert_eq!(
+                    env.is_valid(&p, clearance),
+                    env.is_valid_scalar(&p, clearance),
+                    "boundary divergence at {:?} clearance {}",
+                    p,
+                    clearance
+                );
+            }
+        }
+    }
+
+    /// `Environment::first_invalid` == the sequential scalar scan it
+    /// replaced: same index (not just same some/none), on random
+    /// polyline-like point sequences.
+    #[test]
+    fn first_invalid_equals_sequential_scalar(
+        obs in prop::collection::vec(
+            (0u8..3, prop::array::uniform3(0.0f64..1.0), 0.0f64..1.0),
+            0..16,
+        ),
+        pts in prop::collection::vec(prop::array::uniform3(-0.1f64..1.1), 0..40),
+        zero in prop::bool::ANY,
+        c in 0.0f64..0.3,
+    ) {
+        let clearance = pick_clearance(zero, c);
+        let env = build_env(&obs);
+        let points: Vec<Point<3>> = pts.into_iter().map(Point::new).collect();
+        let want = points
+            .iter()
+            .position(|p| !env.is_valid_scalar(p, clearance));
+        prop_assert_eq!(
+            env.first_invalid(&points, clearance),
+            want,
+            "first_invalid diverged (clearance {})",
+            clearance
+        );
+    }
+
+    /// The SoA distance kernels are bit-identical to `Point::dist` /
+    /// `Point::dist_sq`, including the `chunks_exact` remainder path
+    /// (lengths not a multiple of the lane width) and the empty slice.
+    #[test]
+    fn dist_kernels_bit_equal_scalar(
+        pts in prop::collection::vec(prop::array::uniform3(-1.0f64..2.0), 0..40),
+        q in prop::array::uniform3(-1.0f64..2.0),
+    ) {
+        let points: Vec<Point<3>> = pts.into_iter().map(Point::new).collect();
+        let query = Point::new(q);
+        let mut out = Vec::new();
+        batch::dists_into(&points, &query, &mut out);
+        prop_assert_eq!(out.len(), points.len());
+        for (i, (got, p)) in out.iter().zip(&points).enumerate() {
+            let want = p.dist(&query);
+            prop_assert_eq!(
+                got.to_bits(), want.to_bits(),
+                "dist[{}] bits differ: {} vs {}", i, got, want
+            );
+        }
+        batch::dists_sq_into(&points, &query, &mut out);
+        prop_assert_eq!(out.len(), points.len());
+        for (i, (got, p)) in out.iter().zip(&points).enumerate() {
+            let want = p.dist_sq(&query);
+            prop_assert_eq!(
+                got.to_bits(), want.to_bits(),
+                "dist_sq[{}] bits differ: {} vs {}", i, got, want
+            );
+        }
+    }
+}
+
+/// Degenerate environment shapes the random generator rarely minimizes
+/// to: no obstacles at all, and exactly one (so every SoA chunk is
+/// mostly padding lanes).
+#[test]
+fn empty_and_single_obstacle_envs_agree() {
+    let grid: Vec<Point<3>> = (0..125)
+        .map(|i| {
+            Point::new([
+                (i % 5) as f64 * 0.3 - 0.1,
+                (i / 5 % 5) as f64 * 0.3 - 0.1,
+                (i / 25) as f64 * 0.3 - 0.1,
+            ])
+        })
+        .collect();
+    let envs = [
+        Environment::new("empty", Aabb::unit(), vec![], false),
+        Environment::new(
+            "one-box",
+            Aabb::unit(),
+            vec![Obstacle::Box(Aabb::cube(Point::new([0.5, 0.5, 0.5]), 0.4))],
+            false,
+        ),
+        Environment::new(
+            "one-sphere",
+            Aabb::unit(),
+            vec![Obstacle::Sphere {
+                center: Point::new([0.4, 0.6, 0.5]),
+                radius: 0.25,
+            }],
+            false,
+        ),
+    ];
+    for env in &envs {
+        for clearance in [0.0, 0.05, 0.2] {
+            for p in &grid {
+                assert_eq!(
+                    env.is_valid(p, clearance),
+                    env.is_valid_scalar(p, clearance),
+                    "{}: divergence at {:?} clearance {}",
+                    env.name(),
+                    p,
+                    clearance
+                );
+            }
+            assert_eq!(
+                env.first_invalid(&grid, clearance),
+                grid.iter().position(|p| !env.is_valid_scalar(p, clearance)),
+                "{}: first_invalid diverged at clearance {}",
+                env.name(),
+                clearance
+            );
+        }
+    }
+}

@@ -2,8 +2,13 @@
 //!
 //! Exact reference implementation used (a) directly by small regional
 //! planners, and (b) as the oracle against which the kd-tree is
-//! property-tested. Distances are Euclidean.
+//! property-tested. Distances are Euclidean, evaluated through the SoA
+//! batch kernel ([`smp_geom::batch::dists_into`]) four points per step;
+//! each distance is bit-identical to `Point::dist`, and the `(distance,
+//! index)` selection is a strict total order, so results match the
+//! point-at-a-time scan exactly.
 
+use smp_geom::batch;
 use smp_geom::Point;
 
 /// Indices and distances of the `k` nearest points to `query` among
@@ -17,11 +22,13 @@ pub fn k_nearest<const D: usize>(
     k: usize,
     exclude: Option<usize>,
 ) -> Vec<(usize, f64)> {
-    let mut all: Vec<(usize, f64)> = points
+    let mut dists = Vec::new();
+    batch::dists_into(points, query, &mut dists);
+    let mut all: Vec<(usize, f64)> = dists
         .iter()
         .enumerate()
         .filter(|(i, _)| Some(*i) != exclude)
-        .map(|(i, p)| (i, p.dist(query)))
+        .map(|(i, &d)| (i, d))
         .collect();
     all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     all.truncate(k);
@@ -35,11 +42,13 @@ pub fn within_radius<const D: usize>(
     radius: f64,
     exclude: Option<usize>,
 ) -> Vec<(usize, f64)> {
-    let mut out: Vec<(usize, f64)> = points
+    let mut dists = Vec::new();
+    batch::dists_into(points, query, &mut dists);
+    let mut out: Vec<(usize, f64)> = dists
         .iter()
         .enumerate()
         .filter(|(i, _)| Some(*i) != exclude)
-        .map(|(i, p)| (i, p.dist(query)))
+        .map(|(i, &d)| (i, d))
         .filter(|&(_, d)| d <= radius)
         .collect();
     out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -48,10 +57,12 @@ pub fn within_radius<const D: usize>(
 
 /// Index of the single nearest point (`None` for an empty set).
 pub fn nearest<const D: usize>(points: &[Point<D>], query: &Point<D>) -> Option<(usize, f64)> {
-    points
+    let mut dists = Vec::new();
+    batch::dists_into(points, query, &mut dists);
+    dists
         .iter()
         .enumerate()
-        .map(|(i, p)| (i, p.dist(query)))
+        .map(|(i, &d)| (i, d))
         .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
 }
 

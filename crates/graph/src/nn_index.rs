@@ -19,6 +19,7 @@
 //! in practice a few dozen points).
 
 use crate::kdtree::KdTree;
+use smp_geom::batch;
 use smp_geom::Point;
 
 /// Rebuild when the tail exceeds `indexed / REBUILD_DIVISOR` points.
@@ -81,22 +82,40 @@ impl<const D: usize> IncrementalNn<D> {
 
     /// Exact nearest neighbour of `query` as `(insertion index, distance)`
     /// — identical result to `knn::nearest(self.points(), query)`.
+    ///
+    /// The tail scan runs [`smp_geom::batch::dist_chunk`] four points per
+    /// step (remainder point-at-a-time); each distance is bit-identical to
+    /// `Point::dist` and candidates fold into `best` in insertion order
+    /// under the strict `(distance, index)` total order, so the answer
+    /// matches the scalar scan exactly. Still allocation-free.
     pub fn nearest(&self, query: &Point<D>) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = self.tree.nearest(query);
-        for (off, p) in self.points[self.indexed..].iter().enumerate() {
-            let cand = (self.indexed + off, p.dist(query));
-            best = Some(match best {
+        // strict (distance, index) order: replace only when the candidate is
+        // smaller, matching the brute-force min
+        let fold = |best: Option<(usize, f64)>, cand: (usize, f64)| {
+            Some(match best {
                 None => cand,
                 Some(b) => {
-                    // strict (distance, index) order: replace only when the
-                    // candidate is smaller, matching the brute-force min
                     if cand.1.total_cmp(&b.1).then(cand.0.cmp(&b.0)) == std::cmp::Ordering::Less {
                         cand
                     } else {
                         b
                     }
                 }
-            });
+            })
+        };
+        let tail = &self.points[self.indexed..];
+        let mut chunks = tail.chunks_exact(batch::LANES);
+        let mut base = self.indexed;
+        for chunk in &mut chunks {
+            let ds = batch::dist_chunk(chunk, query);
+            for (l, &d) in ds.iter().enumerate() {
+                best = fold(best, (base + l, d));
+            }
+            base += batch::LANES;
+        }
+        for (off, p) in chunks.remainder().iter().enumerate() {
+            best = fold(best, (base + off, p.dist(query)));
         }
         best
     }

@@ -1,0 +1,118 @@
+//! Differential property test: `KdTree::k_nearest_batched_into` (SoA
+//! leaf-span scans) must return the *bit-identical* `(index, distance)`
+//! list as `KdTree::k_nearest_into` (pure recursion) — the two visit
+//! different candidate sets (`examined` differs by design), but the k-NN
+//! result under the strict `(distance, index)` total order is unique, so
+//! any exact algorithm must land on the same answer. Covers clouds
+//! straddling the `SCAN_SPAN` leaf threshold, duplicate-heavy grids that
+//! force distance ties, `k > n`, `k == 0`, and self-exclusion.
+
+use proptest::prelude::*;
+use smp_geom::Point;
+use smp_graph::{KdTree, KnnScratch};
+
+fn assert_batched_matches<const D: usize>(
+    points: &[Point<D>],
+    query: &Point<D>,
+    k: usize,
+    exclude: Option<u32>,
+) -> Result<(), String> {
+    let tree = KdTree::build(points);
+    let mut scratch = KnnScratch::new();
+    let (mut rec_examined, mut batch_examined) = (0u64, 0u64);
+    let mut want = Vec::new();
+    tree.k_nearest_into(
+        query,
+        k,
+        exclude,
+        &mut rec_examined,
+        &mut scratch,
+        &mut want,
+    );
+    let mut got = Vec::new();
+    tree.k_nearest_batched_into(
+        query,
+        k,
+        exclude,
+        &mut batch_examined,
+        &mut scratch,
+        &mut got,
+    );
+    prop_assert_eq!(
+        got.len(),
+        want.len(),
+        "result length differs for k={}, n={}",
+        k,
+        points.len()
+    );
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        prop_assert_eq!(g.0, w.0, "rank {} index differs", i);
+        prop_assert_eq!(
+            g.1.to_bits(),
+            w.1.to_bits(),
+            "rank {} distance bits differ: {} vs {}",
+            i,
+            g.1,
+            w.1
+        );
+    }
+    // `examined` legitimately differs between the two (the span scan
+    // counts every point it settles), but both must count *something*
+    // whenever there was work to do.
+    if !points.is_empty() && k > 0 {
+        prop_assert!(rec_examined > 0, "recursive examined nothing");
+        prop_assert!(batch_examined > 0, "batched examined nothing");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Continuous clouds sized 0..200: spans below, at, and well above
+    /// the batched `SCAN_SPAN` leaf threshold, `k` free to exceed `n`.
+    #[test]
+    fn batched_matches_recursive_on_random_clouds(
+        pts in prop::collection::vec(prop::array::uniform3(0.0f64..1.0), 0..200),
+        q in prop::array::uniform3(0.0f64..1.0),
+        k in 0usize..210,
+    ) {
+        let points: Vec<Point<3>> = pts.into_iter().map(Point::new).collect();
+        assert_batched_matches(&points, &Point::new(q), k, None)?;
+    }
+
+    /// Discrete coordinate grid: duplicate points and massive distance
+    /// ties pin the ascending-(distance, index) tie-break inside the
+    /// batched leaf scan's heap updates.
+    #[test]
+    fn batched_matches_recursive_with_duplicates(
+        raw in prop::collection::vec(prop::array::uniform2(0u32..4), 1..120),
+        qx in 0u32..4,
+        qy in 0u32..4,
+        k in 1usize..130,
+    ) {
+        let points: Vec<Point<2>> = raw
+            .into_iter()
+            .map(|c| Point::new([f64::from(c[0]) / 4.0, f64::from(c[1]) / 4.0]))
+            .collect();
+        let query = Point::new([f64::from(qx) / 4.0, f64::from(qy) / 4.0]);
+        assert_batched_matches(&points, &query, k, None)?;
+    }
+
+    /// Self-exclusion must be honored inside the SoA span scan, where the
+    /// excluded index can land anywhere in a settled chunk.
+    #[test]
+    fn batched_matches_recursive_with_exclusion(
+        raw in prop::collection::vec(prop::array::uniform2(0u32..3), 2..100),
+        pick in 0usize..100,
+        k in 1usize..110,
+    ) {
+        let points: Vec<Point<2>> = raw
+            .into_iter()
+            .map(|c| Point::new([f64::from(c[0]) / 3.0, f64::from(c[1]) / 3.0]))
+            .collect();
+        let exclude = pick % points.len();
+        let query = points[exclude];
+        assert_batched_matches(&points, &query, k, Some(exclude as u32))?;
+    }
+}

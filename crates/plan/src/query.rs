@@ -180,7 +180,12 @@ where
 
     for (endpoint, vid) in [(start, s), (goal, t)] {
         work.knn_queries += 1;
-        let nns = tree.k_nearest_counted(&endpoint, k, None, &mut work.knn_candidates);
+        // Batched-leaf kd query: identical (index, distance) results to
+        // `k_nearest_counted` (both are exact under the strict total order),
+        // so answers stay bit-identical; `knn_candidates` counts the points
+        // the leaf scans actually touch. One-shot and indexed paths share
+        // this call, so their counters remain equal to each other.
+        let nns = tree.k_nearest_batched_counted(&endpoint, k, None, &mut work.knn_candidates);
         for (j, dist) in nns {
             if local_planner
                 .check(&endpoint, &cfgs[j], validity, work)

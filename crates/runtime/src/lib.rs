@@ -38,6 +38,7 @@ pub mod live;
 pub mod live_fault;
 pub mod machine;
 pub mod metrics;
+pub mod rect;
 pub mod sim;
 pub mod steal;
 pub mod threadpool;
@@ -52,6 +53,7 @@ pub use fault::{Crash, FaultPlan, Straggler};
 pub use live::{LiveControl, LiveExecutor, LiveOutcome, LivePartial, LiveTuning, ResilientOutcome};
 pub use live_fault::{LiveFaultPlan, PanicSpec, SleepSpec};
 pub use machine::{LatencyModel, MachineModel, OpCosts};
+pub use rect::rect_bisection;
 pub use sim::{
     simulate, simulate_explored, simulate_faulted, simulate_observed, simulate_with_payloads,
     Quiescence, ResilienceStats, ScheduleOracle, SeededSchedule, SimConfig, SimError, SimReport,

@@ -734,6 +734,10 @@ fn worker_loop<R: Send>(ctx: WorkerCtx<'_, R>) -> WorkerLocal {
     let mut rng =
         StdRng::seed_from_u64(ctx.seed ^ (ctx.w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut backoff_us = ctx.tuning.backoff_base_us;
+    // Consecutive fully-denied steal rounds since this worker last had work
+    // — the live analogue of the DES's `fail_rounds`, read by the adaptive
+    // diffusive policy to widen its request ring.
+    let mut fail_streak = 0u32;
     let mut attempts = 0usize; // task attempts, drives injected panics
     loop {
         // 0. Cooperative stop: observed at task boundaries only, so a
@@ -796,6 +800,7 @@ fn worker_loop<R: Send>(ctx: WorkerCtx<'_, R>) -> WorkerLocal {
                     }
                     ctx.remaining.fetch_sub(1, Ordering::AcqRel);
                     backoff_us = ctx.tuning.backoff_base_us;
+                    fail_streak = 0;
                     continue;
                 }
                 Err(payload) => {
@@ -823,7 +828,10 @@ fn worker_loop<R: Send>(ctx: WorkerCtx<'_, R>) -> WorkerLocal {
             continue;
         };
         let mut got_work = false;
-        for victim in steal.policy.round_victims(ctx.w, ctx.mesh, &mut rng) {
+        for victim in steal
+            .policy
+            .round_victims_adaptive(ctx.w, ctx.mesh, &mut rng, fail_streak)
+        {
             // A stop fired mid-round ends the round immediately.
             if ctx.stop_cause.load(Ordering::Acquire) != CAUSE_NONE {
                 break;
@@ -897,12 +905,14 @@ fn worker_loop<R: Send>(ctx: WorkerCtx<'_, R>) -> WorkerLocal {
         }
         if got_work {
             backoff_us = ctx.tuning.backoff_base_us;
+            fail_streak = 0;
         } else {
             if ctx.phase_over() {
                 break;
             }
             // Fully-denied round: the remaining tasks are in flight on
             // other workers. Back off so we don't spin on their locks.
+            fail_streak = fail_streak.saturating_add(1);
             std::thread::yield_now();
             std::thread::sleep(Duration::from_micros(backoff_us));
             backoff_us = (backoff_us * 2).min(ctx.tuning.backoff_cap_us);

@@ -1,0 +1,242 @@
+//! Rectangular-partition repartitioner: recursive bisection over region
+//! loads on a grid index space.
+//!
+//! The second-generation spatial balancer (after Saule, Baş, and
+//! Çatalyürek's rectangular partitioning work): regions live on a
+//! row-major grid of `dims` cells, each with a measured load, and PEs are
+//! assigned axis-aligned *rectangular* blocks of cells. The partition is
+//! built by recursive bisection: split the PE count roughly in half, pick
+//! the widest axis of the current sub-grid, and place the cut at the plane
+//! whose prefix load best matches the left PE group's proportional share;
+//! recurse on both sides.
+//!
+//! Compared to centroid-based coordinate bisection over region sample
+//! points, the cuts here are *grid-aligned planes*, so every PE owns a
+//! clean rectangle — the property that keeps ghost-region exchange
+//! surfaces minimal. The function is pure and deterministic: identical
+//! inputs produce identical partitions on every host and thread count.
+//!
+//! The same routine serves both planners: PRM passes its D-dimensional
+//! grid dimensions; radial RRT passes the 1-D `[num_regions]` cone index
+//! space, where bisection degenerates to weight-balanced contiguous
+//! interval splitting.
+
+/// Owner (PE id, `< p`) per grid cell for a rectangular partition of a
+/// row-major grid of `dims` cells with the given per-cell `weights`.
+///
+/// # Panics
+/// Panics when `p == 0` or `weights.len() != dims.iter().product()`.
+pub fn rect_bisection(dims: &[usize], weights: &[f64], p: usize) -> Vec<u32> {
+    let n: usize = dims.iter().product();
+    assert!(p > 0, "need at least one PE");
+    assert_eq!(weights.len(), n, "one weight per grid cell");
+    let mut owner = vec![0u32; n];
+    if n == 0 {
+        return owner;
+    }
+    // Row-major strides: cell id = Σ idx[a] * stride[a].
+    let mut stride = vec![1usize; dims.len()];
+    for a in (0..dims.len().saturating_sub(1)).rev() {
+        stride[a] = stride[a + 1] * dims[a + 1];
+    }
+    let lo = vec![0usize; dims.len()];
+    let hi = dims.to_vec();
+    split(dims, &stride, weights, &mut owner, &lo, &hi, 0, p as u32);
+    owner
+}
+
+/// Sum of weights with cell coordinate `axis` fixed to `s`, restricted to
+/// the sub-grid `[lo, hi)`.
+fn slab_weight(
+    stride: &[usize],
+    weights: &[f64],
+    lo: &[usize],
+    hi: &[usize],
+    axis: usize,
+    s: usize,
+) -> f64 {
+    let mut acc = 0.0;
+    for_each_cell(stride, lo, hi, axis, s, &mut |id| acc += weights[id]);
+    acc
+}
+
+/// Visit every cell id in the sub-grid `[lo, hi)` with coordinate `axis`
+/// pinned to `s`.
+fn for_each_cell(
+    stride: &[usize],
+    lo: &[usize],
+    hi: &[usize],
+    axis: usize,
+    s: usize,
+    f: &mut impl FnMut(usize),
+) {
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        stride: &[usize],
+        lo: &[usize],
+        hi: &[usize],
+        axis: usize,
+        s: usize,
+        a: usize,
+        base: usize,
+        f: &mut impl FnMut(usize),
+    ) {
+        if a == stride.len() {
+            f(base);
+            return;
+        }
+        if a == axis {
+            rec(stride, lo, hi, axis, s, a + 1, base + s * stride[a], f);
+            return;
+        }
+        for i in lo[a]..hi[a] {
+            rec(stride, lo, hi, axis, s, a + 1, base + i * stride[a], f);
+        }
+    }
+    rec(stride, lo, hi, axis, s, 0, 0, f);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn split(
+    dims: &[usize],
+    stride: &[usize],
+    weights: &[f64],
+    owner: &mut [u32],
+    lo: &[usize],
+    hi: &[usize],
+    pe0: u32,
+    p: u32,
+) {
+    // Widest splittable axis (ties to the lowest axis index).
+    let axis = (0..dims.len())
+        .max_by(|&a, &b| (hi[a] - lo[a]).cmp(&(hi[b] - lo[b])).then(b.cmp(&a)))
+        .unwrap_or(0);
+    if p == 1 || hi[axis] - lo[axis] <= 1 {
+        // One PE left, or an unsplittable (single-plane-everywhere) box:
+        // everything here belongs to pe0. Surplus PEs simply own nothing,
+        // exactly like greedy partitioners on degenerate inputs.
+        for s in lo[axis]..hi[axis] {
+            for_each_cell(stride, lo, hi, axis, s, &mut |id| owner[id] = pe0);
+        }
+        return;
+    }
+    let p1 = p / 2;
+    let p2 = p - p1;
+    let total: f64 = (lo[axis]..hi[axis])
+        .map(|s| slab_weight(stride, weights, lo, hi, axis, s))
+        .sum();
+    let target = total * (p1 as f64) / (p as f64);
+    // Cut plane in (lo, hi): prefix [lo, cut) goes left. Choose the cut
+    // whose prefix load is closest to the proportional target; ties break
+    // to the smaller cut. Both halves always keep at least one plane.
+    let mut best_cut = lo[axis] + 1;
+    let mut best_err = f64::INFINITY;
+    let mut prefix = 0.0;
+    for s in lo[axis]..hi[axis] - 1 {
+        prefix += slab_weight(stride, weights, lo, hi, axis, s);
+        let err = (prefix - target).abs();
+        if err < best_err {
+            best_err = err;
+            best_cut = s + 1;
+        }
+    }
+    let mut mid_hi = hi.to_vec();
+    mid_hi[axis] = best_cut;
+    let mut mid_lo = lo.to_vec();
+    mid_lo[axis] = best_cut;
+    split(dims, stride, weights, owner, lo, &mid_hi, pe0, p1);
+    split(dims, stride, weights, owner, &mid_lo, hi, pe0 + p1, p2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(owner: &[u32], weights: &[f64], p: usize) -> Vec<f64> {
+        let mut l = vec![0.0; p];
+        for (i, &o) in owner.iter().enumerate() {
+            l[o as usize] += weights[i];
+        }
+        l
+    }
+
+    #[test]
+    fn uniform_grid_splits_evenly() {
+        let dims = [8usize, 8];
+        let w = vec![1.0; 64];
+        let owner = rect_bisection(&dims, &w, 4);
+        let l = loads(&owner, &w, 4);
+        for pe in 0..4 {
+            assert_eq!(l[pe], 16.0, "pe {pe} loads {l:?}");
+        }
+    }
+
+    #[test]
+    fn partition_blocks_are_rectangles() {
+        let dims = [6usize, 10];
+        let mut w = vec![1.0; 60];
+        w[13] = 25.0; // a hot cell skews the cuts
+        let owner = rect_bisection(&dims, &w, 5);
+        // each PE's cell set must form an axis-aligned rectangle
+        for pe in 0..5u32 {
+            let cells: Vec<(usize, usize)> = (0..60)
+                .filter(|&i| owner[i] == pe)
+                .map(|i| (i / 10, i % 10))
+                .collect();
+            if cells.is_empty() {
+                continue;
+            }
+            let rmin = cells.iter().map(|c| c.0).min().unwrap();
+            let rmax = cells.iter().map(|c| c.0).max().unwrap();
+            let cmin = cells.iter().map(|c| c.1).min().unwrap();
+            let cmax = cells.iter().map(|c| c.1).max().unwrap();
+            assert_eq!(
+                cells.len(),
+                (rmax - rmin + 1) * (cmax - cmin + 1),
+                "pe {pe} does not own a full rectangle"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_weights_balance_better_than_naive() {
+        // left half of a 1-D strip is 9x heavier
+        let dims = [32usize];
+        let w: Vec<f64> = (0..32).map(|i| if i < 16 { 9.0 } else { 1.0 }).collect();
+        let owner = rect_bisection(&dims, &w, 4);
+        let l = loads(&owner, &w, 4);
+        let max = l.iter().cloned().fold(0.0, f64::max);
+        // naive block (8 cells each) puts 72 on PE0; bisection must beat it
+        assert!(max < 72.0, "loads {l:?}");
+        // 1-D partition must be contiguous intervals in ascending PE order
+        for i in 1..32 {
+            assert!(owner[i] >= owner[i - 1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_total() {
+        let dims = [5usize, 7, 3];
+        let w: Vec<f64> = (0..105).map(|i| ((i * 37) % 11) as f64).collect();
+        let a = rect_bisection(&dims, &w, 6);
+        let b = rect_bisection(&dims, &w, 6);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&o| o < 6));
+        assert_eq!(a.len(), 105);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // single cell, many PEs
+        assert_eq!(rect_bisection(&[1], &[3.0], 8), vec![0]);
+        // empty grid
+        assert!(rect_bisection(&[0], &[], 2).is_empty());
+        // p = 1
+        assert!(rect_bisection(&[4, 4], &[1.0; 16], 1)
+            .iter()
+            .all(|&o| o == 0));
+        // all-zero weights still produce a total, deterministic partition
+        let owner = rect_bisection(&[4, 4], &[0.0; 16], 4);
+        assert!(owner.iter().all(|&o| o < 4));
+    }
+}

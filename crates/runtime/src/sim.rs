@@ -880,9 +880,12 @@ impl Sim<'_> {
             self.state[pe] = PeState::Retired;
             return;
         }
+        // `fail_rounds` — consecutive fully-denied rounds since this PE last
+        // got work — doubles as the convergence signal for the adaptive
+        // diffusive policy (wider request ring the longer the PE starves).
         let victims: VecDeque<usize> = steal
             .policy
-            .round_victims(pe, &self.mesh, &mut self.rng)
+            .round_victims_adaptive(pe, &self.mesh, &mut self.rng, self.fail_rounds[pe])
             .into();
         if victims.is_empty() {
             self.state[pe] = PeState::Retired;

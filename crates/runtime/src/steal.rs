@@ -22,6 +22,14 @@ pub enum StealPolicyKind {
     RandK(usize),
     /// Mesh neighbours only.
     Diffusive,
+    /// Convergence-aware DIFFUSIVE (Demiralp et al.'s particle-advection
+    /// refinement): starts as plain neighbour stealing, but a thief whose
+    /// recent rounds were all denied widens its request ring — Manhattan
+    /// radius `1 + fail streak`, capped at the mesh diameter — so work
+    /// diffuses across a starved mesh in O(1) rounds instead of one hop per
+    /// round. A granted steal resets the streak, collapsing back to the
+    /// cheap 4-neighbour probe.
+    DiffusiveAdaptive,
     /// Mesh neighbours first; if all deny, `k` random victims.
     Hybrid(usize),
     /// X10-style lifeline stealing (extension; cited in the paper's related
@@ -42,6 +50,7 @@ impl StealPolicyKind {
         match self {
             StealPolicyKind::RandK(k) => format!("Rand-{k} WS"),
             StealPolicyKind::Diffusive => "Diff WS".to_string(),
+            StealPolicyKind::DiffusiveAdaptive => "Diff-CA WS".to_string(),
             StealPolicyKind::Hybrid(_) => "Hybrid WS".to_string(),
             StealPolicyKind::Lifeline => "Lifeline WS".to_string(),
         }
@@ -72,10 +81,29 @@ impl StealPolicyKind {
     /// Victims are tried in order until one grants work; an empty result
     /// (possible only for `p = 1`) means stealing is impossible.
     pub fn round_victims(&self, thief: usize, mesh: &Mesh, rng: &mut StdRng) -> Vec<usize> {
+        self.round_victims_adaptive(thief, mesh, rng, 0)
+    }
+
+    /// [`Self::round_victims`] with the thief's current *fail streak* — the
+    /// number of consecutive fully-denied steal rounds since it last got
+    /// work. Only `DiffusiveAdaptive` reads it (request radius
+    /// `1 + fail_streak`, capped at the mesh diameter); every other policy
+    /// ignores it, so at streak 0 this is exactly `round_victims`.
+    pub fn round_victims_adaptive(
+        &self,
+        thief: usize,
+        mesh: &Mesh,
+        rng: &mut StdRng,
+        fail_streak: u32,
+    ) -> Vec<usize> {
         let p = mesh.len();
         match *self {
             StealPolicyKind::RandK(k) => random_victims(thief, p, k, rng),
             StealPolicyKind::Diffusive => mesh.neighbors(thief),
+            StealPolicyKind::DiffusiveAdaptive => {
+                let radius = (1 + fail_streak as usize).min(mesh.diameter().max(1));
+                mesh.neighbors_within(thief, radius)
+            }
             StealPolicyKind::Hybrid(k) => {
                 let mut v = mesh.neighbors(thief);
                 v.extend(random_victims(thief, p, k, rng));
@@ -169,6 +197,34 @@ mod tests {
     fn labels_match_paper_legends() {
         assert_eq!(StealPolicyKind::rand8().label(), "Rand-8 WS");
         assert_eq!(StealPolicyKind::Diffusive.label(), "Diff WS");
+        assert_eq!(StealPolicyKind::DiffusiveAdaptive.label(), "Diff-CA WS");
         assert_eq!(StealPolicyKind::Hybrid(8).label(), "Hybrid WS");
+    }
+
+    #[test]
+    fn adaptive_diffusive_widens_with_fail_streak() {
+        let mesh = Mesh::new(16); // 4x4
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = StealPolicyKind::DiffusiveAdaptive;
+        let thief = mesh.pe_at(1, 1);
+        // streak 0: same victim *set* as plain diffusive (ring ordering)
+        let mut v0 = p.round_victims_adaptive(thief, &mesh, &mut rng, 0);
+        let mut n = mesh.neighbors(thief);
+        v0.sort_unstable();
+        n.sort_unstable();
+        assert_eq!(v0, n);
+        // round_victims delegates with streak 0
+        let mut v = p.round_victims(thief, &mesh, &mut rng);
+        v.sort_unstable();
+        assert_eq!(v, v0);
+        // each failed round reaches further, capped at the diameter
+        let r1 = p.round_victims_adaptive(thief, &mesh, &mut rng, 0).len();
+        let r2 = p.round_victims_adaptive(thief, &mesh, &mut rng, 1).len();
+        let rmax = p.round_victims_adaptive(thief, &mesh, &mut rng, 99).len();
+        assert!(r2 > r1);
+        assert_eq!(rmax, 15, "diameter-radius ring covers the whole mesh");
+        // single-PE mesh still cannot steal
+        let lone = Mesh::new(1);
+        assert!(p.round_victims_adaptive(0, &lone, &mut rng, 5).is_empty());
     }
 }

@@ -61,6 +61,38 @@ impl Mesh {
         row * self.cols + col
     }
 
+    /// All PEs within Manhattan distance `radius` of `pe` (excluding `pe`
+    /// itself, no wraparound), ordered by `(distance, row, col)` — ring by
+    /// ring outward, deterministically. `radius = 1` is exactly the
+    /// 4-neighbourhood reordered to `(row, col)` within the ring.
+    pub fn neighbors_within(&self, pe: usize, radius: usize) -> Vec<usize> {
+        let (r, c) = self.coords(pe);
+        let mut out = Vec::new();
+        for dist in 1..=radius {
+            let r0 = r.saturating_sub(dist);
+            let r1 = (r + dist).min(self.rows - 1);
+            for row in r0..=r1 {
+                let rem = dist - r.abs_diff(row);
+                if rem == 0 {
+                    out.push(self.pe_at(row, c));
+                    continue;
+                }
+                if c >= rem {
+                    out.push(self.pe_at(row, c - rem));
+                }
+                if c + rem < self.cols {
+                    out.push(self.pe_at(row, c + rem));
+                }
+            }
+        }
+        out
+    }
+
+    /// Largest possible Manhattan distance between two mesh cells.
+    pub fn diameter(&self) -> usize {
+        (self.rows - 1) + (self.cols - 1)
+    }
+
     /// The 4-neighbourhood of a PE (no wraparound), in deterministic
     /// N, S, W, E order.
     pub fn neighbors(&self, pe: usize) -> Vec<usize> {
@@ -124,6 +156,34 @@ mod tests {
                 assert_eq!(r1.abs_diff(r2) + c1.abs_diff(c2), 1);
             }
         }
+    }
+
+    #[test]
+    fn neighbors_within_rings() {
+        let m = Mesh::new(16); // 4x4
+        let inner = m.pe_at(1, 1);
+        // radius 1: the 4-neighbourhood, ring-ordered
+        let r1 = m.neighbors_within(inner, 1);
+        let mut n = m.neighbors(inner);
+        n.sort_unstable();
+        let mut r1s = r1.clone();
+        r1s.sort_unstable();
+        assert_eq!(r1s, n);
+        // radius 2 adds exactly the distance-2 ring
+        let r2 = m.neighbors_within(inner, 2);
+        assert_eq!(&r2[..r1.len()], &r1[..]);
+        for &pe in &r2 {
+            let (r, c) = m.coords(pe);
+            let d = r.abs_diff(1) + c.abs_diff(1);
+            assert!((1..=2).contains(&d));
+        }
+        // diameter covers everything
+        let all = m.neighbors_within(inner, m.diameter());
+        assert_eq!(all.len(), 15);
+        let mut s = all.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 15);
     }
 
     #[test]
