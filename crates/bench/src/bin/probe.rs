@@ -193,16 +193,19 @@ fn bench_probe(args: impl Iterator<Item = String>) {
     }
 }
 
-/// Live-backend strong-scaling harness:
+/// Strong-scaling harness over the live and dist backends:
 /// `probe scaling [--quick] [--out FILE] [--check FILE]`.
 ///
 /// Runs the parallel PRM live on 1/2/4/8 host threads per strategy
-/// (smp_bench::scaling), prints wall times and speedups, optionally
-/// writes `BENCH_scaling.json`, and optionally gates the merged-roadmap
-/// digests against a committed artifact (exit 1 on drift). Digest
-/// equality across thread counts is always enforced; the ≥1.5× speedup
-/// expectation at 4 threads is asserted only on hosts with ≥4 cores —
-/// wall times from smaller hosts are recorded honestly, not gated.
+/// (smp_bench::scaling), plus — when the `smp-dist-worker` binary is
+/// present — on 1/2/4 worker *processes*, prints wall times and
+/// speedups, optionally writes `BENCH_scaling.json`, and optionally
+/// gates the merged-roadmap digests against a committed artifact (exit 1
+/// on drift). Digest equality across backends and thread counts is
+/// always enforced; the ≥1.5× speedup expectation at 4 threads is
+/// asserted only for live rows on hosts with ≥4 cores — wall times from
+/// smaller hosts (and all dist wall times) are recorded honestly, not
+/// gated.
 fn scaling_probe(args: impl Iterator<Item = String>) {
     let mut quick = false;
     let mut out: Option<String> = None;
@@ -220,11 +223,11 @@ fn scaling_probe(args: impl Iterator<Item = String>) {
     println!("host parallelism: {}", report.host_parallelism);
     for r in &report.runs {
         let speedup = report
-            .speedup(r.env, &r.strategy, r.threads)
+            .speedup(r.backend, r.env, &r.strategy, r.threads)
             .unwrap_or(f64::NAN);
         println!(
-            "{:9} {:15} t={} wall={:>9.3}ms node={:>9.3}ms speedup={:.2}x hits={:>4} digest={:#018x}",
-            r.env, r.strategy, r.threads, r.wall_ms, r.node_ms, speedup, r.steal_hits, r.digest
+            "{:4} {:9} {:15} t={} wall={:>9.3}ms node={:>9.3}ms speedup={:.2}x hits={:>4} digest={:#018x}",
+            r.backend, r.env, r.strategy, r.threads, r.wall_ms, r.node_ms, speedup, r.steal_hits, r.digest
         );
     }
     let digest_violations = report.digest_violations();

@@ -1,9 +1,15 @@
-//! Wall-clock strong-scaling benchmark of the live execution backend
-//! (`probe scaling`), emitting `BENCH_scaling.json`.
+//! Wall-clock strong-scaling benchmark of the live and distributed
+//! execution backends (`probe scaling`), emitting `BENCH_scaling.json`.
 //!
 //! For each environment × strategy × thread count, the full parallel PRM
 //! runs **live** on real OS threads ([`smp_core::run_parallel_prm_live`])
 //! and reports wall-clock phase times plus the merged-roadmap digest.
+//! When the `smp-dist-worker` binary is present next to `probe`, the same
+//! sweep additionally runs on the **dist** backend
+//! ([`smp_core::run_parallel_prm_dist`]) — real coordinator/worker
+//! *processes* over Unix sockets — at 1/2/4 workers, and every dist row
+//! must reproduce the same reference digest the live rows do (the
+//! three-way DES == live == dist gate, at benchmark scale).
 //!
 //! Two kinds of numbers come out, with very different contracts
 //! (DESIGN.md §12):
@@ -20,20 +26,23 @@
 //!   runs and honestly reports speedup ≈ 1/threads.
 
 use smp_core::{
-    assemble_prm_roadmap, build_prm_workload, roadmap_digest, run_parallel_prm_live,
-    ParallelPrmConfig, Strategy, WeightKind,
+    assemble_prm_roadmap, build_prm_workload, roadmap_digest, run_parallel_prm_dist,
+    run_parallel_prm_live, ParallelPrmConfig, Strategy, WeightKind,
 };
 use smp_geom::{envs, Environment};
-use smp_runtime::{LiveTuning, StealConfig, StealPolicyKind};
+use smp_runtime::{DistTuning, LiveTuning, StealConfig, StealPolicyKind};
 
 /// Thread counts of the strong-scaling sweep.
 pub const THREADS: [usize; 4] = [1, 2, 4, 8];
 
-/// One live run of one environment × strategy × thread count.
+/// One run of one backend × environment × strategy × thread count.
 #[derive(Debug, Clone)]
 pub struct ScalingRun {
+    /// `"live"` (OS threads) or `"dist"` (worker processes).
+    pub backend: &'static str,
     pub env: &'static str,
     pub strategy: String,
+    /// Host threads (live) or worker processes (dist).
     pub threads: usize,
     /// End-to-end wall-clock time (all phases), milliseconds.
     pub wall_ms: f64,
@@ -70,7 +79,8 @@ impl ScalingReport {
                 .map(|&(_, d)| d);
             if want != Some(r.digest) {
                 out.push(format!(
-                    "{} {} threads={}: digest {:#018x} != reference {:#018x}",
+                    "{} {} {} threads={}: digest {:#018x} != reference {:#018x}",
+                    r.backend,
                     r.env,
                     r.strategy,
                     r.threads,
@@ -82,24 +92,30 @@ impl ScalingReport {
         out
     }
 
-    /// Wall-clock speedup of `(env, strategy)` at `threads` relative to
-    /// its 1-thread run, if both were measured.
-    pub fn speedup(&self, env: &str, strategy: &str, threads: usize) -> Option<f64> {
+    /// Wall-clock speedup of `(backend, env, strategy)` at `threads`
+    /// relative to its 1-thread run, if both were measured.
+    pub fn speedup(&self, backend: &str, env: &str, strategy: &str, threads: usize) -> Option<f64> {
         let find = |t: usize| {
-            self.runs
-                .iter()
-                .find(|r| r.env == env && r.strategy == strategy && r.threads == t)
+            self.runs.iter().find(|r| {
+                r.backend == backend && r.env == env && r.strategy == strategy && r.threads == t
+            })
         };
         Some(find(1)?.wall_ms / find(threads)?.wall_ms)
     }
 
-    /// Strategies with a 4-thread speedup below `floor`. Only meaningful
-    /// (and only asserted by `probe scaling`) on hosts with ≥4 cores.
+    /// Live-backend strategies with a 4-thread speedup below `floor`.
+    /// Only meaningful (and only asserted by `probe scaling`) on hosts
+    /// with ≥4 cores. Dist rows are never speedup-gated: process spawn
+    /// and socket overhead make their wall times informative only.
     pub fn speedup_violations(&self, floor: f64) -> Vec<String> {
         let mut out = Vec::new();
         for (env, _) in &self.reference {
-            for r in self.runs.iter().filter(|r| r.env == *env && r.threads == 1) {
-                if let Some(s) = self.speedup(env, &r.strategy, 4) {
+            for r in self
+                .runs
+                .iter()
+                .filter(|r| r.backend == "live" && r.env == *env && r.threads == 1)
+            {
+                if let Some(s) = self.speedup("live", env, &r.strategy, 4) {
                     if s < floor {
                         out.push(format!(
                             "{} {}: speedup(4) = {s:.2} < {floor}",
@@ -159,6 +175,7 @@ fn sweep_env(
                     run_parallel_prm_live(&cfg, threads, &strategy, LiveTuning::default())
                         .expect("live run failed");
                 let sample = ScalingRun {
+                    backend: "live",
                     env: name,
                     strategy: run.strategy_label.clone(),
                     threads,
@@ -183,7 +200,58 @@ fn sweep_env(
     }
 }
 
+/// Worker-process counts of the dist sweep (8-process pools buy nothing
+/// on typical benchmark hosts and double the spawn overhead).
+pub const DIST_WORKERS: [usize; 3] = [1, 2, 4];
+
+/// Sweep one environment on the dist backend: one iteration per
+/// strategy × worker count (process-pool spawn overhead dominates; the
+/// digest — the only gated number — is identical every iteration).
+///
+/// Returns `Err` with the spawn diagnostic if the `smp-dist-worker`
+/// binary cannot be found, so the caller can skip the backend honestly
+/// instead of crashing a live-only benchmark run.
+fn sweep_env_dist(
+    name: &'static str,
+    env: &Environment<3>,
+    quick: bool,
+    runs: &mut Vec<ScalingRun>,
+) -> Result<(), String> {
+    let cfg = ParallelPrmConfig {
+        regions_target: 512,
+        attempts_per_region: 10,
+        k_neighbors: 5,
+        lp_resolution: 0.012,
+        robot_radius: 0.1,
+        ..ParallelPrmConfig::new(env)
+    };
+    let worker_counts: &[usize] = if quick { &[1, 2] } else { &DIST_WORKERS };
+    for strategy in strategies() {
+        for &workers in worker_counts {
+            let (w, run) = run_parallel_prm_dist(&cfg, workers, &strategy, DistTuning::default())
+                .map_err(|e| e.to_string())?;
+            runs.push(ScalingRun {
+                backend: "dist",
+                env: name,
+                strategy: run.strategy_label.clone(),
+                threads: workers,
+                wall_ms: run.total_time as f64 / 1e6,
+                node_ms: run.phases.node_connection as f64 / 1e6,
+                digest: roadmap_digest(&assemble_prm_roadmap(&w)),
+                steal_hits: run.construction.steal_hits,
+                tasks_transferred: run.construction.tasks_transferred,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Run the strong-scaling sweep on `med-cube` and `free`.
+///
+/// Dist-backend rows are included when worker processes can be spawned
+/// (the `smp-dist-worker` binary resolves); otherwise the sweep degrades
+/// to live-only with a note on stderr — a missing binary must not turn a
+/// benchmark host into a false digest failure.
 pub fn run(quick: bool) -> ScalingReport {
     let host_parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -194,6 +262,12 @@ pub fn run(quick: bool) -> ScalingReport {
     sweep_env("med-cube", &med, quick, &mut runs, &mut reference);
     let free = envs::free_env();
     sweep_env("free", &free, quick, &mut runs, &mut reference);
+    if let Err(e) = sweep_env_dist("med-cube", &med, quick, &mut runs)
+        .and_then(|()| sweep_env_dist("free", &free, quick, &mut runs))
+    {
+        eprintln!("note: dist backend skipped ({e}); build smp-dist-worker to include it");
+        runs.retain(|r| r.backend != "dist");
+    }
     ScalingReport {
         host_parallelism,
         quick,
@@ -228,8 +302,8 @@ pub fn to_json(report: &ScalingReport) -> String {
     for (i, r) in report.runs.iter().enumerate() {
         s.push_str("    {");
         s.push_str(&format!(
-            "\"env\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"node_ms\": {:.3}, \"digest\": \"{:#018x}\", \"steal_hits\": {}, \"tasks_transferred\": {}",
-            r.env, r.strategy, r.threads, r.wall_ms, r.node_ms, r.digest, r.steal_hits, r.tasks_transferred
+            "\"backend\": \"{}\", \"env\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"node_ms\": {:.3}, \"digest\": \"{:#018x}\", \"steal_hits\": {}, \"tasks_transferred\": {}",
+            r.backend, r.env, r.strategy, r.threads, r.wall_ms, r.node_ms, r.digest, r.steal_hits, r.tasks_transferred
         ));
         s.push_str(if i + 1 < report.runs.len() {
             "},\n"
@@ -290,6 +364,7 @@ mod tests {
             quick: true,
             runs: vec![
                 ScalingRun {
+                    backend: "live",
                     env: "med-cube",
                     strategy: "nolb".into(),
                     threads: 1,
@@ -300,6 +375,7 @@ mod tests {
                     tasks_transferred: 0,
                 },
                 ScalingRun {
+                    backend: "live",
                     env: "med-cube",
                     strategy: "nolb".into(),
                     threads: 4,
@@ -331,8 +407,33 @@ mod tests {
     #[test]
     fn speedup_is_relative_to_one_thread() {
         let report = tiny_report();
-        assert_eq!(report.speedup("med-cube", "nolb", 4), Some(2.0));
+        assert_eq!(report.speedup("live", "med-cube", "nolb", 4), Some(2.0));
         assert!(report.speedup_violations(1.5).is_empty());
         assert_eq!(report.speedup_violations(3.0).len(), 1);
+    }
+
+    #[test]
+    fn dist_rows_share_the_reference_digest_gate() {
+        let mut report = tiny_report();
+        report.runs.push(ScalingRun {
+            backend: "dist",
+            env: "med-cube",
+            strategy: "nolb".into(),
+            threads: 2,
+            wall_ms: 20.0,
+            node_ms: 15.0,
+            digest: 0xABCD,
+            steal_hits: 0,
+            tasks_transferred: 0,
+        });
+        assert!(report.digest_violations().is_empty());
+        // A drifting dist digest fails the same unconditional gate.
+        report.runs.last_mut().unwrap().digest = 0xDEAD;
+        let violations = report.digest_violations();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].starts_with("dist "));
+        // Dist rows never enter the speedup gate.
+        report.runs.last_mut().unwrap().wall_ms = 1e9;
+        assert!(report.speedup_violations(1.5).is_empty());
     }
 }

@@ -56,8 +56,22 @@
 //! Failures shrink to a minimal workload and serialize to an
 //! `smp-serve-repro v1` file that `--replay` re-executes.
 //! Run it: `cargo run -p smp-check -- --serve-smoke 200`.
+//!
+//! A fifth sweep targets the **distributed multi-process backend**
+//! ([`dist`]): generator cases execute on real coordinator/worker
+//! processes over Unix domain sockets, and the oracles assert the
+//! model-checked invariants of `specs/tla/StealProtocol.tla` by name —
+//! **NoTaskDuplication**, **NoTaskLoss**, **Progress** — plus
+//! ownership-at-quiescence and message-conservation ledgers. With
+//! `--faults`, every case re-runs under a seed-derived
+//! [`smp_runtime::dist::DistFaultPlan`] (dropped Done/Ack frames,
+//! delayed Assigns, a worker-process kill) and must still match its
+//! fault-free baseline byte-for-byte. Failing cases serialize to the
+//! same repro format as the DES fuzzer.
+//! Run it: `cargo run -p smp-check -- --dist-smoke 25 --faults`.
 
 pub mod case;
+pub mod dist;
 pub mod gen;
 pub mod harness;
 pub mod live;
@@ -68,6 +82,10 @@ pub mod serve;
 pub mod shrink;
 
 pub use case::{CaseSpec, MachineKind, SchedulePlan};
+pub use dist::{
+    check_dist_case, check_dist_case_faulted, dist_smoke, dist_smoke_faulted,
+    generate_dist_fault_plan,
+};
 pub use harness::{fuzz, FuzzConfig, FuzzOutcome};
 pub use live::{check_live_case, check_live_case_faulted, live_smoke, live_smoke_faulted};
 pub use oracles::{check_case, check_outcome, Violation};

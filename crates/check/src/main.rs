@@ -4,6 +4,7 @@
 //! smp-check [--runs N] [--seed S] [--out DIR] [--fail-fast]
 //! smp-check --replay FILE
 //! smp-check --live-smoke N [--seed S] [--faults]
+//! smp-check --dist-smoke N [--seed S] [--faults] [--out DIR]
 //! smp-check --portfolio-smoke N [--seed S]
 //! smp-check --serve-smoke N [--seed S] [--out DIR]
 //! ```
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
     };
     let mut replay: Option<PathBuf> = None;
     let mut live_smoke: Option<u64> = None;
+    let mut dist_smoke: Option<u64> = None;
     let mut portfolio_smoke: Option<u64> = None;
     let mut serve_smoke: Option<u64> = None;
     let mut live_faults = false;
@@ -63,6 +65,13 @@ fn main() -> ExitCode {
                 }));
             }
             "--faults" => live_faults = true,
+            "--dist-smoke" => {
+                let v = take("a run count");
+                dist_smoke = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("smp-check: bad --dist-smoke {v:?}: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--portfolio-smoke" => {
                 let v = take("a run count");
                 portfolio_smoke = Some(v.parse().unwrap_or_else(|e| {
@@ -82,6 +91,7 @@ fn main() -> ExitCode {
                     "usage: smp-check [--runs N] [--seed S] [--out DIR | --no-out] [--fail-fast]\n\
                      \x20      smp-check --replay FILE\n\
                      \x20      smp-check --live-smoke N [--seed S] [--faults]\n\
+                     \x20      smp-check --dist-smoke N [--seed S] [--faults] [--out DIR]\n\
                      \x20      smp-check --portfolio-smoke N [--seed S]\n\
                      \x20      smp-check --serve-smoke N [--seed S] [--out DIR]"
                 );
@@ -100,6 +110,10 @@ fn main() -> ExitCode {
 
     if let Some(runs) = serve_smoke {
         return run_serve_smoke(runs, cfg.base_seed, cfg.out_dir.as_deref());
+    }
+
+    if let Some(runs) = dist_smoke {
+        return run_dist_smoke(runs, cfg.base_seed, live_faults, cfg.out_dir.as_deref());
     }
 
     if let Some(runs) = portfolio_smoke {
@@ -197,6 +211,67 @@ fn main() -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+fn run_dist_smoke(
+    runs: u64,
+    base_seed: u64,
+    faults: bool,
+    out_dir: Option<&std::path::Path>,
+) -> ExitCode {
+    let mode = if faults {
+        "fault-bearing generator cases"
+    } else {
+        "generator cases"
+    };
+    println!("smp-check: dist smoke — {runs} {mode} on real worker processes (seed {base_seed})");
+    let failures = if faults {
+        smp_check::dist_smoke_faulted(runs, base_seed)
+    } else {
+        smp_check::dist_smoke(runs, base_seed)
+    };
+    if failures.is_empty() {
+        println!("smp-check: OK — {runs} dist runs, all protocol oracles satisfied (NoTaskDuplication, NoTaskLoss, Progress)");
+        return ExitCode::SUCCESS;
+    }
+    for (seed, violations) in &failures {
+        eprintln!("smp-check: dist seed {seed} FAILED:");
+        for v in violations {
+            eprintln!("  {v}");
+        }
+        if let Some(dir) = out_dir {
+            let spec = smp_check::gen::generate_case(*seed);
+            let mut context = vec![
+                format!("dist smoke seed {seed} (backend: worker processes)"),
+                format!(
+                    "violated: {}",
+                    violations
+                        .iter()
+                        .map(|v| v.oracle)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ];
+            if faults {
+                context.push(format!(
+                    "dist fault plan: {:?}",
+                    smp_check::generate_dist_fault_plan(*seed, spec.num_pes())
+                ));
+            }
+            let path = dir.join(format!("dist-{seed}.repro"));
+            match std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&path, smp_check::serialize(&spec, &context)))
+            {
+                Ok(()) => eprintln!("  repro: {} (replay with --replay)", path.display()),
+                Err(e) => eprintln!("  could not write repro: {e}"),
+            }
+        }
+    }
+    eprintln!(
+        "smp-check: {} of {runs} dist runs violated an oracle",
+        failures.len()
+    );
+    ExitCode::FAILURE
 }
 
 fn run_serve_smoke(runs: u64, base_seed: u64, out_dir: Option<&std::path::Path>) -> ExitCode {

@@ -1,0 +1,1235 @@
+//! Planner integration for the distributed multi-process backend.
+//!
+//! The [`smp_runtime::DistExecutor`] ships work as bytes: a *kind* string
+//! plus an opaque *blob*, executed by a [`DistHandler`] in the worker
+//! process. This module provides the planner side of that contract
+//! (DESIGN.md §17, PROTOCOL.md §5):
+//!
+//! * explicit little-endian **wire codecs** for the geometry and outcome
+//!   types that cross the process boundary ([`smp_geom::Environment`],
+//!   [`WorkCounters`], [`CandidateEdge`], region/branch outcomes) — `f64`
+//!   travels as raw bit patterns, so decoding is an exact inverse and the
+//!   merged roadmap digest is byte-identical to the DES and live backends;
+//! * [`CoreHandler`], the worker-side handler for the five planner work
+//!   kinds (`prm-gen`, `prm-connect`, `prm-cross`, `rrt-grow`,
+//!   `rrt-cross`), which rebuilds the subdivision from the blob once
+//!   (cached by blob hash) and derives any region's samples on demand —
+//!   region work is a pure function of `(config, region id)`, so a stolen
+//!   task needs **no sample migration**, mirroring the live backend's
+//!   location-independence argument;
+//! * [`run_parallel_prm_dist`] / [`run_parallel_rrt_dist`], the planner
+//!   drivers that phase the same experiment as the live backend through a
+//!   coordinator + N worker *processes*.
+//!
+//! Dimension is part of the blob (first field), so one worker binary
+//! serves 2-D and 3-D experiments; unknown dimensions or malformed blobs
+//! surface as [`Msg::Fatal`](smp_runtime::dist::Msg) → structured
+//! [`ExecError`]s, never a worker abort.
+
+use std::collections::HashMap;
+
+use crate::parallel_prm::{
+    connect_region, cross_edge, gen_region, owner_queues, CrossOutcome, ParallelPrmConfig, PrmRun,
+    PrmWorkload, RegionOutcome,
+};
+use crate::parallel_rrt::{
+    grow_branch, rrt_cross_edge, BranchOutcome, ParallelRrtConfig, RrtCrossOutcome, RrtRun,
+    RrtWorkload,
+};
+use crate::partition::{greedy_lpt, loads, naive_block, rect_partition};
+use crate::phases::PhaseBreakdown;
+use crate::strategy::{Strategy, WeightKind};
+use crate::weights;
+use smp_cspace::{derive_seed, Cfg, WorkCounters};
+use smp_geom::{
+    Aabb, ConvexPolytope, Environment, GridSubdivision, Halfspace, Obstacle, Point,
+    RadialSubdivision,
+};
+use smp_graph::{OwnerMap, RegionGraph, RemoteAccessCounter};
+use smp_obs::MetricsRegistry;
+use smp_plan::connect::CandidateEdge;
+use smp_runtime::dist::{
+    blob_key, DistExecutor, DistHandler, DistOptions, SynthHandler, WireReader, WireWriter,
+    WorkDesc,
+};
+use smp_runtime::{DistTuning, ExecError, ExecSpec, SimError};
+
+// ---------------------------------------------------------------------------
+// Geometry / outcome wire codecs (PROTOCOL.md §5)
+// ---------------------------------------------------------------------------
+
+type Res<T> = Result<T, String>;
+
+/// Weighted roadmap edges as `(from, to, cost)` triples — the PRM connect
+/// phase's per-region result payload (PROTOCOL.md §5).
+type WeightedEdges = Vec<(u32, u32, f64)>;
+
+fn err(e: impl std::fmt::Display) -> String {
+    format!("dist codec: {e}")
+}
+
+fn put_point<const D: usize>(w: &mut WireWriter, p: &Point<D>) {
+    for i in 0..D {
+        w.f64(p.0[i]);
+    }
+}
+
+fn get_point<const D: usize>(r: &mut WireReader<'_>) -> Res<Point<D>> {
+    let mut c = [0.0f64; D];
+    for v in c.iter_mut() {
+        *v = r.f64().map_err(err)?;
+    }
+    Ok(Point(c))
+}
+
+fn put_aabb<const D: usize>(w: &mut WireWriter, b: &Aabb<D>) {
+    put_point(w, &b.lo());
+    put_point(w, &b.hi());
+}
+
+fn get_aabb<const D: usize>(r: &mut WireReader<'_>) -> Res<Aabb<D>> {
+    let lo = get_point(r)?;
+    let hi = get_point(r)?;
+    Ok(Aabb::new(lo, hi))
+}
+
+fn put_obstacle<const D: usize>(w: &mut WireWriter, o: &Obstacle<D>) {
+    match o {
+        Obstacle::Box(bb) => {
+            w.u8(0);
+            put_aabb(w, bb);
+        }
+        Obstacle::Sphere { center, radius } => {
+            w.u8(1);
+            put_point(w, center);
+            w.f64(*radius);
+        }
+        Obstacle::Convex(c) => {
+            w.u8(2);
+            let hs = c.halfspaces();
+            w.u32(hs.len() as u32);
+            for h in hs {
+                put_point(w, &h.normal);
+                w.f64(h.offset);
+            }
+            put_aabb(w, &c.bounding_box());
+        }
+    }
+}
+
+fn get_obstacle<const D: usize>(r: &mut WireReader<'_>) -> Res<Obstacle<D>> {
+    match r.u8().map_err(err)? {
+        0 => Ok(Obstacle::Box(get_aabb(r)?)),
+        1 => Ok(Obstacle::Sphere {
+            center: get_point(r)?,
+            radius: r.f64().map_err(err)?,
+        }),
+        2 => {
+            let n = r.u32().map_err(err)? as usize;
+            let mut hs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let normal = get_point(r)?;
+                let offset = r.f64().map_err(err)?;
+                hs.push(Halfspace::new(normal, offset));
+            }
+            if hs.is_empty() {
+                return Err("dist codec: empty polytope".into());
+            }
+            let bbox = get_aabb(r)?;
+            Ok(Obstacle::Convex(ConvexPolytope::new(hs, bbox)))
+        }
+        t => Err(format!("dist codec: bad obstacle tag {t}")),
+    }
+}
+
+fn put_env<const D: usize>(w: &mut WireWriter, env: &Environment<D>) {
+    w.str(env.name());
+    put_aabb(w, env.bounds());
+    w.bool(env.has_disjoint_obstacles());
+    w.u32(env.obstacles().len() as u32);
+    for o in env.obstacles() {
+        put_obstacle(w, o);
+    }
+}
+
+fn get_env<const D: usize>(r: &mut WireReader<'_>) -> Res<Environment<D>> {
+    let name = r.string().map_err(err)?;
+    let bounds = get_aabb(r)?;
+    let disjoint = r.bool().map_err(err)?;
+    let n = r.u32().map_err(err)? as usize;
+    let mut obs = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        obs.push(get_obstacle(r)?);
+    }
+    Ok(Environment::new(name, bounds, obs, disjoint))
+}
+
+fn put_counters(w: &mut WireWriter, c: &WorkCounters) {
+    w.u64(c.cd_checks);
+    w.u64(c.lp_calls);
+    w.u64(c.lp_steps);
+    w.u64(c.samples_attempted);
+    w.u64(c.samples_valid);
+    w.u64(c.knn_queries);
+    w.u64(c.knn_candidates);
+    w.u64(c.vertices_added);
+    w.u64(c.edges_added);
+}
+
+fn get_counters(r: &mut WireReader<'_>) -> Res<WorkCounters> {
+    Ok(WorkCounters {
+        cd_checks: r.u64().map_err(err)?,
+        lp_calls: r.u64().map_err(err)?,
+        lp_steps: r.u64().map_err(err)?,
+        samples_attempted: r.u64().map_err(err)?,
+        samples_valid: r.u64().map_err(err)?,
+        knn_queries: r.u64().map_err(err)?,
+        knn_candidates: r.u64().map_err(err)?,
+        vertices_added: r.u64().map_err(err)?,
+        edges_added: r.u64().map_err(err)?,
+    })
+}
+
+fn put_cfgs<const D: usize>(w: &mut WireWriter, cfgs: &[Cfg<D>]) {
+    w.u32(cfgs.len() as u32);
+    for c in cfgs {
+        put_point(w, c);
+    }
+}
+
+fn get_cfgs<const D: usize>(r: &mut WireReader<'_>) -> Res<Vec<Cfg<D>>> {
+    let n = r.u32().map_err(err)? as usize;
+    let mut v = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        v.push(get_point(r)?);
+    }
+    Ok(v)
+}
+
+fn put_weighted_edges(w: &mut WireWriter, edges: &[(u32, u32, f64)]) {
+    w.u32(edges.len() as u32);
+    for &(a, b, len) in edges {
+        w.u32(a);
+        w.u32(b);
+        w.f64(len);
+    }
+}
+
+fn get_weighted_edges(r: &mut WireReader<'_>) -> Res<WeightedEdges> {
+    let n = r.u32().map_err(err)? as usize;
+    let mut v = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        v.push((
+            r.u32().map_err(err)?,
+            r.u32().map_err(err)?,
+            r.f64().map_err(err)?,
+        ));
+    }
+    Ok(v)
+}
+
+fn put_links(w: &mut WireWriter, links: &[CandidateEdge]) {
+    w.u32(links.len() as u32);
+    for l in links {
+        w.u32(l.from);
+        w.u32(l.to);
+        w.f64(l.length);
+    }
+}
+
+fn get_links(r: &mut WireReader<'_>) -> Res<Vec<CandidateEdge>> {
+    let n = r.u32().map_err(err)? as usize;
+    let mut v = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        v.push(CandidateEdge {
+            from: r.u32().map_err(err)?,
+            to: r.u32().map_err(err)?,
+            length: r.f64().map_err(err)?,
+        });
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Work blobs: one per planner run, cached by hash in the worker
+// ---------------------------------------------------------------------------
+
+/// Encode the PRM experiment parameters (environment included) for
+/// shipping to worker processes. The leading `u32` is the dimension.
+pub fn encode_prm_blob<const D: usize>(cfg: &ParallelPrmConfig<'_, D>) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(D as u32);
+    put_env(&mut w, cfg.env);
+    w.u64(cfg.regions_target as u64);
+    w.f64(cfg.overlap);
+    w.u64(cfg.attempts_per_region as u64);
+    w.u64(cfg.k_neighbors as u64);
+    w.f64(cfg.lp_resolution);
+    w.f64(cfg.robot_radius);
+    w.u64(cfg.connect_max_pairs as u64);
+    w.u64(cfg.connect_stop_after as u64);
+    w.u64(cfg.seed);
+    w.into_bytes()
+}
+
+/// Encode the RRT experiment parameters for shipping to workers. The
+/// leading `u32` is the dimension.
+pub fn encode_rrt_blob<const D: usize>(cfg: &ParallelRrtConfig<'_, D>) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(D as u32);
+    put_env(&mut w, cfg.env);
+    w.u64(cfg.num_regions as u64);
+    w.f64(cfg.radius);
+    w.f64(cfg.overlap_factor);
+    w.u64(cfg.k_adjacent as u64);
+    w.u64(cfg.nodes_per_region as u64);
+    w.f64(cfg.step_size);
+    w.f64(cfg.target_bias);
+    w.f64(cfg.lp_resolution);
+    w.f64(cfg.robot_radius);
+    w.u64(cfg.max_iters as u64);
+    w.u64(cfg.stall_limit as u64);
+    w.u64(cfg.krays as u64);
+    w.u64(cfg.connect_max_pairs as u64);
+    w.u64(cfg.connect_stop_after as u64);
+    w.u64(cfg.seed);
+    w.into_bytes()
+}
+
+/// Decoded PRM parameters with an owned environment — the worker-side
+/// mirror of [`ParallelPrmConfig`].
+struct PrmParams<const D: usize> {
+    env: Environment<D>,
+    regions_target: usize,
+    overlap: f64,
+    attempts_per_region: usize,
+    k_neighbors: usize,
+    lp_resolution: f64,
+    robot_radius: f64,
+    connect_max_pairs: usize,
+    connect_stop_after: usize,
+    seed: u64,
+}
+
+impl<const D: usize> PrmParams<D> {
+    /// Borrowing view usable by the planner's task functions.
+    fn view(&self) -> ParallelPrmConfig<'_, D> {
+        ParallelPrmConfig {
+            env: &self.env,
+            regions_target: self.regions_target,
+            overlap: self.overlap,
+            attempts_per_region: self.attempts_per_region,
+            k_neighbors: self.k_neighbors,
+            lp_resolution: self.lp_resolution,
+            robot_radius: self.robot_radius,
+            connect_max_pairs: self.connect_max_pairs,
+            connect_stop_after: self.connect_stop_after,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Decoded RRT parameters with an owned environment.
+struct RrtParamsOwned<const D: usize> {
+    env: Environment<D>,
+    num_regions: usize,
+    radius: f64,
+    overlap_factor: f64,
+    k_adjacent: usize,
+    nodes_per_region: usize,
+    step_size: f64,
+    target_bias: f64,
+    lp_resolution: f64,
+    robot_radius: f64,
+    max_iters: usize,
+    stall_limit: usize,
+    krays: usize,
+    connect_max_pairs: usize,
+    connect_stop_after: usize,
+    seed: u64,
+}
+
+impl<const D: usize> RrtParamsOwned<D> {
+    fn view(&self) -> ParallelRrtConfig<'_, D> {
+        ParallelRrtConfig {
+            env: &self.env,
+            num_regions: self.num_regions,
+            radius: self.radius,
+            overlap_factor: self.overlap_factor,
+            k_adjacent: self.k_adjacent,
+            nodes_per_region: self.nodes_per_region,
+            step_size: self.step_size,
+            target_bias: self.target_bias,
+            lp_resolution: self.lp_resolution,
+            robot_radius: self.robot_radius,
+            max_iters: self.max_iters,
+            stall_limit: self.stall_limit,
+            krays: self.krays,
+            connect_max_pairs: self.connect_max_pairs,
+            connect_stop_after: self.connect_stop_after,
+            seed: self.seed,
+        }
+    }
+}
+
+fn decode_prm_params<const D: usize>(r: &mut WireReader<'_>) -> Res<PrmParams<D>> {
+    Ok(PrmParams {
+        env: get_env(r)?,
+        regions_target: r.u64().map_err(err)? as usize,
+        overlap: r.f64().map_err(err)?,
+        attempts_per_region: r.u64().map_err(err)? as usize,
+        k_neighbors: r.u64().map_err(err)? as usize,
+        lp_resolution: r.f64().map_err(err)?,
+        robot_radius: r.f64().map_err(err)?,
+        connect_max_pairs: r.u64().map_err(err)? as usize,
+        connect_stop_after: r.u64().map_err(err)? as usize,
+        seed: r.u64().map_err(err)?,
+    })
+}
+
+fn decode_rrt_params<const D: usize>(r: &mut WireReader<'_>) -> Res<RrtParamsOwned<D>> {
+    Ok(RrtParamsOwned {
+        env: get_env(r)?,
+        num_regions: r.u64().map_err(err)? as usize,
+        radius: r.f64().map_err(err)?,
+        overlap_factor: r.f64().map_err(err)?,
+        k_adjacent: r.u64().map_err(err)? as usize,
+        nodes_per_region: r.u64().map_err(err)? as usize,
+        step_size: r.f64().map_err(err)?,
+        target_bias: r.f64().map_err(err)?,
+        lp_resolution: r.f64().map_err(err)?,
+        robot_radius: r.f64().map_err(err)?,
+        max_iters: r.u64().map_err(err)? as usize,
+        stall_limit: r.u64().map_err(err)? as usize,
+        krays: r.u64().map_err(err)? as usize,
+        connect_max_pairs: r.u64().map_err(err)? as usize,
+        connect_stop_after: r.u64().map_err(err)? as usize,
+        seed: r.u64().map_err(err)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker-side handler
+// ---------------------------------------------------------------------------
+
+/// Worker context for one PRM experiment: subdivision rebuilt from the
+/// blob, region-graph edges, and a per-region sample cache (any region's
+/// samples are derivable locally — `gen_region` is a pure function of the
+/// config and region id — so stolen connect/cross tasks need no sample
+/// shipping).
+struct PrmCtx<const D: usize> {
+    params: PrmParams<D>,
+    grid: GridSubdivision<D>,
+    edges: Vec<(u32, u32)>,
+    gens: HashMap<u32, (Vec<Cfg<D>>, WorkCounters)>,
+}
+
+impl<const D: usize> PrmCtx<D> {
+    fn from_blob(blob: &[u8]) -> Res<Self> {
+        let mut r = WireReader::new(blob);
+        let dims = r.u32().map_err(err)? as usize;
+        if dims != D {
+            return Err(format!("prm blob is {dims}-D, handler expected {D}-D"));
+        }
+        let params: PrmParams<D> = decode_prm_params(&mut r)?;
+        r.finish().map_err(err)?;
+        let grid = GridSubdivision::with_target_regions(
+            *params.env.bounds(),
+            params.regions_target,
+            params.overlap,
+        );
+        let edges = RegionGraph::from_grid(&grid).edges().to_vec();
+        Ok(PrmCtx {
+            params,
+            grid,
+            edges,
+            gens: HashMap::new(),
+        })
+    }
+
+    fn gen(&mut self, region: u32) -> &(Vec<Cfg<D>>, WorkCounters) {
+        if !self.gens.contains_key(&region) {
+            let out = gen_region(&self.params.view(), &self.grid, region);
+            self.gens.insert(region, out);
+        }
+        // Inserted just above when absent.
+        &self.gens[&region]
+    }
+
+    fn run(&mut self, kind: &str, task: u32) -> Res<Vec<u8>> {
+        let mut w = WireWriter::new();
+        match kind {
+            "prm-gen" => {
+                let (cfgs, work) = self.gen(task).clone();
+                put_cfgs(&mut w, &cfgs);
+                put_counters(&mut w, &work);
+            }
+            "prm-connect" => {
+                let cfgs = self.gen(task).0.clone();
+                let (edges, work) = connect_region(&self.params.view(), &cfgs);
+                put_weighted_edges(&mut w, &edges);
+                put_counters(&mut w, &work);
+            }
+            "prm-cross" => {
+                let &(a, b) = self
+                    .edges
+                    .get(task as usize)
+                    .ok_or_else(|| format!("prm cross edge {task} out of range"))?;
+                let a_cfgs = self.gen(a).0.clone();
+                let b_cfgs = self.gen(b).0.clone();
+                let out = cross_edge(&self.params.view(), a, b, &a_cfgs, &b_cfgs);
+                w.u32(out.regions.0);
+                w.u32(out.regions.1);
+                put_links(&mut w, &out.links);
+                put_counters(&mut w, &out.work);
+                w.u64(out.partner_reads);
+            }
+            other => return Err(format!("unknown prm work kind {other:?}")),
+        }
+        Ok(w.into_bytes())
+    }
+}
+
+/// Worker context for one RRT experiment, mirroring [`PrmCtx`]: radial
+/// subdivision rebuilt from the blob, plus a per-region branch cache for
+/// cross-connection tasks.
+struct RrtCtx<const D: usize> {
+    params: RrtParamsOwned<D>,
+    sub: RadialSubdivision<D>,
+    edges: Vec<(u32, u32)>,
+    branches: HashMap<u32, BranchOutcome<D>>,
+}
+
+impl<const D: usize> RrtCtx<D> {
+    fn from_blob(blob: &[u8]) -> Res<Self> {
+        let mut r = WireReader::new(blob);
+        let dims = r.u32().map_err(err)? as usize;
+        if dims != D {
+            return Err(format!("rrt blob is {dims}-D, handler expected {D}-D"));
+        }
+        let params: RrtParamsOwned<D> = decode_rrt_params(&mut r)?;
+        r.finish().map_err(err)?;
+        let root = params.env.bounds().center();
+        let sub = RadialSubdivision::sample(
+            root,
+            params.radius,
+            params.num_regions,
+            params.overlap_factor,
+            derive_seed(params.seed, 0, 0x726_164),
+        );
+        let edges = RegionGraph::from_radial(&sub, params.k_adjacent)
+            .edges()
+            .to_vec();
+        Ok(RrtCtx {
+            params,
+            sub,
+            edges,
+            branches: HashMap::new(),
+        })
+    }
+
+    fn branch(&mut self, region: u32) -> &BranchOutcome<D> {
+        if !self.branches.contains_key(&region) {
+            let out = grow_branch(&self.params.view(), &self.sub, region);
+            self.branches.insert(region, out);
+        }
+        &self.branches[&region]
+    }
+
+    fn run(&mut self, kind: &str, task: u32) -> Res<Vec<u8>> {
+        let mut w = WireWriter::new();
+        match kind {
+            "rrt-grow" => {
+                let b = self.branch(task).clone();
+                put_cfgs(&mut w, &b.cfgs);
+                put_weighted_edges(&mut w, &b.edges);
+                put_counters(&mut w, &b.work);
+            }
+            "rrt-cross" => {
+                let &(a, b) = self
+                    .edges
+                    .get(task as usize)
+                    .ok_or_else(|| format!("rrt cross edge {task} out of range"))?;
+                let a_cfgs = self.branch(a).cfgs.clone();
+                let b_cfgs = self.branch(b).cfgs.clone();
+                let out = rrt_cross_edge(&self.params.view(), a, b, &a_cfgs, &b_cfgs);
+                w.u32(out.regions.0);
+                w.u32(out.regions.1);
+                put_links(&mut w, &out.links);
+                put_counters(&mut w, &out.work);
+                w.u64(out.partner_reads);
+            }
+            other => return Err(format!("unknown rrt work kind {other:?}")),
+        }
+        Ok(w.into_bytes())
+    }
+}
+
+/// Cached planner contexts, keyed by blob hash and monomorphized per
+/// supported dimension (2-D and 3-D cover every environment in the repo).
+enum CtxSlot {
+    Prm2(PrmCtx<2>),
+    Prm3(PrmCtx<3>),
+    Rrt2(RrtCtx<2>),
+    Rrt3(RrtCtx<3>),
+}
+
+/// The worker-side handler wired into `smp-dist-worker`: dispatches the
+/// five planner work kinds (plus `"synth"` for smoke tests) and caches the
+/// decoded context across phases of the same run.
+#[derive(Default)]
+pub struct CoreHandler {
+    synth: SynthHandler,
+    ctx: Option<(u64, CtxSlot)>,
+}
+
+impl CoreHandler {
+    fn ctx_for(&mut self, kind: &str, blob: &[u8]) -> Res<&mut CtxSlot> {
+        let key = blob_key(blob);
+        let fresh = match &self.ctx {
+            Some((k, slot)) => {
+                *k != key
+                    || !matches!(
+                        (kind.starts_with("prm-"), slot),
+                        (true, CtxSlot::Prm2(_) | CtxSlot::Prm3(_))
+                            | (false, CtxSlot::Rrt2(_) | CtxSlot::Rrt3(_))
+                    )
+            }
+            None => true,
+        };
+        if fresh {
+            let dims = WireReader::new(blob).u32().map_err(err)?;
+            let slot = match (kind.starts_with("prm-"), dims) {
+                (true, 2) => CtxSlot::Prm2(PrmCtx::from_blob(blob)?),
+                (true, 3) => CtxSlot::Prm3(PrmCtx::from_blob(blob)?),
+                (false, 2) => CtxSlot::Rrt2(RrtCtx::from_blob(blob)?),
+                (false, 3) => CtxSlot::Rrt3(RrtCtx::from_blob(blob)?),
+                (_, d) => return Err(format!("unsupported planner dimension {d}")),
+            };
+            self.ctx = Some((key, slot));
+        }
+        // Installed just above when absent or mismatched.
+        self.ctx
+            .as_mut()
+            .map(|(_, s)| s)
+            .ok_or_else(|| "no planner ctx".to_string())
+    }
+}
+
+impl DistHandler for CoreHandler {
+    fn run(&mut self, kind: &str, blob: &[u8], task: u32) -> Result<Vec<u8>, String> {
+        if kind == "synth" {
+            return self.synth.run(kind, blob, task);
+        }
+        if !kind.starts_with("prm-") && !kind.starts_with("rrt-") {
+            return Err(format!("CoreHandler cannot run work kind {kind:?}"));
+        }
+        match self.ctx_for(kind, blob)? {
+            CtxSlot::Prm2(c) => c.run(kind, task),
+            CtxSlot::Prm3(c) => c.run(kind, task),
+            CtxSlot::Rrt2(c) => c.run(kind, task),
+            CtxSlot::Rrt3(c) => c.run(kind, task),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator-side result decoders
+// ---------------------------------------------------------------------------
+
+fn transport(e: impl std::fmt::Display) -> ExecError {
+    ExecError::Transport(e.to_string())
+}
+
+fn decode_gen<const D: usize>(bytes: &[u8]) -> Result<(Vec<Cfg<D>>, WorkCounters), ExecError> {
+    let mut r = WireReader::new(bytes);
+    let cfgs = get_cfgs(&mut r).map_err(transport)?;
+    let work = get_counters(&mut r).map_err(transport)?;
+    r.finish().map_err(transport)?;
+    Ok((cfgs, work))
+}
+
+fn decode_connect(bytes: &[u8]) -> Result<(WeightedEdges, WorkCounters), ExecError> {
+    let mut r = WireReader::new(bytes);
+    let edges = get_weighted_edges(&mut r).map_err(transport)?;
+    let work = get_counters(&mut r).map_err(transport)?;
+    r.finish().map_err(transport)?;
+    Ok((edges, work))
+}
+
+fn decode_cross(bytes: &[u8]) -> Result<CrossOutcome, ExecError> {
+    let mut r = WireReader::new(bytes);
+    let regions = (r.u32().map_err(transport)?, r.u32().map_err(transport)?);
+    let links = get_links(&mut r).map_err(transport)?;
+    let work = get_counters(&mut r).map_err(transport)?;
+    let partner_reads = r.u64().map_err(transport)?;
+    r.finish().map_err(transport)?;
+    Ok(CrossOutcome {
+        regions,
+        links,
+        work,
+        partner_reads,
+    })
+}
+
+fn decode_branch<const D: usize>(bytes: &[u8]) -> Result<BranchOutcome<D>, ExecError> {
+    let mut r = WireReader::new(bytes);
+    let cfgs = get_cfgs(&mut r).map_err(transport)?;
+    let edges = get_weighted_edges(&mut r).map_err(transport)?;
+    let work = get_counters(&mut r).map_err(transport)?;
+    r.finish().map_err(transport)?;
+    Ok(BranchOutcome { cfgs, edges, work })
+}
+
+fn decode_rrt_cross(bytes: &[u8]) -> Result<RrtCrossOutcome, ExecError> {
+    let mut r = WireReader::new(bytes);
+    let regions = (r.u32().map_err(transport)?, r.u32().map_err(transport)?);
+    let links = get_links(&mut r).map_err(transport)?;
+    let work = get_counters(&mut r).map_err(transport)?;
+    let partner_reads = r.u64().map_err(transport)?;
+    r.finish().map_err(transport)?;
+    Ok(RrtCrossOutcome {
+        regions,
+        links,
+        work,
+        partner_reads,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Planner drivers
+// ---------------------------------------------------------------------------
+
+/// Run the full parallel PRM on worker **processes** via a pre-built
+/// [`DistExecutor`] — the distributed mirror of
+/// [`crate::parallel_prm::run_parallel_prm_live`], phase for phase.
+///
+/// Because region work is a pure function of `(config, region id)`, the
+/// returned workload — and hence the assembled roadmap and its digest —
+/// is byte-identical to the DES and live backends for the same
+/// `cfg.seed`, at any worker count, under any strategy, and across
+/// injected message faults and worker-process crashes (the three-way
+/// differential gate in `tests/dist_backend_differential.rs`).
+///
+/// `Probe`/`KRays` repartitioning weights are not supported (as live);
+/// use `SampleCount` or `Vfree`.
+pub fn run_parallel_prm_dist_with<const D: usize>(
+    cfg: &ParallelPrmConfig<'_, D>,
+    p: usize,
+    strategy: &Strategy,
+    exec: &mut DistExecutor,
+) -> Result<(PrmWorkload<D>, PrmRun), ExecError> {
+    if p == 0 {
+        return Err(SimError::NoPes.into());
+    }
+    let grid =
+        GridSubdivision::with_target_regions(*cfg.env.bounds(), cfg.regions_target, cfg.overlap);
+    let region_graph = RegionGraph::from_grid(&grid);
+    let nr = grid.num_regions();
+    let vfree = weights::vfree_weights(cfg.env, &grid);
+    let blob = encode_prm_blob(cfg);
+
+    let naive = naive_block(nr, p);
+    let naive_queues = owner_queues(&naive);
+
+    // Phase 1: generation (static, naïve).
+    let gen_spec = ExecSpec {
+        n_tasks: nr,
+        costs: None,
+        payloads: None,
+        assignment: &naive_queues,
+        steal: None,
+        seed: derive_seed(cfg.seed, p as u64, 1),
+    };
+    let gen_out = exec.execute_raw(
+        &gen_spec,
+        &WorkDesc {
+            kind: "prm-gen",
+            blob: &blob,
+        },
+    )?;
+    let gen_results: Vec<(Vec<Cfg<D>>, WorkCounters)> = gen_out
+        .results
+        .iter()
+        .map(|b| decode_gen(b))
+        .collect::<Result<_, _>>()?;
+    let gen_makespan = gen_out.report.makespan;
+
+    // Phase 2: load balancing (coordinator-side, as in the live backend —
+    // a repartition is an ownership-table update; samples never move
+    // because workers re-derive them).
+    let counts: Vec<u32> = gen_results.iter().map(|(c, _)| c.len() as u32).collect();
+    let mut migrations = 0usize;
+    let lb_clock = std::time::Instant::now();
+    let (connect_queues, steal) = match strategy {
+        Strategy::NoLb => (naive_queues.clone(), None),
+        Strategy::WorkStealing(sc) => (naive_queues.clone(), Some(*sc)),
+        Strategy::Repartition(kind) | Strategy::RectPartition(kind) => {
+            let w: Vec<f64> = match kind {
+                WeightKind::SampleCount => weights::sample_count_weights(&counts),
+                WeightKind::Vfree => vfree.clone(),
+                other => {
+                    return Err(ExecError::Transport(format!(
+                        "{other:?} weights are not supported by the dist backend"
+                    )))
+                }
+            };
+            let cur = loads(&naive, &w);
+            let mean = cur.iter().sum::<f64>() / p as f64;
+            let max = cur.iter().cloned().fold(0.0, f64::max);
+            if mean <= 0.0 || max <= mean * 1.05 {
+                (naive_queues.clone(), None)
+            } else {
+                let new_map = if matches!(strategy, Strategy::RectPartition(_)) {
+                    let mut rdims: Vec<usize> = grid.dims().to_vec();
+                    rdims.reverse();
+                    rect_partition(&rdims, &w, p)
+                } else {
+                    greedy_lpt(&w, p)
+                };
+                migrations = naive.migration_count(&new_map);
+                (owner_queues(&new_map), None)
+            }
+        }
+    };
+    let lb_time = u64::try_from(lb_clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    // Phase 3: node connection under the chosen strategy — a worker that
+    // steals a region derives that region's samples itself and connects
+    // them (no sample migration).
+    let payloads: Vec<u64> = gen_results.iter().map(|(c, _)| c.len() as u64).collect();
+    let con_spec = ExecSpec {
+        n_tasks: nr,
+        costs: None,
+        payloads: Some(&payloads),
+        assignment: &connect_queues,
+        steal,
+        seed: derive_seed(cfg.seed, p as u64, 2),
+    };
+    let con_out = exec.execute_raw(
+        &con_spec,
+        &WorkDesc {
+            kind: "prm-connect",
+            blob: &blob,
+        },
+    )?;
+    let con_results: Vec<(WeightedEdges, WorkCounters)> = con_out
+        .results
+        .iter()
+        .map(|b| decode_connect(b))
+        .collect::<Result<_, _>>()?;
+    let con_report = con_out.report;
+    let con_makespan = con_report.makespan;
+    let final_owner: Vec<u32> = con_report.executed_by.clone();
+
+    // Phase 4: region connection on the final owner of each edge's first
+    // region.
+    let edges: Vec<(u32, u32)> = region_graph.edges().to_vec();
+    let mut cross_queues: Vec<Vec<u32>> = vec![Vec::new(); p];
+    for (i, &(a, _)) in edges.iter().enumerate() {
+        cross_queues[final_owner[a as usize] as usize].push(i as u32);
+    }
+    let cross_spec = ExecSpec {
+        n_tasks: edges.len(),
+        costs: None,
+        payloads: None,
+        assignment: &cross_queues,
+        steal: None,
+        seed: derive_seed(cfg.seed, p as u64, 4),
+    };
+    let cross_out = exec.execute_raw(
+        &cross_spec,
+        &WorkDesc {
+            kind: "prm-cross",
+            blob: &blob,
+        },
+    )?;
+    let cross_results: Vec<CrossOutcome> = cross_out
+        .results
+        .iter()
+        .map(|b| decode_cross(b))
+        .collect::<Result<_, _>>()?;
+    let cross_makespan = cross_out.report.makespan;
+
+    // Remote-access accounting, loads, cut — identical to the live path.
+    let mut remote = RemoteAccessCounter::new();
+    for c in &cross_results {
+        let (a, b) = c.regions;
+        let oa = final_owner[a as usize];
+        let ob = final_owner[b as usize];
+        remote.touch_region(oa, ob);
+        if oa != ob && c.partner_reads > 0 {
+            remote.roadmap_remote += c.partner_reads;
+        } else {
+            remote.local += c.partner_reads;
+        }
+    }
+    let mut node_load_initial = vec![0u64; p];
+    let mut node_load_final = vec![0u64; p];
+    for r in 0..nr {
+        node_load_initial[naive.owner_of(r as u32) as usize] += counts[r] as u64;
+        node_load_final[final_owner[r] as usize] += counts[r] as u64;
+    }
+    let final_map = OwnerMap::new(final_owner, p);
+    let edge_cut = final_map.edge_cut(region_graph.edges());
+
+    let phases = PhaseBreakdown {
+        other: gen_makespan + lb_time,
+        node_connection: con_makespan,
+        region_connection: cross_makespan,
+    };
+    let construction = con_report.to_sim_report();
+
+    let regions: Vec<RegionOutcome<D>> = gen_results
+        .into_iter()
+        .zip(con_results)
+        .map(|((cfgs, gen_work), (edges, con_work))| RegionOutcome {
+            cfgs,
+            edges,
+            gen_work,
+            con_work,
+        })
+        .collect();
+    let workload = PrmWorkload {
+        grid,
+        region_graph,
+        regions,
+        cross: cross_results,
+        vfree,
+        seed: cfg.seed,
+    };
+
+    let mut reg = MetricsRegistry::new();
+    reg.set_gauge("prm.p", p as u64);
+    reg.set_gauge("prm.regions", nr as u64);
+    reg.set_gauge("prm.vertices", workload.total_vertices() as u64);
+    reg.inc("prm.migrations", migrations as u64);
+    reg.set_gauge("prm.edge_cut", edge_cut as u64);
+    reg.inc("prm.remote.accesses", remote.total_remote());
+    reg.inc("prm.remote.local", remote.local);
+    reg.set_gauge("prm.time.total_ns", phases.total());
+    reg.set_gauge("prm.time.generation_ns", gen_makespan);
+    reg.set_gauge("prm.time.load_balance_ns", lb_time);
+    reg.set_gauge("prm.time.node_connection_ns", con_makespan);
+    reg.set_gauge("prm.time.region_connection_ns", cross_makespan);
+    let metrics = reg.snapshot().merged_with(&construction.metrics);
+
+    let run = PrmRun {
+        strategy_label: strategy.label(),
+        p,
+        total_time: phases.total(),
+        phases,
+        construction,
+        node_load_initial,
+        node_load_final,
+        remote,
+        edge_cut,
+        migrations,
+        metrics,
+    };
+    Ok((workload, run))
+}
+
+/// As [`run_parallel_prm_dist_with`], spawning `p` worker processes of the
+/// `smp-dist-worker` binary with the given tuning (the `Backend::Dist`
+/// entry point).
+pub fn run_parallel_prm_dist<const D: usize>(
+    cfg: &ParallelPrmConfig<'_, D>,
+    p: usize,
+    strategy: &Strategy,
+    tuning: DistTuning,
+) -> Result<(PrmWorkload<D>, PrmRun), ExecError> {
+    let opts = DistOptions::process(tuning).map_err(transport)?;
+    let mut exec = DistExecutor::new(opts);
+    run_parallel_prm_dist_with(cfg, p, strategy, &mut exec)
+}
+
+/// Run the full parallel RRT on worker processes via a pre-built
+/// [`DistExecutor`] — the distributed mirror of
+/// [`crate::parallel_rrt::run_parallel_rrt_live`], with the same
+/// cross-backend digest-identity guarantee as
+/// [`run_parallel_prm_dist_with`]. RRT repartitioning requires `KRays`
+/// weights (computed coordinator-side, as live).
+pub fn run_parallel_rrt_dist_with<const D: usize>(
+    cfg: &ParallelRrtConfig<'_, D>,
+    p: usize,
+    strategy: &Strategy,
+    exec: &mut DistExecutor,
+) -> Result<(RrtWorkload<D>, RrtRun), ExecError> {
+    if p == 0 {
+        return Err(SimError::NoPes.into());
+    }
+    let root = cfg.env.bounds().center();
+    let sub = RadialSubdivision::sample(
+        root,
+        cfg.radius,
+        cfg.num_regions,
+        cfg.overlap_factor,
+        derive_seed(cfg.seed, 0, 0x726_164),
+    );
+    let region_graph = RegionGraph::from_radial(&sub, cfg.k_adjacent);
+    let nr = sub.num_regions();
+    let naive = naive_block(nr, p);
+    let blob = encode_rrt_blob(cfg);
+
+    // Phase 1: load balancing before growth (RRT work cannot be measured
+    // a priori), coordinator-side.
+    let lb_clock = std::time::Instant::now();
+    let mut migrations = 0usize;
+    let (queues, steal, krays_weights) = match strategy {
+        Strategy::NoLb => (naive.items_per_pe(), None, None),
+        Strategy::WorkStealing(sc) => (naive.items_per_pe(), Some(*sc), None),
+        Strategy::Repartition(kind) | Strategy::RectPartition(kind) => {
+            let w: Vec<f64> = match kind {
+                WeightKind::KRays(k) => weights::krays_weights(cfg.env, &sub, *k, cfg.seed),
+                other => {
+                    return Err(ExecError::Transport(format!(
+                        "RRT repartitioning requires KRays weights, got {other:?}"
+                    )))
+                }
+            };
+            let cur = loads(&naive, &w);
+            let mean = cur.iter().sum::<f64>() / p as f64;
+            let max = cur.iter().cloned().fold(0.0, f64::max);
+            if mean <= 0.0 || max <= mean * 1.05 {
+                (naive.items_per_pe(), None, Some(w))
+            } else {
+                let new_map = if matches!(strategy, Strategy::RectPartition(_)) {
+                    rect_partition(&[nr], &w, p)
+                } else {
+                    greedy_lpt(&w, p)
+                };
+                migrations = naive.migration_count(&new_map);
+                (new_map.items_per_pe(), None, Some(w))
+            }
+        }
+    };
+    let lb_time = u64::try_from(lb_clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    // Phase 2: construction (branch growth) under the chosen strategy.
+    let con_spec = ExecSpec {
+        n_tasks: nr,
+        costs: None,
+        payloads: None,
+        assignment: &queues,
+        steal,
+        seed: derive_seed(cfg.seed, p as u64, 3),
+    };
+    let con_out = exec.execute_raw(
+        &con_spec,
+        &WorkDesc {
+            kind: "rrt-grow",
+            blob: &blob,
+        },
+    )?;
+    let branches: Vec<BranchOutcome<D>> = con_out
+        .results
+        .iter()
+        .map(|b| decode_branch(b))
+        .collect::<Result<_, _>>()?;
+    let con_report = con_out.report;
+    let con_makespan = con_report.makespan;
+    let final_owner: Vec<u32> = con_report.executed_by.clone();
+
+    // Phase 3: region connection on the final owner of each edge's first
+    // region.
+    let edges: Vec<(u32, u32)> = region_graph.edges().to_vec();
+    let mut cross_queues: Vec<Vec<u32>> = vec![Vec::new(); p];
+    for (i, &(a, _)) in edges.iter().enumerate() {
+        cross_queues[final_owner[a as usize] as usize].push(i as u32);
+    }
+    let cross_spec = ExecSpec {
+        n_tasks: edges.len(),
+        costs: None,
+        payloads: None,
+        assignment: &cross_queues,
+        steal: None,
+        seed: derive_seed(cfg.seed, p as u64, 4),
+    };
+    let cross_out = exec.execute_raw(
+        &cross_spec,
+        &WorkDesc {
+            kind: "rrt-cross",
+            blob: &blob,
+        },
+    )?;
+    let cross_results: Vec<RrtCrossOutcome> = cross_out
+        .results
+        .iter()
+        .map(|b| decode_rrt_cross(b))
+        .collect::<Result<_, _>>()?;
+    let cross_makespan = cross_out.report.makespan;
+
+    let mut remote = RemoteAccessCounter::new();
+    for c in &cross_results {
+        let (a, b) = c.regions;
+        let oa = final_owner[a as usize];
+        let ob = final_owner[b as usize];
+        remote.touch_region(oa, ob);
+        if oa != ob && c.partner_reads > 0 {
+            remote.roadmap_remote += c.partner_reads;
+        } else {
+            remote.local += c.partner_reads;
+        }
+    }
+
+    let counts: Vec<u32> = branches
+        .iter()
+        .map(|b| b.cfgs.len().saturating_sub(1) as u32)
+        .collect();
+    let mut node_load_initial = vec![0u64; p];
+    let mut node_load_final = vec![0u64; p];
+    for r in 0..nr {
+        node_load_initial[naive.owner_of(r as u32) as usize] += counts[r] as u64;
+        node_load_final[final_owner[r] as usize] += counts[r] as u64;
+    }
+    let final_map = OwnerMap::new(final_owner, p);
+    let edge_cut = final_map.edge_cut(region_graph.edges());
+
+    let phases = PhaseBreakdown {
+        other: lb_time,
+        node_connection: con_makespan,
+        region_connection: cross_makespan,
+    };
+    let construction = con_report.to_sim_report();
+
+    let krays_weights =
+        krays_weights.unwrap_or_else(|| weights::krays_weights(cfg.env, &sub, cfg.krays, cfg.seed));
+    let workload = RrtWorkload {
+        sub,
+        region_graph,
+        regions: branches,
+        cross: cross_results,
+        krays_weights,
+        seed: cfg.seed,
+    };
+
+    let mut reg = MetricsRegistry::new();
+    reg.set_gauge("rrt.p", p as u64);
+    reg.set_gauge("rrt.regions", nr as u64);
+    reg.inc("rrt.migrations", migrations as u64);
+    reg.set_gauge("rrt.edge_cut", edge_cut as u64);
+    reg.inc("rrt.remote.accesses", remote.total_remote());
+    reg.inc("rrt.remote.local", remote.local);
+    reg.set_gauge("rrt.time.total_ns", phases.total());
+    reg.set_gauge("rrt.time.load_balance_ns", lb_time);
+    reg.set_gauge("rrt.time.construction_ns", con_makespan);
+    reg.set_gauge("rrt.time.region_connection_ns", cross_makespan);
+    let metrics = reg.snapshot().merged_with(&construction.metrics);
+
+    let run = RrtRun {
+        strategy_label: strategy.label(),
+        p,
+        total_time: phases.total(),
+        phases,
+        construction,
+        node_load_initial,
+        node_load_final,
+        remote,
+        edge_cut,
+        migrations,
+        metrics,
+    };
+    Ok((workload, run))
+}
+
+/// As [`run_parallel_rrt_dist_with`], spawning `p` worker processes of the
+/// `smp-dist-worker` binary (the `Backend::Dist` entry point).
+pub fn run_parallel_rrt_dist<const D: usize>(
+    cfg: &ParallelRrtConfig<'_, D>,
+    p: usize,
+    strategy: &Strategy,
+    tuning: DistTuning,
+) -> Result<(RrtWorkload<D>, RrtRun), ExecError> {
+    let opts = DistOptions::process(tuning).map_err(transport)?;
+    let mut exec = DistExecutor::new(opts);
+    run_parallel_rrt_dist_with(cfg, p, strategy, &mut exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_geom::envs;
+
+    #[test]
+    fn geometry_codecs_roundtrip_exactly() {
+        let env = envs::mixed();
+        let mut w = WireWriter::new();
+        put_env(&mut w, &env);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back: Environment<3> = get_env(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.name(), env.name());
+        assert_eq!(back.bounds(), env.bounds());
+        assert_eq!(back.obstacles(), env.obstacles());
+        assert_eq!(back.has_disjoint_obstacles(), env.has_disjoint_obstacles());
+    }
+
+    #[test]
+    fn prm_blob_roundtrips_through_ctx() {
+        let env = envs::med_cube();
+        let cfg = ParallelPrmConfig::new(&env);
+        let blob = encode_prm_blob(&cfg);
+        let mut ctx: PrmCtx<3> = PrmCtx::from_blob(&blob).unwrap();
+        assert_eq!(ctx.params.seed, cfg.seed);
+        // Worker-side derivation matches coordinator-side execution.
+        let grid = GridSubdivision::with_target_regions(
+            *cfg.env.bounds(),
+            cfg.regions_target,
+            cfg.overlap,
+        );
+        let (cfgs, work) = gen_region(&cfg, &grid, 3);
+        let (wcfgs, wwork) = ctx.gen(3).clone();
+        assert_eq!(cfgs, wcfgs);
+        assert_eq!(work, wwork);
+    }
+
+    #[test]
+    fn core_handler_runs_prm_kinds_and_caches() {
+        let env = envs::med_cube();
+        let mut cfg = ParallelPrmConfig::new(&env);
+        cfg.regions_target = 27;
+        cfg.attempts_per_region = 6;
+        let blob = encode_prm_blob(&cfg);
+        let mut h = CoreHandler::default();
+        let gen = h.run("prm-gen", &blob, 0).unwrap();
+        let (cfgs, _) = decode_gen::<3>(&gen).unwrap();
+        let con = h.run("prm-connect", &blob, 0).unwrap();
+        let (edges, _) = decode_connect(&con).unwrap();
+        let direct = connect_region(&cfg, &cfgs);
+        assert_eq!(edges, direct.0);
+        let cross = h.run("prm-cross", &blob, 0).unwrap();
+        let out = decode_cross(&cross).unwrap();
+        assert!(out.regions.0 != out.regions.1);
+        // Unknown kinds and wrong blobs are structured errors.
+        assert!(h.run("prm-bogus", &blob, 0).is_err());
+        assert!(h.run("prm-gen", b"junk", 0).is_err());
+    }
+
+    #[test]
+    fn core_handler_runs_rrt_kinds() {
+        let env = envs::mixed();
+        let mut cfg = ParallelRrtConfig::new(&env);
+        cfg.num_regions = 16;
+        cfg.nodes_per_region = 6;
+        cfg.max_iters = 60;
+        let blob = encode_rrt_blob(&cfg);
+        let mut h = CoreHandler::default();
+        let grown = h.run("rrt-grow", &blob, 2).unwrap();
+        let b = decode_branch::<3>(&grown).unwrap();
+        let root = cfg.env.bounds().center();
+        let sub = RadialSubdivision::sample(
+            root,
+            cfg.radius,
+            cfg.num_regions,
+            cfg.overlap_factor,
+            derive_seed(cfg.seed, 0, 0x726_164),
+        );
+        let direct = grow_branch(&cfg, &sub, 2);
+        assert_eq!(b.cfgs, direct.cfgs);
+        assert_eq!(b.edges, direct.edges);
+        let cross = h.run("rrt-cross", &blob, 0).unwrap();
+        assert!(decode_rrt_cross(&cross).is_ok());
+    }
+}

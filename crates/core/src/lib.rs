@@ -42,6 +42,7 @@
 pub mod adaptive;
 pub mod assemble;
 pub mod cost;
+pub mod dist;
 pub mod model;
 pub mod parallel_prm;
 pub mod parallel_rrt;
@@ -54,6 +55,10 @@ pub mod weights;
 
 pub use assemble::{assemble_prm_roadmap, assemble_rrt_tree, roadmap_digest};
 pub use cost::work_cost;
+pub use dist::{
+    run_parallel_prm_dist, run_parallel_prm_dist_with, run_parallel_rrt_dist,
+    run_parallel_rrt_dist_with, CoreHandler,
+};
 pub use parallel_prm::{
     build_prm_workload, build_prm_workload_on_grid, run_parallel_prm, run_parallel_prm_faulted,
     run_parallel_prm_live, run_parallel_prm_live_controlled, run_parallel_prm_live_observed,

@@ -154,7 +154,7 @@ impl<const D: usize> PrmWorkload<D> {
 /// region's build that consumes randomness, so the gen/connect split is
 /// byte-identical to a fused build — and location-independent: any worker
 /// (host thread or virtual PE) produces the same samples for `region`.
-fn gen_region<const D: usize>(
+pub(crate) fn gen_region<const D: usize>(
     cfg: &ParallelPrmConfig<'_, D>,
     grid: &GridSubdivision<D>,
     region: u32,
@@ -178,7 +178,7 @@ fn gen_region<const D: usize>(
 /// Connection half: k nearest within the region. Deterministic from the
 /// generated `cfgs` (no RNG), so it can run on whichever worker owns the
 /// region after load balancing.
-fn connect_region<const D: usize>(
+pub(crate) fn connect_region<const D: usize>(
     cfg: &ParallelPrmConfig<'_, D>,
     cfgs: &[Cfg<D>],
 ) -> (Vec<(u32, u32, f64)>, WorkCounters) {
@@ -241,7 +241,7 @@ fn build_region<const D: usize>(
 /// Cross-connect one region-graph edge `(a, b)`: deterministic from the
 /// two regions' samples and the edge-derived seed, independent of which
 /// worker runs it.
-fn cross_edge<const D: usize>(
+pub(crate) fn cross_edge<const D: usize>(
     cfg: &ParallelPrmConfig<'_, D>,
     a: u32,
     b: u32,
@@ -670,7 +670,7 @@ pub fn run_parallel_prm_observed<const D: usize>(
 }
 
 /// Owner map → per-PE queues ordered by region id.
-fn owner_queues(map: &OwnerMap) -> Vec<Vec<u32>> {
+pub(crate) fn owner_queues(map: &OwnerMap) -> Vec<Vec<u32>> {
     map.items_per_pe()
 }
 
@@ -1033,6 +1033,7 @@ pub fn run_parallel_prm_on<const D: usize>(
             Ok((workload, run))
         }
         Backend::Live(tuning) => run_parallel_prm_live(cfg, p, strategy, tuning),
+        Backend::Dist(tuning) => crate::dist::run_parallel_prm_dist(cfg, p, strategy, tuning),
     }
 }
 

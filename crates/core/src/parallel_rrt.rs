@@ -154,7 +154,7 @@ impl<const D: usize> RrtWorkload<D> {
 /// thread or virtual PE) grows the identical branch — the
 /// location-independence that lets the live backend hand regions off on
 /// steal without changing the tree.
-fn grow_branch<const D: usize>(
+pub(crate) fn grow_branch<const D: usize>(
     cfg: &ParallelRrtConfig<'_, D>,
     sub: &RadialSubdivision<D>,
     r: u32,
@@ -192,7 +192,7 @@ fn grow_branch<const D: usize>(
 /// Cross-connect the non-root vertices of two adjacent branches:
 /// deterministic from the grown branches and the edge-derived seed,
 /// independent of which worker runs it.
-fn rrt_cross_edge<const D: usize>(
+pub(crate) fn rrt_cross_edge<const D: usize>(
     cfg: &ParallelRrtConfig<'_, D>,
     a: u32,
     b: u32,
@@ -808,6 +808,7 @@ pub fn run_parallel_rrt_on<const D: usize>(
             Ok((workload, run))
         }
         Backend::Live(tuning) => run_parallel_rrt_live(cfg, p, strategy, tuning),
+        Backend::Dist(tuning) => crate::dist::run_parallel_rrt_dist(cfg, p, strategy, tuning),
     }
 }
 

@@ -39,8 +39,8 @@ use smp_plan::{
     RrtConnectParams, RrtParams,
 };
 use smp_runtime::{
-    simulate, Backend, CancelToken, ExecError, ExecSpec, LiveExecutor, LiveFaultPlan, MachineModel,
-    SimConfig, StealConfig,
+    simulate, Backend, CancelToken, ExecError, ExecSpec, LiveExecutor, LiveFaultPlan, LiveTuning,
+    MachineModel, SimConfig, StealConfig,
 };
 
 /// Seed-derivation stream tags (arbitrary, fixed forever).
@@ -307,6 +307,28 @@ where
             }
             Backend::Live(tuning) => {
                 let mut ex = LiveExecutor::new(p, tuning).with_cancel(token.clone());
+                if let Some(f) = &spec.faults {
+                    ex = ex.with_faults(f.clone());
+                }
+                let exec_spec = ExecSpec {
+                    n_tasks: k,
+                    costs: None,
+                    payloads: None,
+                    assignment: &assignment,
+                    steal: spec.steal,
+                    seed: round_seed,
+                };
+                let out = ex.execute_resilient(&exec_spec, &work)?;
+                (out.results, out.report.makespan)
+            }
+            // Portfolio attempts are closures producing arbitrary `T` —
+            // they cannot cross a process boundary, so `Backend::Dist`
+            // runs the round on the in-process live engine with default
+            // tuning. Deterministic settlement makes the winner and
+            // ledger identical either way; only wall-clock timings
+            // differ from a true multi-process round.
+            Backend::Dist(_) => {
+                let mut ex = LiveExecutor::new(p, LiveTuning::default()).with_cancel(token.clone());
                 if let Some(f) = &spec.faults {
                     ex = ex.with_faults(f.clone());
                 }

@@ -1,6 +1,6 @@
 //! SoA batch kernels for the hot geometric inner loops.
 //!
-//! [`BatchEnv`] stores the broad-phase obstacle set of an [`Environment`]
+//! [`BatchEnv`] stores the broad-phase obstacle set of an [`Environment`](crate::Environment)
 //! **obstacles-in-lanes**: padded structure-of-arrays chunks of [`LANES`]
 //! obstacles, indexed `[chunk][axis][lane]`, so the validity kernel tests
 //! one point against four obstacles per step. [`BatchEnv::first_invalid`]

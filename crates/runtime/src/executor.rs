@@ -46,6 +46,9 @@
 //!         Backend::Live(tuning) => LiveExecutor::new(2, tuning)
 //!             .execute(&spec, &work)
 //!             .expect("live run"),
+//!         // The distributed backend takes the same spec but ships work
+//!         // as bytes to real processes — see `crate::dist`.
+//!         Backend::Dist(_) => unreachable!(),
 //!     };
 //!     // Work-product determinism: results are identical across backends.
 //!     assert_eq!(outcome.results, vec![0, 10, 20, 30, 40, 50]);
@@ -110,6 +113,10 @@ pub enum ExecError {
         /// Total tasks in the phase.
         total: usize,
     },
+    /// The distributed backend's machinery failed (socket i/o, worker
+    /// spawn, protocol violation) — an infrastructure fault, not a task
+    /// failure. Carries the rendered [`crate::dist::DistError`].
+    Transport(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -133,6 +140,7 @@ impl std::fmt::Display for ExecError {
             ExecError::DeadlineExceeded { executed, total } => {
                 write!(f, "deadline exceeded after {executed}/{total} tasks")
             }
+            ExecError::Transport(m) => write!(f, "transport failure: {m}"),
         }
     }
 }
@@ -181,6 +189,10 @@ pub enum Backend {
     Des,
     /// Real OS threads with live work stealing (wall-clock time).
     Live(LiveTuning),
+    /// Coordinator + worker *processes* over framed sockets (wall-clock
+    /// time) — see [`crate::dist`]. Worker count is carried by the planner
+    /// entry points, like `Live`.
+    Dist(crate::dist::DistTuning),
 }
 
 impl Backend {
@@ -190,11 +202,18 @@ impl Backend {
         Backend::Live(LiveTuning::default())
     }
 
-    /// Short display name (`"des"` / `"live"`).
+    /// The distributed backend with default tuning; worker count is
+    /// carried by the planner entry points, not the backend tag.
+    pub fn dist() -> Self {
+        Backend::Dist(crate::dist::DistTuning::default())
+    }
+
+    /// Short display name (`"des"` / `"live"` / `"dist"`).
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Des => "des",
             Backend::Live(_) => "live",
+            Backend::Dist(_) => "dist",
         }
     }
 }

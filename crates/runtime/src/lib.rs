@@ -32,6 +32,7 @@
 
 pub mod cancel;
 pub mod comm;
+pub mod dist;
 pub mod executor;
 pub mod fault;
 pub mod live;
@@ -45,6 +46,10 @@ pub mod threadpool;
 pub mod topology;
 
 pub use cancel::CancelToken;
+pub use dist::{
+    DistError, DistExecutor, DistFaultPlan, DistKill, DistOptions, DistOutcome, DistTuning,
+    TransportKind,
+};
 pub use executor::{
     Backend, DesExecutor, ExecError, ExecMode, ExecOutcome, ExecReport, ExecSpec, Executor,
     RunStatus,

@@ -1,0 +1,203 @@
+//! Property tests for the distributed backend's framing and message
+//! codec: every malformed input — truncated mid-frame, bit-flipped,
+//! oversized, trailing garbage — must surface as a structured
+//! [`FrameError`]/[`WireError`], never a panic, and well-formed frames
+//! and messages must round-trip exactly (PROTOCOL.md §1–§4).
+
+use proptest::prelude::*;
+use smp_runtime::dist::frame::{fnv1a, read_frame, write_frame, HEADER_LEN, MAX_FRAME};
+use smp_runtime::dist::wire::{WireReader, WireWriter};
+use smp_runtime::dist::{FrameError, Msg};
+use smp_runtime::StealAmount;
+use std::io::Cursor;
+
+fn framed(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, payload).expect("frame within bounds");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary payload bytes survive a frame round-trip unchanged.
+    #[test]
+    fn frame_roundtrips_arbitrary_payloads(
+        payload in prop::collection::vec(0u8..255, 0..2048),
+    ) {
+        let buf = framed(&payload);
+        prop_assert_eq!(buf.len(), HEADER_LEN + payload.len());
+        let got = read_frame(&mut Cursor::new(&buf)).expect("valid frame");
+        prop_assert_eq!(got, payload);
+    }
+
+    /// Cutting a valid frame anywhere yields `Truncated`, never a panic
+    /// (kill-recovery relies on this: a dying worker tears its last frame).
+    #[test]
+    fn truncated_frames_are_structured_errors(
+        payload in prop::collection::vec(0u8..255, 1..512),
+        cut_frac in 0u32..1000,
+    ) {
+        let buf = framed(&payload);
+        let cut = (cut_frac as usize * (buf.len() - 1)) / 1000;
+        let res = read_frame(&mut Cursor::new(&buf[..cut]));
+        prop_assert!(
+            matches!(res, Err(FrameError::Truncated)),
+            "cut at {} of {}: {:?}", cut, buf.len(), res.map(|p| p.len())
+        );
+    }
+
+    /// Flipping any single byte of a frame is always detected: magic,
+    /// version, and checksum cover the header, FNV-1a covers the payload.
+    /// A length-byte flip may legitimately shorten the payload view — the
+    /// checksum still catches it.
+    #[test]
+    fn corrupted_frames_never_decode_silently(
+        payload in prop::collection::vec(0u8..255, 1..512),
+        pos_frac in 0u32..1000,
+        flip in 1u8..255,
+    ) {
+        let mut buf = framed(&payload);
+        let pos = (pos_frac as usize * (buf.len() - 1)) / 1000;
+        buf[pos] ^= flip;
+        // A flip that *grows* the length field reads past the buffer
+        // (Truncated); one that shrinks it breaks the checksum; header
+        // flips break magic/version/checksum directly.
+        let res = read_frame(&mut Cursor::new(&buf));
+        prop_assert!(res.is_err(), "flip {:#04x} at {} went unnoticed", flip, pos);
+    }
+
+    /// Length prefixes beyond MAX_FRAME are rejected from the header
+    /// alone — before any payload allocation.
+    #[test]
+    fn oversized_claims_are_rejected_without_allocation(
+        extra in 1u64..u64::from(u32::MAX) - MAX_FRAME as u64,
+    ) {
+        let claimed = MAX_FRAME as u64 + extra;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SMPD");
+        buf.push(1);
+        buf.extend_from_slice(&(claimed as u32).to_le_bytes());
+        buf.extend_from_slice(&fnv1a(&[]).to_le_bytes());
+        let res = read_frame(&mut Cursor::new(&buf));
+        prop_assert!(
+            matches!(res, Err(FrameError::Oversized { claimed: c }) if c == claimed),
+            "claimed {} bytes: {:?}", claimed, res.map(|p| p.len())
+        );
+    }
+
+    /// Every message variant round-trips through encode/decode exactly.
+    #[test]
+    fn messages_roundtrip_exactly(
+        phase in 0u32..1000,
+        worker in 0u32..64,
+        task in 0u32..100_000,
+        xfer in 0u64..1_000_000,
+        blob in prop::collection::vec(0u8..255, 0..256),
+        tasks in prop::collection::vec(0u32..100_000, 0..64),
+        kill in 0u64..100,
+        has_kill in proptest::prop::bool::ANY,
+    ) {
+        let msgs = [
+            Msg::Init {
+                phase,
+                worker,
+                n_workers: worker + 1,
+                epoch: phase % 7,
+                kind: "prm-connect".to_string(),
+                blob: blob.clone(),
+                tasks: tasks.clone(),
+                amount: StealAmount::Half,
+                kill_after: if has_kill { Some(kill) } else { None },
+            },
+            Msg::Assign { phase, xfer, tasks: tasks.clone() },
+            Msg::StealAsk { phase, req: xfer, thief: worker },
+            Msg::DoneAck { phase, task },
+            Msg::Cancel { phase },
+            Msg::Shutdown,
+            Msg::Hello { worker, epoch: phase % 7, pid: xfer },
+            Msg::Done {
+                phase,
+                task,
+                executed: xfer,
+                busy_ns: xfer * 3,
+                result: blob.clone(),
+            },
+            Msg::NeedWork { phase, worker },
+            Msg::Grant { phase, req: xfer, tasks: tasks.clone() },
+            Msg::Deny { phase, req: xfer },
+            Msg::AssignAck { phase, xfer },
+            Msg::Fatal { worker, message: "decode failed".to_string() },
+        ];
+        for msg in msgs {
+            let bytes = msg.encode();
+            let back = Msg::decode(&bytes).expect("decode");
+            prop_assert_eq!(&back, &msg);
+        }
+    }
+
+    /// Message decoding rejects truncation, trailing garbage, and unknown
+    /// tags with structured errors — no input can panic the decoder.
+    #[test]
+    fn message_decoder_rejects_malformed_inputs(
+        bytes in prop::collection::vec(0u8..255, 0..256),
+        cut_frac in 0u32..1000,
+    ) {
+        // Whatever the fuzz bytes decode to (usually an error), it must
+        // not panic; if it decodes, re-encoding must be canonical.
+        if let Ok(msg) = Msg::decode(&bytes) {
+            prop_assert_eq!(msg.encode(), bytes);
+        }
+        // A valid message truncated mid-field must error, not panic.
+        let valid = Msg::Done {
+            phase: 3,
+            task: 17,
+            executed: 5,
+            busy_ns: 12_345,
+            result: bytes.clone(),
+        }
+        .encode();
+        let cut = 1 + (cut_frac as usize * (valid.len() - 2)) / 1000;
+        prop_assert!(Msg::decode(&valid[..cut]).is_err());
+        // Trailing garbage is rejected (decode requires full consumption).
+        let mut padded = valid.clone();
+        padded.push(0xEE);
+        prop_assert!(Msg::decode(&padded).is_err());
+    }
+
+    /// The primitive wire codec is exact: a written record reads back
+    /// field-for-field, and `finish` rejects leftover bytes.
+    #[test]
+    fn wire_codec_roundtrips_primitives(
+        a in 0u64..u64::MAX,
+        b in -1.0e12f64..1.0e12,
+        c in prop::collection::vec(0u64..u64::MAX, 0..64),
+        flag in proptest::prop::bool::ANY,
+    ) {
+        let mut w = WireWriter::new();
+        w.u64(a);
+        w.f64(b);
+        w.vec_u64(&c);
+        w.bool(flag);
+        w.str("region");
+        let bytes = w.into_bytes();
+
+        let mut r = WireReader::new(&bytes);
+        prop_assert_eq!(r.u64().expect("u64"), a);
+        prop_assert_eq!(r.f64().expect("f64").to_bits(), b.to_bits());
+        prop_assert_eq!(r.vec_u64().expect("vec"), c);
+        prop_assert_eq!(r.bool().expect("bool"), flag);
+        prop_assert_eq!(r.string().expect("str"), "region");
+        prop_assert!(r.finish().is_ok());
+
+        // One byte short: structured error.
+        let mut short = WireReader::new(&bytes[..bytes.len() - 1]);
+        let mut all_ok = true;
+        all_ok &= short.u64().is_ok();
+        all_ok &= short.f64().is_ok();
+        all_ok &= short.vec_u64().is_ok();
+        all_ok &= short.bool().is_ok();
+        all_ok &= short.string().is_ok();
+        prop_assert!(!all_ok, "truncated record decoded fully");
+    }
+}

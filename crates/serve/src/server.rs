@@ -274,6 +274,19 @@ impl Server {
                     }
                     Exec::Live(Box::new(e))
                 }
+                // Service batches are closures over in-process snapshot
+                // state and cannot cross a process boundary; a Dist
+                // backend serves on the in-process live engine with
+                // default tuning (answer digests are backend-invariant).
+                Backend::Dist(_) => {
+                    let mut e =
+                        LiveExecutor::new(self.cfg.threads, smp_runtime::LiveTuning::default())
+                            .with_cancel(self.cancel.clone());
+                    if let Some(d) = self.cfg.wall_deadline {
+                        e = e.with_deadline(d);
+                    }
+                    Exec::Live(Box::new(e))
+                }
             }
         };
 
@@ -584,7 +597,7 @@ impl Server {
     fn now_ns(&self, epoch: &Instant, vclock: u64) -> u64 {
         match self.cfg.backend {
             Backend::Des => vclock,
-            Backend::Live(_) => epoch.elapsed().as_nanos() as u64,
+            Backend::Live(_) | Backend::Dist(_) => epoch.elapsed().as_nanos() as u64,
         }
     }
 }
