@@ -71,6 +71,7 @@ pub fn generate_dist_fault_plan(seed: u64, p: usize) -> DistFaultPlan {
         drop_ack_permille: 150 + (next() % 200) as u16,
         delay_assign_permille: (next() % 400) as u16,
         kills,
+        kill_thief_mid_steal: None,
     }
 }
 

@@ -604,6 +604,8 @@ impl DistExecutor {
         let mut acks_sent = 0u64;
         let mut acks_dropped = 0u64;
         let mut grants = 0u64;
+        let mut grants_seen = 0u64;
+        let mut orphan_grants = 0u64;
         let mut denies = 0u64;
         let mut needwork_seen = 0u64;
         let mut stale_done = 0u64;
@@ -754,41 +756,57 @@ impl DistExecutor {
                             pending_init[w] = Some(orphans);
                         } else if !orphans.is_empty() {
                             // Redistribute to the least-loaded survivor.
-                            let Some(dest) = (0..p)
+                            if let Some(dest) = (0..p)
                                 .filter(|&v| pool.slots[v].alive)
                                 .min_by_key(|&v| queue_est[v])
-                            else {
+                            {
+                                for &t in &orphans {
+                                    owner[t as usize] = IN_TRANSFER;
+                                }
+                                queue_est[dest] += orphans.len() as i64;
+                                let id = next_xfer;
+                                next_xfer += 1;
+                                let msg = Msg::Assign {
+                                    phase,
+                                    xfer: id,
+                                    tasks: orphans.clone(),
+                                };
+                                if let Some(writer) = pool.slots[dest].writer.as_mut() {
+                                    let _ = send_counted(writer, &msg, &mut sent);
+                                }
+                                xfers.insert(
+                                    id,
+                                    Xfer {
+                                        dest: dest as u32,
+                                        tasks: orphans,
+                                        next: Instant::now() + retransmit_base,
+                                        backoff: retransmit_base,
+                                        sends: 1,
+                                    },
+                                );
+                            } else if let Some(v) = (0..p).find(|&v| pending_init[v].is_some()) {
+                                // No slot is alive this instant, but one is
+                                // mid-respawn (spawned, Hello pending): park
+                                // the orphans in its pending queue instead
+                                // of aborting — the replacement adopts them
+                                // on arrival, like its own slot's orphans.
+                                #[allow(clippy::expect_used)] // gated on is_some above
+                                let parked =
+                                    pending_init[v].as_mut().expect("pending respawn queue");
+                                parked.extend(orphans);
+                                parked.sort_unstable();
+                                parked.dedup();
+                            } else {
                                 return Err(ExecError::WorkerPanic {
                                     workers: deaths.clone(),
                                     message: "all worker processes died".into(),
                                     missing: n - done_count,
                                 });
-                            };
-                            for &t in &orphans {
-                                owner[t as usize] = IN_TRANSFER;
                             }
-                            queue_est[dest] += orphans.len() as i64;
-                            let id = next_xfer;
-                            next_xfer += 1;
-                            let msg = Msg::Assign {
-                                phase,
-                                xfer: id,
-                                tasks: orphans.clone(),
-                            };
-                            if let Some(writer) = pool.slots[dest].writer.as_mut() {
-                                let _ = send_counted(writer, &msg, &mut sent);
-                            }
-                            xfers.insert(
-                                id,
-                                Xfer {
-                                    dest: dest as u32,
-                                    tasks: orphans,
-                                    next: Instant::now() + retransmit_base,
-                                    backoff: retransmit_base,
-                                    sends: 1,
-                                },
-                            );
-                        } else if pool.slots.iter().all(|s| !s.alive) && done_count < n {
+                        } else if pool.slots.iter().all(|s| !s.alive)
+                            && pending_init.iter().all(|q| q.is_none())
+                            && done_count < n
+                        {
                             return Err(ExecError::WorkerPanic {
                                 workers: deaths.clone(),
                                 message: "all worker processes died".into(),
@@ -982,14 +1000,59 @@ impl DistExecutor {
                                 if ph != phase {
                                     continue;
                                 }
-                                let Some(thief) = req_owner.remove(&req) else {
-                                    continue;
-                                };
+                                grants_seen += 1;
+                                if faults.kill_thief_mid_steal == Some(grants_seen) {
+                                    // Injected mid-steal thief death: sever
+                                    // the thief's socket (the loop observes
+                                    // the real EOF later) and cancel its ask
+                                    // exactly as crash recovery would have —
+                                    // the Grant below then takes the
+                                    // orphaned-grant path.
+                                    if let Some(&th) = req_owner.get(&req) {
+                                        let th = th as usize;
+                                        if let Some(writer) = pool.slots[th].writer.as_ref() {
+                                            writer.shutdown();
+                                        }
+                                        req_owner.remove(&req);
+                                        inflight[th] = None;
+                                        steal_unresolved += 1;
+                                    }
+                                }
+                                let thief = req_owner.remove(&req);
+                                if thief.is_none() {
+                                    // The requesting thief crashed between
+                                    // StealAsk and this Grant (crash recovery
+                                    // cancelled the req). The victim has
+                                    // already shed these tasks, so ownership
+                                    // MUST land at the coordinator anyway or
+                                    // they would never run (NoTaskLoss); the
+                                    // cancelled ask settled after all, so the
+                                    // steal ledger moves it from unresolved
+                                    // to granted. A Grant whose *victim* is
+                                    // already gone is dropped instead: its
+                                    // death swept the shed tasks via owner[].
+                                    if pool.slots.iter().any(|s| s.conn == Some(conn) && s.alive) {
+                                        orphan_grants += 1;
+                                        steal_unresolved = steal_unresolved.saturating_sub(1);
+                                    } else {
+                                        continue;
+                                    }
+                                }
                                 grants += 1;
                                 steal_hits += 1;
-                                let th = thief as usize;
-                                let victim = inflight[th].take().map_or(u32::MAX, |i| i.victim);
-                                fail_streak[th] = 0;
+                                let victim = match thief {
+                                    Some(th) => {
+                                        let th = th as usize;
+                                        fail_streak[th] = 0;
+                                        inflight[th].take().map_or(u32::MAX, |i| i.victim)
+                                    }
+                                    // Orphaned grant: the sender is the victim.
+                                    None => pool
+                                        .slots
+                                        .iter()
+                                        .position(|s| s.conn == Some(conn) && s.alive)
+                                        .map_or(u32::MAX, |v| v as u32),
+                                };
                                 if (victim as usize) < p {
                                     queue_est[victim as usize] =
                                         (queue_est[victim as usize] - tasks.len() as i64).max(0);
@@ -1001,15 +1064,27 @@ impl DistExecutor {
                                 if live_tasks.is_empty() {
                                     continue;
                                 }
+                                // Destination: the thief, or for an orphaned
+                                // grant the least-loaded live worker (the
+                                // live victim guarantees one exists).
+                                let Some(dest) = thief.or_else(|| {
+                                    (0..p)
+                                        .filter(|&v| pool.slots[v].alive)
+                                        .min_by_key(|&v| queue_est[v])
+                                        .map(|v| v as u32)
+                                }) else {
+                                    continue;
+                                };
+                                let dst = dest as usize;
                                 transferred += live_tasks.len() as u64;
                                 for &t in &live_tasks {
                                     owner[t as usize] = IN_TRANSFER;
                                 }
-                                queue_est[th] += live_tasks.len() as i64;
+                                queue_est[dst] += live_tasks.len() as i64;
                                 let id = next_xfer;
                                 next_xfer += 1;
                                 let mut x = Xfer {
-                                    dest: thief,
+                                    dest,
                                     tasks: live_tasks,
                                     next: Instant::now() + retransmit_base,
                                     backoff: retransmit_base,
@@ -1019,13 +1094,13 @@ impl DistExecutor {
                                     // Injected send-side loss: the
                                     // retransmit timer must recover it.
                                     msgs_dropped += 1;
-                                } else if pool.slots[th].alive {
+                                } else if pool.slots[dst].alive {
                                     let msg = Msg::Assign {
                                         phase,
                                         xfer: id,
                                         tasks: x.tasks.clone(),
                                     };
-                                    if let Some(writer) = pool.slots[th].writer.as_mut() {
+                                    if let Some(writer) = pool.slots[dst].writer.as_mut() {
                                         let _ = send_counted(writer, &msg, &mut sent);
                                         x.sends = 1;
                                     }
@@ -1192,6 +1267,7 @@ impl DistExecutor {
         reg.inc("dist.steal.hits", steal_hits);
         reg.inc("dist.steal.misses", steal_misses);
         reg.inc("dist.steal.unresolved", steal_unresolved);
+        reg.inc("dist.steal.orphaned_grants", orphan_grants);
         reg.inc("dist.tasks.executed", done_unique);
         reg.inc("dist.tasks.transferred", transferred);
         reg.inc("dist.faults.crashes", report.resilience.crashes);

@@ -15,7 +15,11 @@
 //!   executing `after_tasks` tasks, *without* reporting the last result:
 //!   the worst case the crash-recovery path must mask;
 //! * **respawn** — whether the coordinator replaces a dead worker with a
-//!   fresh process (next epoch) or redistributes its queue to survivors.
+//!   fresh process (next epoch) or redistributes its queue to survivors;
+//! * **mid-steal thief kill** — sever the requesting thief's connection
+//!   at the instant its victim's `Grant` arrives, pinning the
+//!   orphaned-grant interleaving (thief dies between `StealAsk` and
+//!   `Grant`) that the coordinator must recover from for NoTaskLoss.
 
 /// Kill one worker process mid-phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +47,12 @@ pub struct DistFaultPlan {
     pub delay_assign_permille: u16,
     /// Worker-process kills; each fires at most once per executor.
     pub kills: Vec<DistKill>,
+    /// Kill the requesting thief the moment the Nth `Grant` (1-based,
+    /// counted per phase) reaches the coordinator: its connection is
+    /// severed and its in-flight ask cancelled *before* the `Grant` is
+    /// processed, deterministically forcing the orphaned-grant recovery
+    /// path (PROTOCOL.md §3.1). `None` injects nothing.
+    pub kill_thief_mid_steal: Option<u64>,
 }
 
 impl DistFaultPlan {
@@ -52,6 +62,7 @@ impl DistFaultPlan {
             && self.drop_ack_permille == 0
             && self.delay_assign_permille == 0
             && self.kills.is_empty()
+            && self.kill_thief_mid_steal.is_none()
     }
 
     /// The kill scheduled for `worker`, if any.

@@ -109,8 +109,10 @@ pub enum Msg {
         worker: u32,
     },
     /// W→C `0x84`: victim sheds `tasks` in answer to a [`Msg::StealAsk`];
-    /// ownership moves to the coordinator (in-transfer) until it re-assigns
-    /// them. TLA+ action: `GrantSteal`.
+    /// ownership moves to the coordinator (in-transfer) when the frame
+    /// arrives — even if the requesting thief has crashed meanwhile
+    /// (orphaned-grant recovery, PROTOCOL.md §3.1) — until it re-assigns
+    /// them. TLA+ actions: `GrantSteal` (shed) / `RecvGrant` (take-over).
     Grant {
         /// Phase of the originating request.
         phase: u32,

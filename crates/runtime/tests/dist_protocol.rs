@@ -114,8 +114,10 @@ fn dist_pool_persists_across_phases() {
 fn dist_steals_under_imbalance() {
     // Every task starts on worker 0; idle workers must pull work through
     // the coordinator-brokered NeedWork -> StealAsk -> Grant -> Assign
-    // chain for the phase to balance.
-    let costs: Vec<u64> = vec![2_000_000; 48];
+    // chain for the phase to balance. Costs sit at the synth spin cap so
+    // the victim cannot drain its whole queue before the first idle
+    // NeedWork (2 ms base) is brokered, even on a fast single-core host.
+    let costs: Vec<u64> = vec![51_200_000; 48];
     let mut assignment = vec![Vec::new(); 4];
     assignment[0] = (0..48u32).collect();
     let steal = StealConfig {
@@ -161,6 +163,7 @@ fn dist_results_identical_under_message_faults() {
         drop_ack_permille: 330,
         delay_assign_permille: 500,
         kills: Vec::new(),
+        kill_thief_mid_steal: None,
     };
     let mut faulty = DistExecutor::new(thread_opts(faults));
     let out = run_synth(&mut faulty, &costs, &assignment, Some(steal));
@@ -198,6 +201,7 @@ fn dist_recovers_from_worker_kill_with_respawn() {
             after_tasks: 2,
             respawn: true,
         }],
+        kill_thief_mid_steal: None,
     };
     let mut exec = DistExecutor::new(thread_opts(faults));
     let out = run_synth(&mut exec, &costs, &assignment, None);
@@ -236,6 +240,7 @@ fn dist_recovers_from_worker_kill_by_redistribution() {
             after_tasks: 1,
             respawn: false,
         }],
+        kill_thief_mid_steal: None,
     };
     let mut exec = DistExecutor::new(thread_opts(faults));
     let out = run_synth(&mut exec, &costs, &assignment, None);
@@ -245,6 +250,96 @@ fn dist_recovers_from_worker_kill_by_redistribution() {
     assert!(out.report.resilience.tasks_recovered > 0);
     // The dead slot executed nothing after its credited task count reset.
     assert_eq!(out.report.per_pe_executed.len(), 3);
+}
+
+#[test]
+fn dist_survives_death_of_last_live_worker_during_respawn() {
+    // Worker 0 dies first and respawns; worker 1 (no respawn) dies while
+    // worker 0's replacement may still be mid-Hello. In that window no
+    // slot is alive, but the phase must NOT abort with WorkerPanic:
+    // worker 1's orphans are parked on the respawning slot (or, if the
+    // replacement already bound, redistributed to it) and the phase
+    // completes on the replacement alone.
+    let costs: Vec<u64> = vec![400_000; 20];
+    let assignment = round_robin(costs.len(), 2);
+    let mut clean = DistExecutor::new(thread_opts(DistFaultPlan::default()));
+    let baseline = run_synth(&mut clean, &costs, &assignment, None);
+
+    let faults = DistFaultPlan {
+        seed: 11,
+        drop_done_permille: 0,
+        drop_ack_permille: 0,
+        delay_assign_permille: 0,
+        kills: vec![
+            DistKill {
+                worker: 0,
+                after_tasks: 1,
+                respawn: true,
+            },
+            DistKill {
+                worker: 1,
+                after_tasks: 2,
+                respawn: false,
+            },
+        ],
+        kill_thief_mid_steal: None,
+    };
+    let mut exec = DistExecutor::new(thread_opts(faults));
+    let out = run_synth(&mut exec, &costs, &assignment, None);
+
+    assert_eq!(out.results, baseline.results, "digest identity");
+    assert_eq!(out.report.resilience.crashes, 2);
+    assert!(out.report.resilience.tasks_recovered > 0);
+}
+
+#[test]
+fn dist_recovers_orphaned_grant_when_thief_dies_mid_steal() {
+    // The thief dies between StealAsk and the victim's Grant: the victim
+    // has already shed the granted tasks, so the coordinator must take
+    // ownership of the orphaned Grant and re-home the tasks — dropping it
+    // would strand them (owner still the live victim, queue empty) and
+    // hang the phase until DeadlineExceeded, violating NoTaskLoss.
+    let costs: Vec<u64> = vec![51_200_000; 48];
+    let mut assignment = vec![Vec::new(); 2];
+    assignment[0] = (0..48u32).collect(); // worker 1 starts empty: instant thief
+    let steal = StealConfig {
+        policy: StealPolicyKind::RandK(1),
+        amount: StealAmount::Half,
+    };
+    let mut clean = DistExecutor::new(thread_opts(DistFaultPlan::default()));
+    let baseline = run_synth(&mut clean, &costs, &assignment, Some(steal));
+
+    let faults = DistFaultPlan {
+        seed: 5,
+        drop_done_permille: 0,
+        drop_ack_permille: 0,
+        delay_assign_permille: 0,
+        kills: Vec::new(),
+        kill_thief_mid_steal: Some(1),
+    };
+    let mut exec = DistExecutor::new(thread_opts(faults));
+    let out = run_synth(&mut exec, &costs, &assignment, Some(steal));
+
+    assert_eq!(out.results, baseline.results, "digest identity");
+    let m = &out.report.metrics;
+    assert_eq!(
+        m.get("dist.steal.orphaned_grants"),
+        Some(1),
+        "the orphaned-grant path must have run"
+    );
+    assert_eq!(out.report.resilience.crashes, 1, "the thief really died");
+    assert_eq!(m.get("dist.msgs.done_unique"), Some(costs.len() as u64));
+    // The steal ledger still closes: the cancelled ask settled as a grant.
+    let requests = m.get("dist.steal.requests").unwrap_or(0);
+    let hits = m.get("dist.steal.hits").unwrap_or(0);
+    let misses = m.get("dist.steal.misses").unwrap_or(0);
+    let unresolved = m.get("dist.steal.unresolved").unwrap_or(0);
+    assert_eq!(
+        requests,
+        hits + misses + unresolved,
+        "steal ledger must close: {requests} != {hits} + {misses} + {unresolved}"
+    );
+    assert_eq!(m.get("dist.msgs.grant"), Some(hits));
 }
 
 #[test]
